@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A1 [ablation] — Match-pipe width (bytes per cycle) sweep.
+ *
+ * The defining trade of the design: widening the match pipe multiplies
+ * throughput but stresses the banked hash table (more lookups per
+ * cycle -> more conflicts). The token stream — and hence the ratio —
+ * is width-independent in this microarchitecture; what moves is the
+ * stall fraction and the achieved fraction of the ideal W-bytes/cycle.
+ */
+
+#include "bench_common.h"
+
+#include "nx/dht_generator.h"
+#include "nx/huffman_stage.h"
+#include "nx/match_pipeline.h"
+
+int
+main()
+{
+    bench::banner("A1", "match-pipe width ablation");
+
+    auto data = workloads::makeMixed(4 << 20, 3103);
+
+    util::Table t("A1: bytes/cycle vs rate and bank stalls (2 GHz)");
+    t.header({"width B/cyc", "modelled rate", "ideal rate",
+              "efficiency", "stall cycles/MB", "ratio"});
+    for (int w : {1, 2, 4, 8, 16}) {
+        auto cfg = nx::NxConfig::power9();
+        cfg.compressBytesPerCycle = w;
+        nx::MatchPipeline pipe(cfg);
+        auto res = pipe.run(data);
+
+        double secs = cfg.clock.toSeconds(res.cycles);
+        double rate = static_cast<double>(data.size()) / secs;
+        double ideal = cfg.clock.hz() * w;
+        double stalls_per_mb = static_cast<double>(
+            res.bankStallCycles) /
+            (static_cast<double>(data.size()) / (1 << 20));
+
+        // Ratio via the encode stage with exact DHT.
+        nx::DhtGenerator gen(cfg);
+        auto dht = gen.generate(res.tokens, data.size(),
+                                nx::DhtMode::TwoPass);
+        nx::HuffmanStage huff(cfg);
+        auto enc = huff.encodeDynamic(res.tokens, dht.codes);
+        double ratio = static_cast<double>(data.size()) /
+            static_cast<double>(enc.bytes.size());
+
+        t.row({std::to_string(w), util::Table::fmtRate(rate),
+               util::Table::fmtRate(ideal),
+               util::Table::fmt(100.0 * rate / ideal, 1) + "%",
+               util::Table::fmt(stalls_per_mb, 0),
+               util::Table::fmt(ratio)});
+    }
+    t.note("P9 ships W=4, z15 W=8; efficiency erodes as W grows past "
+           "the bank count's ability to serve row lookups");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A3 [ablation] — Software baseline microbenchmarks (google-benchmark).
+ *
+ * Validates that our zlib-equivalent baseline has zlib's *shape*:
+ * throughput falls and ratio rises with level; lazy matching costs
+ * time and buys ratio; inflate is several times faster than deflate.
+ * These are the properties E1/E2's speedup math depends on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "deflate/deflate_encoder.h"
+#include "deflate/inflate_decoder.h"
+#include "workloads/corpus.h"
+
+namespace {
+
+const std::vector<uint8_t> &
+sample()
+{
+    static const auto data = workloads::makeMixed(2 << 20, 9901);
+    return data;
+}
+
+void
+BM_DeflateLevel(benchmark::State &state)
+{
+    deflate::DeflateOptions opts;
+    opts.level = static_cast<int>(state.range(0));
+    size_t out = 0;
+    for (auto _ : state) {
+        auto res = deflate::deflateCompress(sample(), opts);
+        out = res.bytes.size();
+        benchmark::DoNotOptimize(res.bytes.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * sample().size()));
+    state.counters["ratio"] = static_cast<double>(sample().size()) /
+        static_cast<double>(out);
+}
+BENCHMARK(BM_DeflateLevel)->DenseRange(1, 9, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_Inflate(benchmark::State &state)
+{
+    deflate::DeflateOptions opts;
+    opts.level = static_cast<int>(state.range(0));
+    auto stream = deflate::deflateCompress(sample(), opts).bytes;
+    for (auto _ : state) {
+        auto res = deflate::inflateDecompress(stream);
+        benchmark::DoNotOptimize(res.bytes.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * sample().size()));
+}
+BENCHMARK(BM_Inflate)->Arg(1)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void
+BM_Lz77Only(benchmark::State &state)
+{
+    deflate::Lz77Matcher matcher(
+        deflate::levelParams(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        auto tokens = matcher.tokenize(sample());
+        benchmark::DoNotOptimize(tokens.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * sample().size()));
+}
+BENCHMARK(BM_Lz77Only)->Arg(1)->Arg(6)->Arg(9)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_HuffmanOnly(benchmark::State &state)
+{
+    // Entropy-coding cost in isolation: tokens precomputed.
+    deflate::Lz77Matcher matcher(deflate::levelParams(6));
+    auto tokens = matcher.tokenize(sample());
+    deflate::SymbolFreqs freqs;
+    freqs.accumulate(tokens);
+    for (auto _ : state) {
+        auto codes = deflate::buildDynamicCodes(freqs);
+        util::BitWriter bw;
+        deflate::writeDynamicHeader(bw, codes);
+        deflate::emitTokens(bw, tokens, codes.litlen, codes.dist);
+        auto bytes = bw.take();
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * sample().size()));
+}
+BENCHMARK(BM_HuffmanOnly)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * E12 [abstract, qualitative] — Energy per compressed byte.
+ *
+ * The abstract lists power/energy efficiency among the advances. With
+ * measured software rates and modelled engine rates, energy/byte =
+ * power x time/byte; the accelerator's three-orders-of-magnitude
+ * advantage comes almost entirely from the rate gap, so it is robust
+ * to the (parameterised) wattage guesses. Labelled a proxy in
+ * EXPERIMENTS.md like E9.
+ */
+
+#include "bench_common.h"
+
+#include "nx/energy_model.h"
+
+int
+main()
+{
+    bench::banner("E12", "energy per byte: engine vs core");
+
+    const uint64_t bytes = 1 << 30;    // per-GB accounting
+    auto data = workloads::makeMixed(8 << 20, 1201);
+
+    std::vector<int> levels = {1, 6};
+    auto sw = sim::measureSoftwareRates(data, levels, 0.25);
+    auto accel = bench::measureAccel(core::power9Chip().accel, data,
+                                     core::Mode::DhtSampled);
+
+    nx::EnergyParams p;
+    util::Table t("E12: energy to compress 1 GiB (POWER9 parameters)");
+    t.header({"path", "rate", "power W", "time s", "energy J",
+              "nJ/byte"});
+    for (int level : levels) {
+        auto e = nx::softwareEnergy(p, bytes, sw.compressBps[level]);
+        t.row({"software level " + std::to_string(level),
+               util::Table::fmtRate(sw.compressBps[level]),
+               util::Table::fmt(p.coreWatts, 1),
+               util::Table::fmt(e.seconds, 1),
+               util::Table::fmt(e.joules, 1),
+               util::Table::fmt(e.nanojoulesPerByte, 1)});
+    }
+    auto ea = nx::acceleratorEnergy(p, bytes, accel.compressBps);
+    t.row({"NX accelerator",
+           util::Table::fmtRate(accel.compressBps),
+           util::Table::fmt(p.engineWatts, 1),
+           util::Table::fmt(ea.seconds, 3),
+           util::Table::fmt(ea.joules, 3),
+           util::Table::fmt(ea.nanojoulesPerByte, 3)});
+
+    auto e6 = nx::softwareEnergy(p, bytes, sw.compressBps[6]);
+    t.note("energy advantage vs level 6: " +
+           bench::fmtX(e6.joules / ea.joules) +
+           " (rate gap x power gap; wattages are parameters)");
+    t.print();
+    return 0;
+}

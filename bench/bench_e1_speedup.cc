@@ -1,0 +1,69 @@
+/**
+ * @file
+ * E1 [abstract] — The headline speedup table.
+ *
+ * Paper claims (POWER9): a single on-chip accelerator is 388x faster
+ * than zlib software on one general-purpose core, and 13x faster than
+ * the *entire chip* of cores running the software.
+ *
+ * Method: measure our software codec (the zlib-equivalent baseline) on
+ * this host at levels 1/6/9 over a mixed enterprise corpus, model the
+ * accelerator over the same bytes, and recompute both ratios from
+ * first principles. The host core stands in for the POWER9 core (see
+ * DESIGN.md, substitutions).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    bench::banner("E1",
+        "accelerator vs software speedup (single core and whole chip)");
+
+    const size_t corpus_bytes = 8 << 20;
+    auto data = workloads::makeMixed(corpus_bytes, 1001);
+
+    // Software baseline, measured on this host.
+    std::vector<int> levels = {1, 6, 9};
+    auto sw = sim::measureSoftwareRates(data, levels, 0.3);
+
+    // Accelerator, modelled.
+    auto chip = core::power9Chip();
+    auto accel = bench::measureAccel(chip.accel, data,
+                                     core::Mode::DhtSampled);
+
+    util::Table t("E1: compression throughput and speedup (POWER9)");
+    t.header({"codec", "ratio", "rate", "vs zlib-6 1-core",
+              "vs whole chip"});
+
+    double chip_sw_bps = sw.compressBps[6] * chip.cores;
+    for (int level : levels) {
+        t.row({"software level " + std::to_string(level),
+               util::Table::fmt(sw.ratio[level]),
+               util::Table::fmtRate(sw.compressBps[level]),
+               bench::fmtX(sw.compressBps[level] / sw.compressBps[6]),
+               bench::fmtX(sw.compressBps[level] / chip_sw_bps)});
+    }
+    t.row({"NX accelerator (DHT)",
+           util::Table::fmt(accel.ratio),
+           util::Table::fmtRate(accel.compressBps),
+           bench::fmtX(accel.compressBps / sw.compressBps[6]),
+           bench::fmtX(accel.compressBps / chip_sw_bps)});
+
+    t.note("paper: 388x over one core, 13x over the whole chip "
+           "(24-core POWER9; host core stands in for a P9 core)");
+    t.note("whole chip = level-6 rate x " +
+           std::to_string(chip.cores) + " cores, perfect scaling "
+           "(favours the baseline)");
+    t.print();
+
+    double single = accel.compressBps / sw.compressBps[6];
+    double whole = accel.compressBps / chip_sw_bps;
+    std::printf("\nE1 summary: single-core speedup %.0fx "
+                "(paper 388x), whole-chip %.1fx (paper 13x)\n",
+                single, whole);
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * E7 [abstract] — Apache Spark TPC-DS end-to-end speedup.
+ *
+ * Paper claim: on a POWER9 system, routing Spark's shuffle/storage
+ * compression through the on-chip accelerators speeds the TPC-DS
+ * workload up by 23 % end-to-end versus the software codec baseline.
+ *
+ * Method: measure the software codec on representative shuffle bytes
+ * (TPC-DS-like rows, see workloads/tpcds_gen.h), model the accelerator
+ * on the same bytes, and feed both (rate, ratio) pairs into the Spark
+ * stage-pipeline model. The query suite's compute/shuffle mix is
+ * calibrated so the baseline spends a realistic ~25-30 % of wall time
+ * in the codec (Spark+zlib measurements in the literature land there);
+ * the speedup is then *computed*, not assumed.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "workloads/spark_model.h"
+#include "workloads/tpcds_gen.h"
+
+int
+main()
+{
+    bench::banner("E7", "Spark TPC-DS end-to-end with codec offload");
+
+    // Codec characteristics on representative shuffle bytes.
+    auto shuffle = workloads::makeShufflePartition(6 << 20);
+    std::vector<int> levels = {1, 6};
+    auto sw = sim::measureSoftwareRates(shuffle, levels, 0.3);
+    auto accel = bench::measureAccel(core::power9Chip().accel, shuffle,
+                                     core::Mode::DhtSampled);
+
+    workloads::CodecModel swCodec{"software zlib-1",
+        sw.compressBps[1], sw.decompressBps, sw.ratio[1], true};
+    workloads::CodecModel nxCodec{"NX accelerator",
+        accel.compressBps, accel.decompressBps, accel.ratio, false};
+
+    workloads::ClusterConfig cluster;
+    cluster.nodes = 2;             // two-socket POWER9 server class
+    cluster.executorCores = 40;
+    cluster.accelPerNode = 1;
+
+    auto queries = workloads::makeTpcdsQueries(20, 2020, 1000.0);
+    auto cmp = workloads::compareSuite(queries, cluster, swCodec,
+                                       nxCodec);
+
+    // Baseline codec share for the Amdahl context.
+    double base_total = 0.0, base_codec = 0.0;
+    for (const auto &q : queries) {
+        auto qt = workloads::runQuery(q, cluster, swCodec);
+        base_total += qt.totalSeconds;
+        base_codec += qt.codecSeconds;
+    }
+
+    util::Table t("E7: TPC-DS suite, software codec vs accelerator");
+    t.header({"codec", "rate (per core/dev)", "ratio",
+              "suite time", "speedup"});
+    t.row({swCodec.name, util::Table::fmtRate(swCodec.compressBps),
+           util::Table::fmt(swCodec.ratio),
+           util::Table::fmt(cmp.totalA, 1) + " s", "baseline"});
+    t.row({nxCodec.name, util::Table::fmtRate(nxCodec.compressBps),
+           util::Table::fmt(nxCodec.ratio),
+           util::Table::fmt(cmp.totalB, 1) + " s",
+           util::Table::fmt(cmp.speedupPct, 1) + "%"});
+    t.note("paper: 23% end-to-end on Apache Spark TPC-DS (POWER9)");
+    t.note("baseline codec share of wall time: " +
+           util::Table::fmt(100.0 * base_codec / base_total, 1) + "%");
+    t.print();
+
+    // Per-query detail for the five largest queries.
+    util::Table d("E7 detail: five largest queries");
+    d.header({"query", "sw total s", "sw codec s", "accel total s",
+              "gain %"});
+    std::vector<size_t> idx(queries.size());
+    for (size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+        return cmp.perQueryA[a].totalSeconds >
+            cmp.perQueryA[b].totalSeconds;
+    });
+    for (size_t k = 0; k < 5 && k < idx.size(); ++k) {
+        const auto &a = cmp.perQueryA[idx[k]];
+        const auto &b = cmp.perQueryB[idx[k]];
+        d.row({a.query, util::Table::fmt(a.totalSeconds, 2),
+               util::Table::fmt(a.codecSeconds, 2),
+               util::Table::fmt(b.totalSeconds, 2),
+               util::Table::fmt(100.0 * (a.totalSeconds -
+                   b.totalSeconds) / a.totalSeconds, 1) + "%"});
+    }
+    d.print();
+
+    std::printf("\nE7 summary: end-to-end speedup %.1f%% "
+                "(paper 23%%)\n", cmp.speedupPct);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * E9 [abstract] — Area proxy: the accelerator's state inventory.
+ *
+ * Paper claim: one POWER9 accelerator occupies < 0.5 % of the chip.
+ * We have no physical design, so this bench prints the SRAM/register
+ * inventory the modelled microarchitecture implies and expresses it
+ * against the host chip's cache SRAM as an order-of-magnitude proxy.
+ * Labelled qualitative in DESIGN.md/EXPERIMENTS.md.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "nx/area_model.h"
+
+namespace {
+
+void
+printInventory(const nx::NxConfig &cfg)
+{
+    auto inv = nx::buildAreaInventory(cfg);
+    util::Table t("E9: accelerator state inventory (" + cfg.name + ")");
+    t.header({"block", "KiB", "note"});
+    for (const auto &item : inv.items) {
+        t.row({item.name,
+               util::Table::fmt(static_cast<double>(item.bits) / 8192.0,
+                                1),
+               item.note});
+    }
+    t.row({"TOTAL", util::Table::fmt(inv.totalKiB(), 1), ""});
+    double frac = static_cast<double>(inv.totalBits()) /
+        static_cast<double>(nx::chipSramBitsReference(cfg));
+    t.note("fraction of chip cache SRAM (proxy): " +
+           util::Table::fmt(100.0 * frac, 3) + "% — paper: < 0.5% of "
+           "chip area");
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("E9", "area proxy: accelerator state inventory");
+    printInventory(nx::NxConfig::power9());
+    printInventory(nx::NxConfig::z15());
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * NxDevice — the per-chip accelerator handle a user program opens.
+ *
+ * Mirrors the shape of the production software stack (libnxz / zEDC):
+ * open a device (VAS window), build jobs, submit synchronously or in
+ * batches, read back the CSB and the modelled completion time. The
+ * device multiplexes requests across its compress and decompress
+ * engines round-robin, which is what the switchboard does for a single
+ * window on real hardware.
+ */
+
+#ifndef NXSIM_CORE_DEVICE_H
+#define NXSIM_CORE_DEVICE_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nx/compress_engine.h"
+#include "nx/decompress_engine.h"
+#include "nx/nx_config.h"
+
+namespace core {
+
+/** User-visible compression mode. */
+enum class Mode
+{
+    Fht,          ///< fixed Huffman: lowest latency
+    DhtSampled,   ///< sampled dynamic Huffman: default for big jobs
+    DhtTwoPass,   ///< exact dynamic Huffman (z15-style second pass)
+    Auto,         ///< pick by job size (libnxz-style policy)
+};
+
+/** One completed job as the API reports it. */
+struct JobResult
+{
+    nx::Csb csb;
+    std::vector<uint8_t> data;       ///< output payload
+    sim::Tick engineCycles = 0;      ///< modelled accelerator cycles
+    double seconds = 0.0;            ///< engineCycles on the nest clock
+
+    bool ok() const { return csb.cc == nx::CondCode::Success; }
+
+    /** Source-side throughput implied by the modelled time. */
+    double
+    sourceBps() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(csb.processedBytes) / seconds : 0.0;
+    }
+};
+
+/** A per-chip accelerator device handle. */
+class NxDevice
+{
+  public:
+    explicit NxDevice(const nx::NxConfig &cfg);
+
+    /**
+     * Compress @p source into a framed stream.
+     *
+     * @param mode  table policy (Auto: FHT below autoFhtThreshold(),
+     *              sampled DHT otherwise)
+     */
+    JobResult compress(std::span<const uint8_t> source,
+                       nx::Framing framing = nx::Framing::Gzip,
+                       Mode mode = Mode::Auto);
+
+    /** Decompress a framed stream produced by any conforming encoder. */
+    JobResult decompress(std::span<const uint8_t> stream,
+                         nx::Framing framing = nx::Framing::Gzip,
+                         uint64_t max_output = uint64_t{1} << 30);
+
+    /**
+     * Compress a large buffer by splitting it into @p chunk_bytes
+     * jobs issued round-robin across all compress engines; the output
+     * is a multi-member gzip file (gunzip-compatible concatenation).
+     * The modelled time assumes the engines run in parallel: it is
+     * the max over engines of the sum of their jobs' cycles.
+     */
+    JobResult compressLarge(std::span<const uint8_t> source,
+                            size_t chunk_bytes = 4u << 20,
+                            Mode mode = Mode::DhtSampled);
+
+    /** Decompress a multi-member gzip file (see compressLarge). */
+    JobResult decompressLarge(std::span<const uint8_t> file,
+                              uint64_t max_output = uint64_t{1} << 30);
+
+    /** Job size below which Auto mode selects FHT. */
+    static constexpr uint64_t autoFhtThreshold() { return 32 * 1024; }
+
+    const nx::NxConfig &config() const { return cfg_; }
+
+    /** Engine pool introspection (tests, benches). */
+    nx::CompressEngine &compressEngine(int i) { return *comp_[i]; }
+    nx::DecompressEngine &decompressEngine(int i) { return *decomp_[i]; }
+    int compressEngineCount() const { return static_cast<int>(
+        comp_.size()); }
+    int decompressEngineCount() const { return static_cast<int>(
+        decomp_.size()); }
+
+  private:
+    nx::NxConfig cfg_;
+    std::vector<std::unique_ptr<nx::CompressEngine>> comp_;
+    std::vector<std::unique_ptr<nx::DecompressEngine>> decomp_;
+    size_t nextComp_ = 0;
+    size_t nextDecomp_ = 0;
+    uint64_t seq_ = 0;
+};
+
+/**
+ * SoftwareCodec — the zlib-equivalent path, with the same JobResult
+ * shape so benches can treat both sides uniformly. `seconds` is wall
+ * time measured on the host (the baseline-core stand-in; see
+ * sim/host_cal.h).
+ */
+class SoftwareCodec
+{
+  public:
+    explicit SoftwareCodec(int level = 6) : level_(level) {}
+
+    JobResult compress(std::span<const uint8_t> source,
+                       nx::Framing framing = nx::Framing::Gzip);
+    JobResult decompress(std::span<const uint8_t> stream,
+                         nx::Framing framing = nx::Framing::Gzip);
+
+    int level() const { return level_; }
+
+  private:
+    int level_;
+};
+
+} // namespace core
+
+#endif // NXSIM_CORE_DEVICE_H

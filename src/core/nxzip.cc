@@ -1,0 +1,74 @@
+#include "core/nxzip.h"
+
+namespace nxzip {
+
+Context::Context(const core::ChipTopology &chip, const Options &opts)
+    : opts_(opts),
+      device_(std::make_unique<core::NxDevice>(chip.accel)),
+      software_(opts.softwareLevel)
+{
+}
+
+Result
+Context::compress(std::span<const uint8_t> input)
+{
+    Result res;
+    res.inputBytes = input.size();
+
+    core::JobResult job;
+    if (input.size() < opts_.minAccelBytes) {
+        job = software_.compress(input, opts_.framing);
+        res.path = Path::Software;
+    } else {
+        job = device_->compress(input, opts_.framing, opts_.mode);
+        res.path = Path::Accelerator;
+        if (!job.ok()) {
+            // Production libraries fall back to software on any
+            // accelerator error rather than failing the request.
+            job = software_.compress(input, opts_.framing);
+            res.path = Path::Software;
+        }
+    }
+
+    if (!job.ok()) {
+        res.error = std::string("compress failed: cc=") +
+            nx::toString(job.csb.cc);
+        return res;
+    }
+    res.ok = true;
+    res.seconds = job.seconds;
+    res.data = std::move(job.data);
+    return res;
+}
+
+Result
+Context::decompress(std::span<const uint8_t> stream, uint64_t max_output)
+{
+    Result res;
+    res.inputBytes = stream.size();
+
+    core::JobResult job;
+    if (stream.size() < opts_.minAccelBytes) {
+        job = software_.decompress(stream, opts_.framing);
+        res.path = Path::Software;
+    } else {
+        job = device_->decompress(stream, opts_.framing, max_output);
+        res.path = Path::Accelerator;
+        if (!job.ok()) {
+            job = software_.decompress(stream, opts_.framing);
+            res.path = Path::Software;
+        }
+    }
+
+    if (!job.ok()) {
+        res.error = std::string("decompress failed: cc=") +
+            nx::toString(job.csb.cc);
+        return res;
+    }
+    res.ok = true;
+    res.seconds = job.seconds;
+    res.data = std::move(job.data);
+    return res;
+}
+
+} // namespace nxzip

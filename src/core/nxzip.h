@@ -1,0 +1,90 @@
+/**
+ * @file
+ * nxzip — the top-level convenience API a downstream application links
+ * against (the analogue of libnxz's zlib-compatible surface).
+ *
+ * One call compresses or decompresses a buffer, transparently choosing
+ * between the accelerator and the software codec the way the production
+ * library does: tiny requests stay on the core (the CRB round trip
+ * costs more than it saves), everything else goes to the device.
+ */
+
+#ifndef NXSIM_CORE_NXZIP_H
+#define NXSIM_CORE_NXZIP_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/device.h"
+#include "core/topology.h"
+
+namespace nxzip {
+
+/** Where a request actually executed. */
+enum class Path
+{
+    Accelerator,
+    Software,
+};
+
+/** Result of a top-level (de)compress call. */
+struct Result
+{
+    bool ok = false;
+    std::string error;
+    std::vector<uint8_t> data;
+    Path path = Path::Accelerator;
+    /** Modelled (accelerator) or measured (software) seconds. */
+    double seconds = 0.0;
+    uint64_t inputBytes = 0;
+
+    double
+    ratio() const
+    {
+        return data.empty() ? 0.0
+            : static_cast<double>(inputBytes) /
+                static_cast<double>(data.size());
+    }
+};
+
+/** Tunables of a Context. */
+struct Options
+{
+    nx::Framing framing = nx::Framing::Gzip;
+    core::Mode mode = core::Mode::Auto;
+    /** Requests below this many bytes run in software (like libnxz). */
+    uint64_t minAccelBytes = 4096;
+    /** Software level used for the fallback path. */
+    int softwareLevel = 6;
+};
+
+/** A process-wide handle to one chip's accelerator plus fallback. */
+class Context
+{
+  public:
+    /** Open a context on the given chip generation. */
+    explicit Context(const core::ChipTopology &chip,
+                     const Options &opts = {});
+
+    /** Compress @p input per the context options. */
+    Result compress(std::span<const uint8_t> input);
+
+    /** Decompress @p stream (framing from the context options). */
+    Result decompress(std::span<const uint8_t> stream,
+                      uint64_t max_output = uint64_t{1} << 30);
+
+    const Options &options() const { return opts_; }
+    core::NxDevice &device() { return *device_; }
+
+  private:
+    Options opts_;
+    std::unique_ptr<core::NxDevice> device_;
+    core::SoftwareCodec software_;
+};
+
+} // namespace nxzip
+
+#endif // NXSIM_CORE_NXZIP_H

@@ -1,0 +1,59 @@
+#include "core/topology.h"
+
+namespace core {
+
+ChipTopology
+power9Chip()
+{
+    ChipTopology t;
+    t.name = "POWER9";
+    t.accel = nx::NxConfig::power9();
+    t.cores = 24;
+    t.smtPerCore = 4;
+    t.coreClock = sim::Frequency(3.8e9);
+    return t;
+}
+
+ChipTopology
+z15Chip()
+{
+    ChipTopology t;
+    t.name = "z15";
+    t.accel = nx::NxConfig::z15();
+    t.cores = 12;
+    t.smtPerCore = 2;
+    t.coreClock = sim::Frequency(5.2e9);
+    return t;
+}
+
+SystemTopology
+power9TwoSocket()
+{
+    SystemTopology s;
+    s.name = "POWER9 2-socket";
+    s.chip = power9Chip();
+    s.chips = 2;
+    return s;
+}
+
+SystemTopology
+power9MaxSystem()
+{
+    SystemTopology s;
+    s.name = "POWER9 16-socket";
+    s.chip = power9Chip();
+    s.chips = 16;
+    return s;
+}
+
+SystemTopology
+z15MaxSystem()
+{
+    SystemTopology s;
+    s.name = "z15 5-drawer max";
+    s.chip = z15Chip();
+    s.chips = 20;    // 5 CPC drawers x 4 CP chips
+    return s;
+}
+
+} // namespace core

@@ -1,0 +1,152 @@
+#include "deflate/deflate_stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace deflate {
+
+DeflateStream::DeflateStream(const DeflateOptions &opts)
+    : opts_(opts), matcher_(levelParams(opts.level))
+{
+}
+
+void
+DeflateStream::setDictionary(std::span<const uint8_t> dict)
+{
+    assert(totalIn_ == 0 && !finished_ &&
+           "setDictionary after writing");
+    if (dict.size() > static_cast<size_t>(kWindowSize))
+        dict = dict.subspan(dict.size() - kWindowSize);
+    window_.assign(dict.begin(), dict.end());
+}
+
+void
+DeflateStream::write(std::span<const uint8_t> data, Flush flush,
+                     std::vector<uint8_t> &out)
+{
+    assert(!finished_ && "write after Finish");
+    pending_.insert(pending_.end(), data.begin(), data.end());
+    totalIn_ += data.size();
+
+    // Emit full blocks as they accumulate.
+    while (pending_.size() >= opts_.blockBytes)
+        emitBlock(false, false, out);
+
+    switch (flush) {
+      case Flush::None:
+        break;
+      case Flush::Sync:
+        emitBlock(false, true, out);
+        break;
+      case Flush::Finish:
+        emitBlock(true, false, out);
+        finished_ = true;
+        break;
+    }
+}
+
+void
+DeflateStream::emitBlock(bool final, bool sync,
+                         std::vector<uint8_t> &out)
+{
+    // Take up to one block of pending input.
+    size_t n = std::min(pending_.size(), opts_.blockBytes);
+
+    if (n > 0 || final) {
+        // Assemble [window | chunk] so matches can cross the boundary.
+        std::vector<uint8_t> buf;
+        buf.reserve(window_.size() + n);
+        buf.insert(buf.end(), window_.begin(), window_.end());
+        buf.insert(buf.end(), pending_.begin(),
+                   pending_.begin() + static_cast<long>(n));
+
+        std::span<const uint8_t> chunk(buf.data() + window_.size(), n);
+        auto tokens = matcher_.tokenize(buf, window_.size());
+
+        SymbolFreqs freqs;
+        freqs.accumulate(tokens);
+        uint64_t fixed_cost = 3 + tokenCostBits(
+            freqs, HuffmanCode::fixedLitLen(), HuffmanCode::fixedDist());
+
+        bool use_fixed = true;
+        BlockCodes codes;
+        uint64_t dyn_cost = UINT64_MAX;
+        if (!opts_.forceFixed) {
+            codes = buildDynamicCodes(freqs);
+            util::BitWriter scratch;
+            uint64_t hdr = writeDynamicHeader(scratch, codes);
+            dyn_cost = 3 + hdr +
+                tokenCostBits(freqs, codes.litlen, codes.dist);
+            use_fixed = fixed_cost <= dyn_cost;
+        }
+
+        uint64_t stored_cost =
+            (n + 5 * (n / 65535 + 1)) * 8 + 8;
+        bool use_stored = !opts_.forceFixed &&
+            stored_cost < std::min(fixed_cost, dyn_cost);
+
+        if (use_stored) {
+            size_t off = 0;
+            do {
+                size_t sn = std::min<size_t>(n - off, 65535);
+                bool sub_final = final && off + sn >= n;
+                bw_.writeBits(sub_final ? 1 : 0, 1);
+                bw_.writeBits(0, 2);
+                bw_.alignToByte();
+                auto len = static_cast<uint16_t>(sn);
+                bw_.writeU16le(len);
+                bw_.writeU16le(static_cast<uint16_t>(~len));
+                bw_.writeBytes(chunk.subspan(off, sn));
+                off += sn;
+            } while (off < n);
+            if (final)
+                emittedFinal_ = true;
+        } else {
+            bw_.writeBits(final ? 1 : 0, 1);
+            if (use_fixed) {
+                bw_.writeBits(
+                    static_cast<uint32_t>(BlockType::FixedHuffman), 2);
+                emitTokens(bw_, tokens, HuffmanCode::fixedLitLen(),
+                           HuffmanCode::fixedDist());
+            } else {
+                bw_.writeBits(
+                    static_cast<uint32_t>(BlockType::DynamicHuffman),
+                    2);
+                writeDynamicHeader(bw_, codes);
+                emitTokens(bw_, tokens, codes.litlen, codes.dist);
+            }
+            if (final)
+                emittedFinal_ = true;
+        }
+
+        // Update the carry window with the newly consumed bytes.
+        window_.insert(window_.end(), chunk.begin(), chunk.end());
+        if (window_.size() > static_cast<size_t>(kWindowSize)) {
+            window_.erase(window_.begin(),
+                          window_.end() - kWindowSize);
+        }
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + static_cast<long>(n));
+    }
+
+    if (sync) {
+        // Z_SYNC_FLUSH marker: empty non-final stored block, which
+        // also byte-aligns the stream (00 00 FF FF after the header).
+        bw_.writeBits(0, 1);
+        bw_.writeBits(0, 2);
+        bw_.alignToByte();
+        bw_.writeU16le(0);
+        bw_.writeU16le(0xffff);
+    }
+
+    if (final) {
+        assert(emittedFinal_);
+        bw_.alignToByte();
+    }
+
+    auto bytes = final ? bw_.take() : bw_.drain();
+    totalOut_ += bytes.size();
+    out.insert(out.end(), bytes.begin(), bytes.end());
+}
+
+} // namespace deflate

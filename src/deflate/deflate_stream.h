@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Streaming DEFLATE compressor — the z_stream-shaped API.
+ *
+ * Accepts input in arbitrary chunks and emits a single conforming
+ * DEFLATE stream. Matches may reference the previous 32 KiB across
+ * chunk boundaries (window carry), exactly like zlib's streaming
+ * deflate. Three flush semantics:
+ *
+ *  - Flush::None    buffer until a full block accumulates;
+ *  - Flush::Sync    end the current block and emit the empty-stored
+ *                   sync marker (00 00 FF FF) so the receiver can
+ *                   decode everything written so far (Z_SYNC_FLUSH);
+ *  - Flush::Finish  end the stream (final block).
+ *
+ * The accelerator analogue: each CRB is one request, but the CRB
+ * carries window-continuation state between calls on z15 (and libnxz
+ * emulates it on POWER9); this class is the software equivalent used
+ * by the streaming tests and the CLI tool.
+ */
+
+#ifndef NXSIM_DEFLATE_DEFLATE_STREAM_H
+#define NXSIM_DEFLATE_DEFLATE_STREAM_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "deflate/deflate_encoder.h"
+#include "deflate/lz77.h"
+
+namespace deflate {
+
+/** Flush semantics for DeflateStream::write(). */
+enum class Flush
+{
+    None,
+    Sync,
+    Finish,
+};
+
+/** Incremental DEFLATE compressor with 32 KiB window carry. */
+class DeflateStream
+{
+  public:
+    explicit DeflateStream(const DeflateOptions &opts = {});
+
+    /**
+     * Prime the match window with a preset dictionary (zlib
+     * deflateSetDictionary semantics). Must be called before the
+     * first write(); only the last 32 KiB are retained.
+     */
+    void setDictionary(std::span<const uint8_t> dict);
+
+    /**
+     * Feed @p data; append any produced bytes to @p out.
+     *
+     * After Flush::Finish no more input is accepted. Multiple Sync
+     * flushes are permitted, including with no intervening input.
+     */
+    void write(std::span<const uint8_t> data, Flush flush,
+               std::vector<uint8_t> &out);
+
+    /** True once Finish has been processed. */
+    bool finished() const { return finished_; }
+
+    /** Total input bytes consumed so far. */
+    uint64_t totalIn() const { return totalIn_; }
+
+    /** Total output bytes produced so far. */
+    uint64_t totalOut() const { return totalOut_; }
+
+  private:
+    /** Compress everything pending into one block. */
+    void emitBlock(bool final, bool sync, std::vector<uint8_t> &out);
+
+    DeflateOptions opts_;
+    Lz77Matcher matcher_;
+    std::vector<uint8_t> window_;    ///< last <= 32 KiB of past input
+    std::vector<uint8_t> pending_;   ///< not yet compressed
+    util::BitWriter bw_;
+    bool finished_ = false;
+    bool emittedFinal_ = false;
+    uint64_t totalIn_ = 0;
+    uint64_t totalOut_ = 0;
+};
+
+} // namespace deflate
+
+#endif // NXSIM_DEFLATE_DEFLATE_STREAM_H

@@ -1,0 +1,288 @@
+#include "deflate/huffman.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace deflate {
+
+namespace {
+
+/** Internal tree node for the frequency heap. */
+struct Node
+{
+    uint64_t freq;
+    int symbol;       // >= 0 for leaves, -1 for internal
+    int left = -1;    // indices into the node pool
+    int right = -1;
+};
+
+/** Depth-assigning DFS over the built tree. */
+void
+assignDepths(const std::vector<Node> &pool, int idx, int depth,
+             std::vector<uint8_t> &lengths)
+{
+    const Node &n = pool[idx];
+    if (n.symbol >= 0) {
+        lengths[n.symbol] = static_cast<uint8_t>(std::max(depth, 1));
+        return;
+    }
+    assignDepths(pool, n.left, depth + 1, lengths);
+    assignDepths(pool, n.right, depth + 1, lengths);
+}
+
+/**
+ * Enforce the max_bits limit the way zlib does: demote overlong codes to
+ * max_bits, then repair the Kraft sum by lengthening the cheapest codes.
+ */
+void
+limitLengths(std::vector<uint8_t> &lengths, int max_bits,
+             std::span<const uint64_t> freqs)
+{
+    bool overflow = false;
+    for (uint8_t l : lengths) {
+        if (l > max_bits) {
+            overflow = true;
+            break;
+        }
+    }
+    if (!overflow)
+        return;
+
+    // Count codes per length, clamping overlong ones.
+    std::vector<int> blCount(max_bits + 1, 0);
+    for (auto &l : lengths) {
+        if (l == 0)
+            continue;
+        if (l > max_bits)
+            l = static_cast<uint8_t>(max_bits);
+        ++blCount[l];
+    }
+
+    // Kraft sum in units of 2^-max_bits.
+    uint64_t kraft = 0;
+    for (int bits = 1; bits <= max_bits; ++bits)
+        kraft += static_cast<uint64_t>(blCount[bits])
+            << (max_bits - bits);
+    uint64_t budget = 1ull << max_bits;
+
+    // Overfull: repeatedly find a code at length < max_bits to lengthen
+    // (moving one leaf down costs 2^-(l+1)), preferring the lowest
+    // frequency symbol so the ratio impact is minimal.
+    while (kraft > budget) {
+        // Take one code of the longest length < max_bits with entries...
+        // zlib's approach: find max length bits with blCount[bits] > 0 and
+        // bits < max_bits is wrong direction; instead shorten the tree:
+        // move a leaf from max_bits to max_bits (no-op) doesn't help.
+        // Standard fix: find the largest bits < max_bits with a code,
+        // turn one of its codes into two max-ish codes.
+        int bits = max_bits - 1;
+        while (bits > 0 && blCount[bits] == 0)
+            --bits;
+        assert(bits > 0 && "cannot repair Kraft overflow");
+        --blCount[bits];
+        ++blCount[bits + 1];
+        // One code of length bits became length bits+1:
+        kraft -= (1ull << (max_bits - bits));
+        kraft += (1ull << (max_bits - bits - 1));
+    }
+
+    // Underfull (possible after clamping): shorten codes to use the slack.
+    while (kraft < budget) {
+        int bits = max_bits;
+        while (bits > 1 && blCount[bits] == 0)
+            --bits;
+        if (blCount[bits] == 0)
+            break;
+        --blCount[bits];
+        ++blCount[bits - 1];
+        kraft -= (1ull << (max_bits - bits));
+        kraft += (1ull << (max_bits - bits + 1));
+    }
+    assert(kraft == budget);
+
+    // Reassign lengths: sort used symbols by (freq desc) so frequent
+    // symbols get the shorter lengths, then dole out blCount.
+    std::vector<int> used;
+    for (size_t s = 0; s < lengths.size(); ++s)
+        if (lengths[s] != 0)
+            used.push_back(static_cast<int>(s));
+    std::sort(used.begin(), used.end(), [&](int a, int b) {
+        if (freqs[a] != freqs[b])
+            return freqs[a] > freqs[b];
+        return a < b;
+    });
+    size_t i = 0;
+    for (int bits = 1; bits <= max_bits; ++bits) {
+        for (int k = 0; k < blCount[bits]; ++k)
+            lengths[used[i++]] = static_cast<uint8_t>(bits);
+    }
+    assert(i == used.size());
+}
+
+} // namespace
+
+std::vector<uint8_t>
+buildCodeLengths(std::span<const uint64_t> freqs, int max_bits)
+{
+    std::vector<uint8_t> lengths(freqs.size(), 0);
+
+    std::vector<Node> pool;
+    pool.reserve(freqs.size() * 2);
+    // Min-heap of pool indices by (freq, tie-break on index for
+    // determinism).
+    auto cmp = [&pool](int a, int b) {
+        if (pool[a].freq != pool[b].freq)
+            return pool[a].freq > pool[b].freq;
+        return a > b;
+    };
+    std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+
+    for (size_t s = 0; s < freqs.size(); ++s) {
+        if (freqs[s] == 0)
+            continue;
+        pool.push_back({freqs[s], static_cast<int>(s)});
+        heap.push(static_cast<int>(pool.size() - 1));
+    }
+
+    if (heap.empty())
+        return lengths;
+    if (heap.size() == 1) {
+        lengths[pool[heap.top()].symbol] = 1;
+        return lengths;
+    }
+
+    while (heap.size() > 1) {
+        int a = heap.top();
+        heap.pop();
+        int b = heap.top();
+        heap.pop();
+        pool.push_back({pool[a].freq + pool[b].freq, -1, a, b});
+        heap.push(static_cast<int>(pool.size() - 1));
+    }
+
+    assignDepths(pool, heap.top(), 0, lengths);
+    limitLengths(lengths, max_bits, freqs);
+    return lengths;
+}
+
+HuffmanCode::HuffmanCode(std::span<const uint8_t> lengths)
+    : codes_(lengths.size(), 0), lengths_(lengths.begin(), lengths.end())
+{
+    // Canonical code assignment per RFC 1951 3.2.2.
+    std::vector<int> blCount(kMaxBits + 1, 0);
+    for (uint8_t l : lengths_)
+        ++blCount[l];
+    blCount[0] = 0;
+
+    std::vector<uint32_t> nextCode(kMaxBits + 2, 0);
+    uint32_t code = 0;
+    for (int bits = 1; bits <= kMaxBits; ++bits) {
+        code = (code + static_cast<uint32_t>(blCount[bits - 1])) << 1;
+        nextCode[bits] = code;
+    }
+    for (size_t s = 0; s < lengths_.size(); ++s) {
+        uint8_t len = lengths_[s];
+        if (len == 0)
+            continue;
+        // Store bit-reversed so BitWriter's LSB-first write emits the code
+        // MSB-first as DEFLATE requires.
+        codes_[s] = static_cast<uint16_t>(
+            util::reverseBits(nextCode[len]++, len));
+    }
+}
+
+uint64_t
+HuffmanCode::costBits(std::span<const uint64_t> freqs) const
+{
+    uint64_t bits = 0;
+    for (size_t s = 0; s < freqs.size() && s < lengths_.size(); ++s)
+        bits += freqs[s] * lengths_[s];
+    return bits;
+}
+
+const HuffmanCode &
+HuffmanCode::fixedLitLen()
+{
+    static const HuffmanCode code = [] {
+        std::vector<uint8_t> lengths(288);
+        for (int s = 0; s <= 143; ++s)
+            lengths[s] = 8;
+        for (int s = 144; s <= 255; ++s)
+            lengths[s] = 9;
+        for (int s = 256; s <= 279; ++s)
+            lengths[s] = 7;
+        for (int s = 280; s <= 287; ++s)
+            lengths[s] = 8;
+        return HuffmanCode(lengths);
+    }();
+    return code;
+}
+
+const HuffmanCode &
+HuffmanCode::fixedDist()
+{
+    static const HuffmanCode code = [] {
+        std::vector<uint8_t> lengths(30, 5);
+        return HuffmanCode(lengths);
+    }();
+    return code;
+}
+
+bool
+HuffmanDecodeTable::init(std::span<const uint8_t> lengths, int max_bits)
+{
+    maxBits_ = max_bits;
+    table_.assign(size_t{1} << max_bits, Entry{});
+
+    // Canonical codes, not reversed this time — we build the table by
+    // enumerating all suffix-extended windows of each code.
+    std::vector<int> blCount(max_bits + 1, 0);
+    for (uint8_t l : lengths) {
+        if (l > max_bits)
+            return false;
+        ++blCount[l];
+    }
+    blCount[0] = 0;
+
+    // Kraft check: reject over-subscribed codes; allow incomplete codes
+    // only in the degenerate 1-symbol case (common in dynamic headers).
+    uint64_t kraft = 0;
+    int usedSymbols = 0;
+    for (int bits = 1; bits <= max_bits; ++bits) {
+        kraft += static_cast<uint64_t>(blCount[bits])
+            << (max_bits - bits);
+        usedSymbols += blCount[bits];
+    }
+    uint64_t budget = 1ull << max_bits;
+    if (kraft > budget)
+        return false;
+    if (kraft < budget && usedSymbols > 1)
+        return false;
+    if (usedSymbols == 0)
+        return false;
+
+    std::vector<uint32_t> nextCode(max_bits + 2, 0);
+    uint32_t code = 0;
+    for (int bits = 1; bits <= max_bits; ++bits) {
+        code = (code + static_cast<uint32_t>(blCount[bits - 1])) << 1;
+        nextCode[bits] = code;
+    }
+
+    for (size_t s = 0; s < lengths.size(); ++s) {
+        uint8_t len = lengths[s];
+        if (len == 0)
+            continue;
+        uint32_t c = nextCode[len]++;
+        uint32_t reversed = util::reverseBits(c, len);
+        // Every window whose low `len` bits equal `reversed` maps to s.
+        uint32_t step = 1u << len;
+        for (uint32_t w = reversed; w < (1u << max_bits); w += step) {
+            table_[w].symbol = static_cast<int16_t>(s);
+            table_[w].length = len;
+        }
+    }
+    return true;
+}
+
+} // namespace deflate

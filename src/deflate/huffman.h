@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Canonical Huffman coding for DEFLATE alphabets.
+ *
+ * Three layers:
+ *  - buildCodeLengths(): frequencies -> length-limited code lengths
+ *    (Huffman tree via a heap, with zlib-style overflow fix-up to respect
+ *    the 15-bit / 7-bit limits);
+ *  - HuffmanCode: code lengths -> canonical codes ready for a BitWriter;
+ *  - HuffmanDecodeTable: code lengths -> single-level lookup table for the
+ *    inflater (peek kMaxBits, index, consume length).
+ *
+ * Both the software codec and the accelerator's Huffman stage use these.
+ */
+
+#ifndef NXSIM_DEFLATE_HUFFMAN_H
+#define NXSIM_DEFLATE_HUFFMAN_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "deflate/constants.h"
+#include "util/bitstream.h"
+
+namespace deflate {
+
+/**
+ * Compute length-limited Huffman code lengths from symbol frequencies.
+ *
+ * @param freqs frequency of each symbol; zero-frequency symbols get
+ *              length 0 (not coded)
+ * @param max_bits maximum permitted code length (15 or 7 in DEFLATE)
+ * @return per-symbol code lengths, Kraft-complete over used symbols
+ *
+ * If only one symbol has nonzero frequency it still receives length 1,
+ * as DEFLATE requires at least one bit per coded symbol.
+ */
+std::vector<uint8_t> buildCodeLengths(std::span<const uint64_t> freqs,
+                                      int max_bits);
+
+/** A canonical Huffman code: per-symbol (code, length) pairs. */
+class HuffmanCode
+{
+  public:
+    HuffmanCode() = default;
+
+    /** Build canonical codes from code lengths (RFC 1951 section 3.2.2). */
+    explicit HuffmanCode(std::span<const uint8_t> lengths);
+
+    /** Emit symbol @p sym (codes are emitted MSB-first via bit reversal). */
+    void
+    writeSymbol(util::BitWriter &bw, int sym) const
+    {
+        bw.writeBits(codes_[sym], lengths_[sym]);
+    }
+
+    /** Code length of @p sym in bits (0 = not coded). */
+    uint8_t length(int sym) const { return lengths_[sym]; }
+
+    /** Bit-reversed (write-ready) code of @p sym. */
+    uint16_t code(int sym) const { return codes_[sym]; }
+
+    /** Number of symbols in the alphabet. */
+    size_t size() const { return lengths_.size(); }
+
+    /** Total encoded size in bits for a frequency vector. */
+    uint64_t costBits(std::span<const uint64_t> freqs) const;
+
+    /** The fixed literal/length code of RFC 1951 section 3.2.6. */
+    static const HuffmanCode &fixedLitLen();
+
+    /** The fixed distance code (all 5-bit). */
+    static const HuffmanCode &fixedDist();
+
+  private:
+    std::vector<uint16_t> codes_;
+    std::vector<uint8_t> lengths_;
+};
+
+/**
+ * Single-level decode table: peek kMaxBits bits, index, get (symbol, len).
+ *
+ * 2^15 entries * 4 bytes = 128 KiB per table; fine for a simulator. The
+ * accelerator model reports its own (smaller, two-level) table in the
+ * area inventory; functional decode goes through this class.
+ */
+class HuffmanDecodeTable
+{
+  public:
+    HuffmanDecodeTable() = default;
+
+    /**
+     * Build from code lengths.
+     * @return false if lengths are not a valid (sub-)Kraft code.
+     */
+    bool init(std::span<const uint8_t> lengths, int max_bits = kMaxBits);
+
+    /**
+     * Decode one symbol from @p br.
+     * @return symbol index, or -1 on invalid code / input overrun.
+     */
+    int
+    decode(util::BitReader &br) const
+    {
+        uint32_t window = br.peekBits(static_cast<unsigned>(maxBits_));
+        Entry e = table_[window];
+        if (e.length == 0)
+            return -1;
+        br.consumeBits(e.length);
+        if (br.overrun())
+            return -1;
+        return e.symbol;
+    }
+
+    bool valid() const { return !table_.empty(); }
+
+  private:
+    struct Entry
+    {
+        int16_t symbol = -1;
+        uint8_t length = 0;
+    };
+
+    std::vector<Entry> table_;
+    int maxBits_ = 0;
+};
+
+} // namespace deflate
+
+#endif // NXSIM_DEFLATE_HUFFMAN_H

@@ -1,0 +1,250 @@
+#include "deflate/inflate_decoder.h"
+
+#include "deflate/constants.h"
+#include "deflate/huffman.h"
+#include "util/bitstream.h"
+
+namespace deflate {
+
+const char *
+toString(InflateStatus s)
+{
+    switch (s) {
+      case InflateStatus::Ok: return "Ok";
+      case InflateStatus::TruncatedInput: return "TruncatedInput";
+      case InflateStatus::BadBlockType: return "BadBlockType";
+      case InflateStatus::BadStoredLength: return "BadStoredLength";
+      case InflateStatus::BadCodeLengths: return "BadCodeLengths";
+      case InflateStatus::BadSymbol: return "BadSymbol";
+      case InflateStatus::BadDistance: return "BadDistance";
+      case InflateStatus::OutputLimit: return "OutputLimit";
+    }
+    return "Unknown";
+}
+
+namespace {
+
+/** Decode the dynamic block header into litlen/dist decode tables. */
+InflateStatus
+readDynamicHeader(util::BitReader &br, HuffmanDecodeTable &litlen,
+                  HuffmanDecodeTable &dist)
+{
+    unsigned hlit = br.readBits(5) + 257;
+    unsigned hdist = br.readBits(5) + 1;
+    unsigned hclen = br.readBits(4) + 4;
+    if (br.overrun())
+        return InflateStatus::TruncatedInput;
+    if (hlit > 286 || hdist > 30)
+        return InflateStatus::BadCodeLengths;
+
+    std::vector<uint8_t> clLengths(kNumClc, 0);
+    for (unsigned i = 0; i < hclen; ++i)
+        clLengths[kClcOrder[i]] = static_cast<uint8_t>(br.readBits(3));
+    if (br.overrun())
+        return InflateStatus::TruncatedInput;
+
+    HuffmanDecodeTable clTable;
+    if (!clTable.init(clLengths, kMaxClcBits))
+        return InflateStatus::BadCodeLengths;
+
+    std::vector<uint8_t> lengths;
+    lengths.reserve(hlit + hdist);
+    while (lengths.size() < hlit + hdist) {
+        int sym = clTable.decode(br);
+        if (sym < 0)
+            return br.overrun() ? InflateStatus::TruncatedInput
+                                : InflateStatus::BadCodeLengths;
+        if (sym < 16) {
+            lengths.push_back(static_cast<uint8_t>(sym));
+        } else if (sym == 16) {
+            if (lengths.empty())
+                return InflateStatus::BadCodeLengths;
+            unsigned n = 3 + br.readBits(2);
+            uint8_t v = lengths.back();
+            for (unsigned i = 0; i < n; ++i)
+                lengths.push_back(v);
+        } else if (sym == 17) {
+            unsigned n = 3 + br.readBits(3);
+            lengths.insert(lengths.end(), n, 0);
+        } else {
+            unsigned n = 11 + br.readBits(7);
+            lengths.insert(lengths.end(), n, 0);
+        }
+        if (br.overrun())
+            return InflateStatus::TruncatedInput;
+    }
+    if (lengths.size() != hlit + hdist)
+        return InflateStatus::BadCodeLengths;
+
+    std::span<const uint8_t> all(lengths);
+    if (!litlen.init(all.subspan(0, hlit)))
+        return InflateStatus::BadCodeLengths;
+    if (!dist.init(all.subspan(hlit, hdist)))
+        return InflateStatus::BadCodeLengths;
+    return InflateStatus::Ok;
+}
+
+} // namespace
+
+InflateResult
+inflateDecompress(std::span<const uint8_t> input, size_t max_output)
+{
+    return inflateDecompressWithDict(input, {}, max_output);
+}
+
+InflateResult
+inflateDecompressWithDict(std::span<const uint8_t> input,
+                          std::span<const uint8_t> dict,
+                          size_t max_output)
+{
+    InflateResult res;
+    util::BitReader br(input);
+
+    // Seed the output with the dictionary's window-reachable tail;
+    // it is stripped before returning. All distance checks operate on
+    // the seeded vector, which is exactly the FDICT semantics.
+    if (dict.size() > static_cast<size_t>(kWindowSize))
+        dict = dict.subspan(dict.size() - kWindowSize);
+    const size_t base = dict.size();
+    res.bytes.assign(dict.begin(), dict.end());
+
+    // Fixed tables are built once.
+    static const HuffmanDecodeTable *fixedLit = [] {
+        auto *t = new HuffmanDecodeTable;
+        std::vector<uint8_t> lengths(288);
+        for (int s = 0; s <= 143; ++s) lengths[s] = 8;
+        for (int s = 144; s <= 255; ++s) lengths[s] = 9;
+        for (int s = 256; s <= 279; ++s) lengths[s] = 7;
+        for (int s = 280; s <= 287; ++s) lengths[s] = 8;
+        t->init(lengths);
+        return t;
+    }();
+    static const HuffmanDecodeTable *fixedDst = [] {
+        auto *t = new HuffmanDecodeTable;
+        // The fixed distance code covers 32 symbols of 5 bits (30-31
+        // never appear in valid streams but are part of the code space).
+        std::vector<uint8_t> lengths(32, 5);
+        t->init(lengths);
+        return t;
+    }();
+
+    bool final = false;
+    while (!final) {
+        final = br.readBits(1) != 0;
+        unsigned btype = br.readBits(2);
+        if (br.overrun()) {
+            res.status = InflateStatus::TruncatedInput;
+            return res;
+        }
+
+        if (btype == 0) {
+            // Stored block.
+            br.alignToByte();
+            uint16_t len = br.readU16le();
+            uint16_t nlen = br.readU16le();
+            if (br.overrun()) {
+                res.status = InflateStatus::TruncatedInput;
+                return res;
+            }
+            if ((len ^ nlen) != 0xffff) {
+                res.status = InflateStatus::BadStoredLength;
+                return res;
+            }
+            if (res.bytes.size() - base + len > max_output) {
+                res.status = InflateStatus::OutputLimit;
+                return res;
+            }
+            size_t old = res.bytes.size();
+            res.bytes.resize(old + len);
+            if (!br.readBytes(res.bytes.data() + old, len)) {
+                res.status = InflateStatus::TruncatedInput;
+                return res;
+            }
+            ++res.stats.storedBlocks;
+            continue;
+        }
+
+        const HuffmanDecodeTable *lit = nullptr;
+        const HuffmanDecodeTable *dst = nullptr;
+        HuffmanDecodeTable dynLit, dynDst;
+        if (btype == 1) {
+            lit = fixedLit;
+            dst = fixedDst;
+            ++res.stats.fixedBlocks;
+        } else if (btype == 2) {
+            InflateStatus st = readDynamicHeader(br, dynLit, dynDst);
+            if (st != InflateStatus::Ok) {
+                res.status = st;
+                return res;
+            }
+            lit = &dynLit;
+            dst = &dynDst;
+            ++res.stats.dynamicBlocks;
+        } else {
+            res.status = InflateStatus::BadBlockType;
+            return res;
+        }
+
+        while (true) {
+            int sym = lit->decode(br);
+            if (sym < 0) {
+                res.status = br.overrun() ? InflateStatus::TruncatedInput
+                                          : InflateStatus::BadSymbol;
+                return res;
+            }
+            if (sym < 256) {
+                if (res.bytes.size() - base >= max_output) {
+                    res.status = InflateStatus::OutputLimit;
+                    return res;
+                }
+                res.bytes.push_back(static_cast<uint8_t>(sym));
+                ++res.stats.literals;
+                continue;
+            }
+            if (sym == kEob)
+                break;
+            if (sym > 285) {
+                res.status = InflateStatus::BadSymbol;
+                return res;
+            }
+            unsigned lextra = kLengthExtra[sym - 257];
+            unsigned length = kLengthBase[sym - 257] + br.readBits(lextra);
+
+            int dsym = dst->decode(br);
+            if (dsym < 0 || dsym > 29) {
+                res.status = br.overrun() ? InflateStatus::TruncatedInput
+                                          : InflateStatus::BadSymbol;
+                return res;
+            }
+            unsigned dextra = kDistExtra[dsym];
+            unsigned dist = kDistBase[dsym] + br.readBits(dextra);
+            if (br.overrun()) {
+                res.status = InflateStatus::TruncatedInput;
+                return res;
+            }
+            if (dist == 0 || dist > res.bytes.size() ||
+                dist > kWindowSize) {
+                res.status = InflateStatus::BadDistance;
+                return res;
+            }
+            if (res.bytes.size() - base + length > max_output) {
+                res.status = InflateStatus::OutputLimit;
+                return res;
+            }
+            size_t from = res.bytes.size() - dist;
+            for (unsigned i = 0; i < length; ++i)
+                res.bytes.push_back(res.bytes[from + i]);
+            ++res.stats.matches;
+            res.stats.matchedBytes += length;
+        }
+    }
+
+    res.stats.inputBits = br.bitsConsumed();
+    res.consumedBytes = br.bytesConsumed();
+    res.status = InflateStatus::Ok;
+    res.bytes.erase(res.bytes.begin(),
+                    res.bytes.begin() + static_cast<long>(base));
+    return res;
+}
+
+} // namespace deflate

@@ -1,0 +1,355 @@
+#include "deflate/inflate_stream.h"
+
+#include "deflate/constants.h"
+
+namespace deflate {
+
+namespace {
+
+/** Fixed decode tables shared by every stream instance. */
+const HuffmanDecodeTable &
+fixedLitTable()
+{
+    static const HuffmanDecodeTable t = [] {
+        HuffmanDecodeTable table;
+        std::vector<uint8_t> lengths(288);
+        for (int s = 0; s <= 143; ++s) lengths[s] = 8;
+        for (int s = 144; s <= 255; ++s) lengths[s] = 9;
+        for (int s = 256; s <= 279; ++s) lengths[s] = 7;
+        for (int s = 280; s <= 287; ++s) lengths[s] = 8;
+        table.init(lengths);
+        return table;
+    }();
+    return t;
+}
+
+const HuffmanDecodeTable &
+fixedDistTable()
+{
+    static const HuffmanDecodeTable t = [] {
+        HuffmanDecodeTable table;
+        std::vector<uint8_t> lengths(32, 5);
+        table.init(lengths);
+        return table;
+    }();
+    return t;
+}
+
+} // namespace
+
+size_t
+InflateStream::bufferedBits() const
+{
+    return bits_.available();
+}
+
+StreamStatus
+InflateStream::feed(std::span<const uint8_t> data,
+                    std::vector<uint8_t> &out)
+{
+    bits_.append(data);
+
+    bool progressed = true;
+    while (progressed) {
+        switch (state_) {
+          case State::BlockHeader:
+            progressed = stepBlockHeader();
+            break;
+          case State::StoredLen:
+            progressed = stepStoredLen();
+            break;
+          case State::StoredBody:
+            progressed = stepStoredBody(out);
+            break;
+          case State::DynHeaderCounts:
+            progressed = stepDynHeaderCounts();
+            break;
+          case State::DynCodeLengths:
+            progressed = stepDynCodeLengths();
+            break;
+          case State::Symbols:
+            progressed = stepSymbols(out);
+            break;
+          case State::Done:
+            return StreamStatus::Done;
+          case State::Error:
+            return StreamStatus::Error;
+        }
+    }
+    bits_.compact();
+    if (state_ == State::Done)
+        return StreamStatus::Done;
+    if (state_ == State::Error)
+        return StreamStatus::Error;
+    return StreamStatus::NeedMoreInput;
+}
+
+bool
+InflateStream::stepBlockHeader()
+{
+    if (bits_.available() < 3)
+        return false;
+    uint32_t hdr = bits_.peek(3);
+    bits_.consume(3);
+    finalBlock_ = (hdr & 1) != 0;
+    unsigned btype = hdr >> 1;
+    switch (btype) {
+      case 0:
+        bits_.align();
+        state_ = State::StoredLen;
+        return true;
+      case 1:
+        litlen_ = fixedLitTable();
+        dist_ = fixedDistTable();
+        haveLength_ = false;
+        state_ = State::Symbols;
+        return true;
+      case 2:
+        state_ = State::DynHeaderCounts;
+        return true;
+      default:
+        fail(InflateStatus::BadBlockType);
+        return true;
+    }
+}
+
+bool
+InflateStream::stepStoredLen()
+{
+    if (bits_.available() < 32)
+        return false;
+    uint32_t v = bits_.peek(32);
+    bits_.consume(32);
+    uint16_t len = static_cast<uint16_t>(v & 0xffff);
+    uint16_t nlen = static_cast<uint16_t>(v >> 16);
+    if ((len ^ nlen) != 0xffff) {
+        fail(InflateStatus::BadStoredLength);
+        return true;
+    }
+    storedRemaining_ = len;
+    state_ = State::StoredBody;
+    return true;
+}
+
+bool
+InflateStream::stepStoredBody(std::vector<uint8_t> &out)
+{
+    bool moved = false;
+    while (storedRemaining_ > 0 && bits_.available() >= 8) {
+        push(bits_.popByte(), out);
+        --storedRemaining_;
+        moved = true;
+    }
+    if (storedRemaining_ == 0) {
+        state_ = finalBlock_ ? State::Done : State::BlockHeader;
+        return true;
+    }
+    return moved;
+}
+
+bool
+InflateStream::stepDynHeaderCounts()
+{
+    // 5 + 5 + 4 count bits plus the 3-bit CL lengths; consume counts
+    // and CL lengths together once enough bits are buffered, to keep
+    // the resume points few.
+    if (bits_.available() < 14)
+        return false;
+    uint32_t v = bits_.peek(14);
+    unsigned hlit = (v & 0x1f) + 257;
+    unsigned hdist = ((v >> 5) & 0x1f) + 1;
+    unsigned hclen = ((v >> 10) & 0xf) + 4;
+    if (bits_.available() < 14 + hclen * 3)
+        return false;
+    bits_.consume(14);
+    if (hlit > 286 || hdist > 30) {
+        fail(InflateStatus::BadCodeLengths);
+        return true;
+    }
+    hlit_ = hlit;
+    hdist_ = hdist;
+    hclen_ = hclen;
+    clLengths_.assign(kNumClc, 0);
+    for (unsigned i = 0; i < hclen; ++i) {
+        clLengths_[kClcOrder[i]] =
+            static_cast<uint8_t>(bits_.peek(3));
+        bits_.consume(3);
+    }
+    if (!clTable_.init(clLengths_, kMaxClcBits)) {
+        fail(InflateStatus::BadCodeLengths);
+        return true;
+    }
+    lengths_.clear();
+    lengths_.reserve(hlit_ + hdist_);
+    clRead_ = 0;
+    state_ = State::DynCodeLengths;
+    return true;
+}
+
+bool
+InflateStream::stepDynCodeLengths()
+{
+    while (lengths_.size() < hlit_ + hdist_) {
+        size_t avail = bits_.available();
+        // Decode one CL symbol + its extra bits atomically: probe the
+        // table through a shim reader over the peeked (zero-padded)
+        // window, and only consume when len + extra bits are really
+        // available.
+        int sym = -1;
+        unsigned len = 0;
+        {
+            uint8_t shim[4];
+            uint32_t w = bits_.peek(24);
+            shim[0] = static_cast<uint8_t>(w & 0xff);
+            shim[1] = static_cast<uint8_t>((w >> 8) & 0xff);
+            shim[2] = static_cast<uint8_t>((w >> 16) & 0xff);
+            shim[3] = 0;
+            util::BitReader br({shim, 4});
+            sym = clTable_.decode(br);
+            len = static_cast<unsigned>(br.bitsConsumed());
+        }
+        if (sym < 0) {
+            if (avail >= static_cast<unsigned>(kMaxClcBits)) {
+                fail(InflateStatus::BadCodeLengths);
+                return true;
+            }
+            return false;    // genuinely short of input
+        }
+        unsigned extra = sym == 16 ? 2 : sym == 17 ? 3
+                       : sym == 18 ? 7 : 0;
+        if (avail < len + extra)
+            return false;
+        bits_.consume(len);
+        if (sym < 16) {
+            lengths_.push_back(static_cast<uint8_t>(sym));
+        } else if (sym == 16) {
+            if (lengths_.empty()) {
+                fail(InflateStatus::BadCodeLengths);
+                return true;
+            }
+            unsigned n = 3 + bits_.peek(2);
+            bits_.consume(2);
+            lengths_.insert(lengths_.end(), n, lengths_.back());
+        } else if (sym == 17) {
+            unsigned n = 3 + bits_.peek(3);
+            bits_.consume(3);
+            lengths_.insert(lengths_.end(), n, 0);
+        } else {
+            unsigned n = 11 + bits_.peek(7);
+            bits_.consume(7);
+            lengths_.insert(lengths_.end(), n, 0);
+        }
+    }
+    if (lengths_.size() != hlit_ + hdist_) {
+        fail(InflateStatus::BadCodeLengths);
+        return true;
+    }
+    std::span<const uint8_t> all(lengths_);
+    if (!litlen_.init(all.subspan(0, hlit_)) ||
+        !dist_.init(all.subspan(hlit_, hdist_))) {
+        fail(InflateStatus::BadCodeLengths);
+        return true;
+    }
+    haveLength_ = false;
+    state_ = State::Symbols;
+    return true;
+}
+
+bool
+InflateStream::stepSymbols(std::vector<uint8_t> &out)
+{
+    bool moved = false;
+    while (true) {
+        size_t avail = bits_.available();
+
+        if (!haveLength_) {
+            // Decode a litlen symbol with its length-extra atomically.
+            uint8_t shim[8];
+            uint32_t w0 = bits_.peek(32);
+            for (int i = 0; i < 4; ++i)
+                shim[i] = static_cast<uint8_t>((w0 >> (8 * i)) & 0xff);
+            shim[4] = shim[5] = shim[6] = shim[7] = 0;
+            util::BitReader br({shim, 8});
+            int sym = litlen_.decode(br);
+            auto len = static_cast<unsigned>(br.bitsConsumed());
+            if (sym < 0) {
+                if (avail >= 15) {
+                    fail(InflateStatus::BadSymbol);
+                    return true;
+                }
+                return moved;
+            }
+            if (sym < 256) {
+                if (avail < len)
+                    return moved;
+                bits_.consume(len);
+                push(static_cast<uint8_t>(sym), out);
+                moved = true;
+                continue;
+            }
+            if (sym == kEob) {
+                if (avail < len)
+                    return moved;
+                bits_.consume(len);
+                state_ = finalBlock_ ? State::Done
+                                     : State::BlockHeader;
+                return true;
+            }
+            if (sym > 285) {
+                fail(InflateStatus::BadSymbol);
+                return true;
+            }
+            unsigned lextra = kLengthExtra[sym - 257];
+            if (avail < len + lextra)
+                return moved;
+            bits_.consume(len);
+            matchLength_ = kLengthBase[sym - 257] + bits_.peek(lextra);
+            if (lextra > 0)
+                bits_.consume(lextra);
+            haveLength_ = true;
+            avail = bits_.available();
+        }
+
+        // Decode the distance symbol + extras atomically.
+        {
+            uint8_t shim[8];
+            uint32_t w0 = bits_.peek(32);
+            for (int i = 0; i < 4; ++i)
+                shim[i] = static_cast<uint8_t>((w0 >> (8 * i)) & 0xff);
+            shim[4] = shim[5] = shim[6] = shim[7] = 0;
+            util::BitReader br({shim, 8});
+            int dsym = dist_.decode(br);
+            auto dlen = static_cast<unsigned>(br.bitsConsumed());
+            if (dsym < 0) {
+                if (avail >= 15) {
+                    fail(InflateStatus::BadSymbol);
+                    return true;
+                }
+                return moved;
+            }
+            if (dsym > 29) {
+                fail(InflateStatus::BadSymbol);
+                return true;
+            }
+            unsigned dextra = kDistExtra[dsym];
+            if (avail < dlen + dextra)
+                return moved;
+            bits_.consume(dlen);
+            unsigned dist = kDistBase[dsym] + bits_.peek(dextra);
+            if (dextra > 0)
+                bits_.consume(dextra);
+
+            if (dist == 0 || dist > window_.size()) {
+                fail(InflateStatus::BadDistance);
+                return true;
+            }
+            // Copy from the window (handles overlap byte-by-byte).
+            for (unsigned i = 0; i < matchLength_; ++i)
+                push(window_[window_.size() - dist], out);
+            haveLength_ = false;
+            moved = true;
+        }
+    }
+}
+
+} // namespace deflate

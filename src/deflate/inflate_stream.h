@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Streaming DEFLATE decompressor: a resumable state machine that
+ * accepts compressed input in arbitrary chunks and produces output as
+ * soon as it is decodable — the decode-side counterpart of
+ * DeflateStream, and the software mirror of how the accelerator's
+ * decompressor consumes its source DDE as the DMA engine streams it.
+ *
+ * Unlike the one-shot inflateDecompress(), this class suspends and
+ * resumes at any input-bit boundary: mid block header, mid symbol,
+ * mid stored-block payload.
+ */
+
+#ifndef NXSIM_DEFLATE_INFLATE_STREAM_H
+#define NXSIM_DEFLATE_INFLATE_STREAM_H
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "deflate/huffman.h"
+#include "deflate/inflate_decoder.h"
+
+namespace deflate {
+
+/** Outcome of a feed() call. */
+enum class StreamStatus
+{
+    NeedMoreInput,   ///< consumed everything decodable so far
+    Done,            ///< final block fully decoded
+    Error,           ///< malformed stream (see error())
+};
+
+/** Incremental inflater. */
+class InflateStream
+{
+  public:
+    InflateStream() = default;
+
+    /**
+     * Feed more compressed bytes; decoded bytes are appended to
+     * @p out. May be called with empty input to re-drive the machine.
+     */
+    StreamStatus feed(std::span<const uint8_t> data,
+                      std::vector<uint8_t> &out);
+
+    /** True once the final block has been consumed. */
+    bool done() const { return state_ == State::Done; }
+
+    /** Error detail when feed() returned Error. */
+    InflateStatus error() const { return error_; }
+
+    /** Total decompressed bytes produced. */
+    uint64_t totalOut() const { return totalOut_; }
+
+    /**
+     * Unconsumed input bits currently buffered (diagnostics; after
+     * Done this is the trailer/extra data the caller should reclaim).
+     */
+    size_t bufferedBits() const;
+
+  private:
+    /** Decode states. */
+    enum class State
+    {
+        BlockHeader,
+        StoredLen,
+        StoredBody,
+        DynHeaderCounts,
+        DynCodeLengths,
+        Symbols,
+        Done,
+        Error,
+    };
+
+    /** Bit-level input buffer that survives across feed() calls. */
+    class BitBuffer
+    {
+      public:
+        void
+        append(std::span<const uint8_t> data)
+        {
+            bytes_.insert(bytes_.end(), data.begin(), data.end());
+        }
+
+        /** Bits available to read. */
+        size_t
+        available() const
+        {
+            return bitCount_ + (bytes_.size() - pos_) * 8;
+        }
+
+        /** Peek up to 32 bits (zero-padded past end). */
+        uint32_t
+        peek(unsigned nbits)
+        {
+            fill();
+            return static_cast<uint32_t>(buf_) &
+                (nbits >= 32 ? 0xffffffffu : ((1u << nbits) - 1));
+        }
+
+        /** Consume nbits; caller must have checked available(). */
+        void
+        consume(unsigned nbits)
+        {
+            fill();
+            buf_ >>= nbits;
+            bitCount_ -= nbits;
+        }
+
+        /** Discard to byte boundary. */
+        void
+        align()
+        {
+            unsigned drop = bitCount_ % 8;
+            buf_ >>= drop;
+            bitCount_ -= drop;
+        }
+
+        /** Pop one whole byte (requires alignment + availability). */
+        uint8_t
+        popByte()
+        {
+            fill();
+            auto b = static_cast<uint8_t>(buf_ & 0xff);
+            buf_ >>= 8;
+            bitCount_ -= 8;
+            return b;
+        }
+
+        /** Drop storage already consumed (bounded memory). */
+        void
+        compact()
+        {
+            if (pos_ > 4096) {
+                bytes_.erase(bytes_.begin(),
+                             bytes_.begin() + static_cast<long>(pos_));
+                pos_ = 0;
+            }
+        }
+
+      private:
+        void
+        fill()
+        {
+            while (bitCount_ <= 56 && pos_ < bytes_.size()) {
+                buf_ |= static_cast<uint64_t>(bytes_[pos_++])
+                    << bitCount_;
+                bitCount_ += 8;
+            }
+        }
+
+        std::vector<uint8_t> bytes_;
+        size_t pos_ = 0;
+        uint64_t buf_ = 0;
+        unsigned bitCount_ = 0;
+    };
+
+    /** Emit one output byte, maintaining the 32 KiB window. */
+    void
+    push(uint8_t b, std::vector<uint8_t> &out)
+    {
+        out.push_back(b);
+        window_.push_back(b);
+        if (window_.size() > static_cast<size_t>(kWindowSize))
+            window_.pop_front();
+        ++totalOut_;
+    }
+
+    bool stepBlockHeader();
+    bool stepStoredLen();
+    bool stepStoredBody(std::vector<uint8_t> &out);
+    bool stepDynHeaderCounts();
+    bool stepDynCodeLengths();
+    bool stepSymbols(std::vector<uint8_t> &out);
+
+    void
+    fail(InflateStatus status)
+    {
+        state_ = State::Error;
+        error_ = status;
+    }
+
+    State state_ = State::BlockHeader;
+    InflateStatus error_ = InflateStatus::Ok;
+    BitBuffer bits_;
+    std::deque<uint8_t> window_;
+    uint64_t totalOut_ = 0;
+
+    // Per-block state.
+    bool finalBlock_ = false;
+    unsigned storedRemaining_ = 0;
+    HuffmanDecodeTable litlen_;
+    HuffmanDecodeTable dist_;
+    // Dynamic-header parsing state.
+    unsigned hlit_ = 0;
+    unsigned hdist_ = 0;
+    unsigned hclen_ = 0;
+    unsigned clRead_ = 0;
+    std::vector<uint8_t> clLengths_;
+    HuffmanDecodeTable clTable_;
+    std::vector<uint8_t> lengths_;
+    // Pending match copy interrupted by output (never happens today,
+    // matches are copied whole once decoded) — length decode state:
+    bool haveLength_ = false;
+    unsigned matchLength_ = 0;
+};
+
+} // namespace deflate
+
+#endif // NXSIM_DEFLATE_INFLATE_STREAM_H

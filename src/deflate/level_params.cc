@@ -1,0 +1,34 @@
+#include "deflate/level_params.h"
+
+namespace deflate {
+
+LevelParams
+levelParams(int level)
+{
+    // Mirrors zlib's configuration_table: {good, lazy, nice, chain}.
+    switch (level) {
+      case 0:
+        return {0, 0, 0, 0, 0, false, true};
+      case 1:
+        return {1, 4, 4, 8, 4, false, false};
+      case 2:
+        return {2, 4, 5, 16, 8, false, false};
+      case 3:
+        return {3, 4, 6, 32, 32, false, false};
+      case 4:
+        return {4, 4, 4, 16, 16, true, false};
+      case 5:
+        return {5, 8, 16, 32, 32, true, false};
+      case 6:
+        return {6, 8, 16, 128, 128, true, false};
+      case 7:
+        return {7, 8, 32, 128, 256, true, false};
+      case 8:
+        return {8, 32, 128, 258, 1024, true, false};
+      case 9:
+      default:
+        return {9, 32, 258, 258, 4096, true, false};
+    }
+}
+
+} // namespace deflate

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Per-level tuning knobs of the software compressor, mirroring zlib's
+ * configuration_table so the baseline has zlib's speed/ratio shape.
+ */
+
+#ifndef NXSIM_DEFLATE_LEVEL_PARAMS_H
+#define NXSIM_DEFLATE_LEVEL_PARAMS_H
+
+namespace deflate {
+
+/** Tuning knobs for one compression level. */
+struct LevelParams
+{
+    int level = 6;          ///< nominal level 0..9
+    int goodLength = 8;     ///< reduce chain effort above this match length
+    int maxLazy = 16;       ///< only lazy-match below this current length
+    int niceLength = 128;   ///< stop chain search at this match length
+    int maxChain = 128;     ///< max hash-chain links to follow
+    bool lazy = true;       ///< deflate_slow (true) vs deflate_fast
+    bool store = false;     ///< level 0: stored blocks only
+};
+
+/** zlib-equivalent parameters for levels 0..9. */
+LevelParams levelParams(int level);
+
+} // namespace deflate
+
+#endif // NXSIM_DEFLATE_LEVEL_PARAMS_H

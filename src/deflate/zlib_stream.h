@@ -1,0 +1,55 @@
+/**
+ * @file
+ * zlib (RFC 1950) container framing: 2-byte CMF/FLG header and Adler-32
+ * trailer around a raw DEFLATE stream.
+ */
+
+#ifndef NXSIM_DEFLATE_ZLIB_STREAM_H
+#define NXSIM_DEFLATE_ZLIB_STREAM_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "deflate/inflate_decoder.h"
+
+namespace deflate {
+
+/** Wrap a raw DEFLATE stream in a zlib container. */
+std::vector<uint8_t> zlibWrap(std::span<const uint8_t> deflate_stream,
+                              std::span<const uint8_t> original,
+                              int level = 6);
+
+/** Result of unwrapping a zlib stream. */
+struct ZlibUnwrapResult
+{
+    bool ok = false;
+    std::string error;
+    InflateResult inflate;
+};
+
+/** Parse header, inflate, verify Adler-32. */
+ZlibUnwrapResult zlibUnwrap(std::span<const uint8_t> stream);
+
+/**
+ * Wrap a preset-dictionary stream (RFC 1950 FDICT): the header
+ * carries DICTID = Adler-32 of @p dict, and the payload must have
+ * been produced by deflateCompressWithDict(input, dict).
+ */
+std::vector<uint8_t> zlibWrapWithDict(
+    std::span<const uint8_t> deflate_stream,
+    std::span<const uint8_t> original, std::span<const uint8_t> dict,
+    int level = 6);
+
+/**
+ * Unwrap a possibly-FDICT stream. When the header demands a
+ * dictionary, @p dict is checked against DICTID and used for the
+ * inflate history; a mismatch or a missing dictionary fails.
+ */
+ZlibUnwrapResult zlibUnwrapWithDict(std::span<const uint8_t> stream,
+                                    std::span<const uint8_t> dict);
+
+} // namespace deflate
+
+#endif // NXSIM_DEFLATE_ZLIB_STREAM_H

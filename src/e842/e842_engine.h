@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Cycle model of an NX 842 engine.
+ *
+ * The 842 design point is latency: no Huffman pass, no table
+ * generation, fixed-format operands — the engine streams 8-byte
+ * chunks per cycle through the template selector, so both directions
+ * run at memory-ish speeds with microsecond request latency. That is
+ * why POWER uses it for *memory* compression while DEFLATE serves
+ * storage/network data.
+ */
+
+#ifndef NXSIM_E842_E842_ENGINE_H
+#define NXSIM_E842_E842_ENGINE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "e842/e842.h"
+#include "sim/memory_model.h"
+#include "sim/ticks.h"
+
+namespace e842 {
+
+/** Engine parameters. */
+struct E842EngineConfig
+{
+    sim::Frequency clock{2.0e9};
+    /** Input chunks processed per cycle (one 8-byte chunk). */
+    int chunksPerCycle = 1;
+    sim::Tick dispatchCycles = 2000;
+    sim::Tick completionCycles = 800;
+    sim::DmaParams dma;
+};
+
+/** One executed 842 job. */
+struct E842Job
+{
+    bool ok = false;
+    std::vector<uint8_t> output;
+    sim::Tick cycles = 0;
+    double seconds = 0.0;
+    E842Stats stats;
+};
+
+/** The 842 engine model (functional codec + closed-form timing). */
+class E842Engine
+{
+  public:
+    explicit E842Engine(const E842EngineConfig &cfg = {}) : cfg_(cfg) {}
+
+    /** Compress @p input; returns output + modelled time. */
+    E842Job compressJob(std::span<const uint8_t> input) const;
+
+    /** Decompress @p stream; returns output + modelled time. */
+    E842Job decompressJob(std::span<const uint8_t> stream,
+                          size_t max_output = size_t{1} << 30) const;
+
+    const E842EngineConfig &config() const { return cfg_; }
+
+  private:
+    sim::Tick
+    streamCycles(uint64_t raw_bytes, uint64_t stream_bytes) const
+    {
+        sim::Tick chunks = sim::ceilDiv(raw_bytes,
+            8ull * static_cast<uint64_t>(cfg_.chunksPerCycle));
+        sim::Tick dma = sim::DmaPort(cfg_.dma).transferCycles(
+            std::max(raw_bytes, stream_bytes));
+        return cfg_.dispatchCycles + std::max(chunks, dma) +
+            cfg_.completionCycles;
+    }
+
+    E842EngineConfig cfg_;
+};
+
+} // namespace e842
+
+#endif // NXSIM_E842_E842_ENGINE_H

@@ -1,0 +1,75 @@
+#include "nx/area_model.h"
+
+#include "nx/hash_table.h"
+
+namespace nx {
+
+uint64_t
+AreaInventory::totalBits() const
+{
+    uint64_t n = 0;
+    for (const AreaItem &i : items)
+        n += i.bits;
+    return n;
+}
+
+double
+AreaInventory::totalKiB() const
+{
+    return static_cast<double>(totalBits()) / 8.0 / 1024.0;
+}
+
+AreaInventory
+buildAreaInventory(const NxConfig &cfg)
+{
+    AreaInventory inv;
+    auto add = [&](std::string name, uint64_t bits, std::string note) {
+        inv.items.push_back({std::move(name), bits, std::move(note)});
+    };
+
+    BankedHashTable table(cfg.hash);
+    uint64_t window_bits = static_cast<uint64_t>(cfg.windowBytes) * 8;
+
+    int ceng = cfg.compressEnginesPerUnit;
+    int deng = cfg.decompressEnginesPerUnit;
+
+    add("compress history window",
+        window_bits * static_cast<uint64_t>(ceng),
+        "32 KiB per compress engine");
+    add("compress hash table",
+        table.sramBits() * static_cast<uint64_t>(ceng),
+        "sets x ways position store");
+    add("compress token FIFO",
+        static_cast<uint64_t>(ceng) * 4096 * 24,
+        "4K tokens x ~24 bits between match and encode");
+    add("DHT generator state",
+        static_cast<uint64_t>(ceng) *
+            (286 + 30) * 16 * 2,
+        "two histogram banks of 16-bit counters");
+    add("encode tables",
+        static_cast<uint64_t>(ceng) * (288 * (15 + 4) + 30 * (15 + 4)),
+        "code + length per symbol");
+    add("decompress history window",
+        window_bits * static_cast<uint64_t>(deng),
+        "32 KiB per decompress engine");
+    add("decode tables",
+        static_cast<uint64_t>(deng) * 2 * (1u << 10) * 20,
+        "two-level canonical decode tables");
+    add("DMA + CRB buffers",
+        static_cast<uint64_t>(ceng + deng) * 4 * 4096 * 8,
+        "4 outstanding 4 KiB line buffers per engine");
+
+    return inv;
+}
+
+uint64_t
+chipSramBitsReference(const NxConfig &cfg)
+{
+    // POWER9: ~120 MB L3 + L2; z15: ~256 MB nest/cache SRAM. Order of
+    // magnitude only.
+    if (cfg.name == "z15")
+        return uint64_t{256} * 1024 * 1024 * 8;
+    return uint64_t{120} * 1024 * 1024 * 8;
+}
+
+} // namespace nx

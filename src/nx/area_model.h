@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Qualitative area model: an inventory of the SRAM and register state
+ * the modelled microarchitecture implies, supporting the paper's
+ * "< 0.5 % of the chip" claim at the order-of-magnitude level.
+ *
+ * This is explicitly a proxy (we have no physical design); the bench
+ * that prints it (E9) labels it as such. The interesting output is the
+ * *composition* — the history window and hash table dominate — and the
+ * observation that total accelerator state is a few hundred KB against
+ * a chip carrying ~120 MB of cache SRAM.
+ */
+
+#ifndef NXSIM_NX_AREA_MODEL_H
+#define NXSIM_NX_AREA_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nx/nx_config.h"
+
+namespace nx {
+
+/** One line of the state inventory. */
+struct AreaItem
+{
+    std::string name;
+    uint64_t bits = 0;
+    std::string note;
+};
+
+/** Full inventory for one accelerator unit. */
+struct AreaInventory
+{
+    std::vector<AreaItem> items;
+
+    uint64_t totalBits() const;
+    double totalKiB() const;
+};
+
+/** Build the inventory implied by @p cfg. */
+AreaInventory buildAreaInventory(const NxConfig &cfg);
+
+/**
+ * Reference point: approximate SRAM carried by the host chip (caches),
+ * used to express the accelerator state as a fraction. POWER9: ~120 MB
+ * of L3 eDRAM + L2; z15: ~256 MB across the cache hierarchy.
+ */
+uint64_t chipSramBitsReference(const NxConfig &cfg);
+
+} // namespace nx
+
+#endif // NXSIM_NX_AREA_MODEL_H

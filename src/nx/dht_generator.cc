@@ -1,0 +1,69 @@
+#include "nx/dht_generator.h"
+
+#include <algorithm>
+
+namespace nx {
+
+using deflate::kNumDist;
+using deflate::kNumLitLen;
+using deflate::SymbolFreqs;
+using deflate::Token;
+
+DhtResult
+DhtGenerator::generate(std::span<const Token> tokens,
+                       uint64_t input_bytes, DhtMode mode,
+                       uint64_t sample_bytes) const
+{
+    DhtResult res;
+
+    if (mode == DhtMode::TwoPass) {
+        SymbolFreqs freqs;
+        freqs.accumulate(tokens);
+        res.codes = deflate::buildDynamicCodes(freqs);
+        res.sampleBytes = input_bytes;
+        // Second pass over the whole request through the match-rate
+        // datapath, plus the tree build.
+        res.cycles = sim::ceilDiv(input_bytes,
+            static_cast<uint64_t>(cfg_.compressBytesPerCycle)) +
+            cfg_.dhtBuildCycles;
+        return res;
+    }
+
+    // Sampled: accumulate token statistics until the covered input
+    // prefix reaches the sample size.
+    uint64_t target = sample_bytes != 0
+        ? sample_bytes : static_cast<uint64_t>(cfg_.dhtSampleBytes);
+    target = std::min(target, input_bytes);
+
+    SymbolFreqs freqs;
+    uint64_t covered = 0;
+    size_t i = 0;
+    for (; i < tokens.size() && covered < target; ++i) {
+        const Token &t = tokens[i];
+        if (t.isLiteral()) {
+            ++freqs.litlen[t.literal];
+            covered += 1;
+        } else {
+            ++freqs.litlen[deflate::lengthToCode(t.length)];
+            ++freqs.dist[deflate::distToCode(t.dist)];
+            covered += t.length;
+        }
+    }
+    ++freqs.litlen[deflate::kEob];
+
+    // Frequency floor: every alphabet symbol keeps a code so the tail
+    // of the request (not represented in the sample) stays encodable.
+    for (auto &f : freqs.litlen)
+        f = f * 16 + 1;
+    for (auto &f : freqs.dist)
+        f = f * 16 + 1;
+
+    res.codes = deflate::buildDynamicCodes(freqs);
+    res.sampleBytes = covered;
+    res.cycles = sim::ceilDiv(covered,
+        static_cast<uint64_t>(cfg_.compressBytesPerCycle)) +
+        cfg_.dhtBuildCycles;
+    return res;
+}
+
+} // namespace nx

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dynamic Huffman table (DHT) generation strategies.
+ *
+ * zlib builds per-block optimal codes from a full first pass over the
+ * token stream. An on-chip engine cannot afford to buffer an entire
+ * request, so the shipped accelerators use two cheaper strategies the
+ * paper discusses:
+ *
+ *  - Sampled: scan only the first S bytes of the request, build the DHT
+ *    from that sample's symbol statistics, and use it for the whole
+ *    request (the POWER9 software stack's approach). Symbols absent
+ *    from the sample still receive a code (frequency floor of 1) so any
+ *    later occurrence remains encodable — the hardware equivalent is a
+ *    complete code over the full alphabet.
+ *
+ *  - TwoPass: exact per-request statistics (the z15 hardware runs the
+ *    LZ77 pass, buffers tokens, then encodes), costing a second pass of
+ *    latency but giving zlib-quality tables.
+ *
+ * FHT mode (fixed tables) costs nothing and is the latency-optimal
+ * choice for small requests.
+ */
+
+#ifndef NXSIM_NX_DHT_GENERATOR_H
+#define NXSIM_NX_DHT_GENERATOR_H
+
+#include <cstdint>
+#include <span>
+
+#include "deflate/deflate_encoder.h"
+#include "deflate/lz77.h"
+#include "nx/nx_config.h"
+#include "sim/ticks.h"
+
+namespace nx {
+
+/** How the dynamic tables are derived. */
+enum class DhtMode
+{
+    Sampled,
+    TwoPass,
+};
+
+/** Generated tables plus the cycle cost of generating them. */
+struct DhtResult
+{
+    deflate::BlockCodes codes;
+    sim::Tick cycles = 0;
+    uint64_t sampleBytes = 0;   ///< bytes of input the stats came from
+};
+
+/** DHT generation engine. */
+class DhtGenerator
+{
+  public:
+    explicit DhtGenerator(const NxConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Build tables for a request whose LZ77 pass produced @p tokens.
+     *
+     * @param tokens   full token stream of the request
+     * @param input_bytes  total source bytes (for sample accounting)
+     * @param mode     Sampled or TwoPass
+     * @param sample_bytes  sample size override (0 = config default)
+     */
+    DhtResult generate(std::span<const deflate::Token> tokens,
+                       uint64_t input_bytes, DhtMode mode,
+                       uint64_t sample_bytes = 0) const;
+
+  private:
+    NxConfig cfg_;
+};
+
+} // namespace nx
+
+#endif // NXSIM_NX_DHT_GENERATOR_H

@@ -1,0 +1,36 @@
+#include "nx/energy_model.h"
+
+namespace nx {
+
+namespace {
+
+EnergyResult
+energyAt(double watts, uint64_t bytes, double bytes_per_sec)
+{
+    EnergyResult r;
+    if (bytes_per_sec <= 0.0)
+        return r;
+    r.seconds = static_cast<double>(bytes) / bytes_per_sec;
+    r.joules = watts * r.seconds;
+    r.nanojoulesPerByte = bytes == 0 ? 0.0
+        : r.joules * 1e9 / static_cast<double>(bytes);
+    return r;
+}
+
+} // namespace
+
+EnergyResult
+acceleratorEnergy(const EnergyParams &p, uint64_t bytes,
+                  double bytes_per_sec)
+{
+    return energyAt(p.engineWatts, bytes, bytes_per_sec);
+}
+
+EnergyResult
+softwareEnergy(const EnergyParams &p, uint64_t bytes,
+               double bytes_per_sec)
+{
+    return energyAt(p.coreWatts, bytes, bytes_per_sec);
+}
+
+} // namespace nx

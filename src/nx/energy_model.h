@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Energy model: joules per byte for the accelerator vs a core running
+ * the software codec.
+ *
+ * The abstract claims the accelerators advance the state of the art in
+ * "power/energy efficiency". With no silicon we model it as activity x
+ * power: a small fixed-function engine at nest clock versus a wide OoO
+ * core at full tilt. The *ratio* — three-plus orders of magnitude per
+ * byte — is robust to the exact wattages, which are parameters.
+ */
+
+#ifndef NXSIM_NX_ENERGY_MODEL_H
+#define NXSIM_NX_ENERGY_MODEL_H
+
+#include <cstdint>
+
+#include "nx/nx_config.h"
+
+namespace nx {
+
+/** Power parameters (tunable; defaults are order-of-magnitude). */
+struct EnergyParams
+{
+    /**
+     * Active power of one accelerator engine. A few-hundred-KB
+     * fixed-function block at 2 GHz: ~0.3 W is generous.
+     */
+    double engineWatts = 0.3;
+    /** Idle (clock-gated) engine power. */
+    double engineIdleWatts = 0.03;
+    /** One general-purpose core + its cache slice, running flat out. */
+    double coreWatts = 5.0;
+};
+
+/** Energy accounting for moving @p bytes through a codec path. */
+struct EnergyResult
+{
+    double joules = 0.0;
+    double nanojoulesPerByte = 0.0;
+    double seconds = 0.0;
+};
+
+/** Energy for the accelerator path at @p bytes_per_sec. */
+EnergyResult acceleratorEnergy(const EnergyParams &p, uint64_t bytes,
+                               double bytes_per_sec);
+
+/** Energy for the software path on one core at @p bytes_per_sec. */
+EnergyResult softwareEnergy(const EnergyParams &p, uint64_t bytes,
+                            double bytes_per_sec);
+
+} // namespace nx
+
+#endif // NXSIM_NX_ENERGY_MODEL_H

@@ -1,0 +1,63 @@
+#include "nx/hash_table.h"
+
+#include <algorithm>
+
+namespace nx {
+
+BankedHashTable::BankedHashTable(const HashConfig &cfg) : cfg_(cfg)
+{
+    size_t sets = size_t{1} << cfg_.indexBits;
+    entries_.assign(sets * static_cast<size_t>(cfg_.ways), 0);
+    fill_.assign(sets, 0);
+    head_.assign(sets, 0);
+    scratch_.resize(static_cast<size_t>(cfg_.ways));
+}
+
+void
+BankedHashTable::clear()
+{
+    std::fill(fill_.begin(), fill_.end(), 0);
+    std::fill(head_.begin(), head_.end(), 0);
+}
+
+std::span<const uint32_t>
+BankedHashTable::lookup(uint32_t set) const
+{
+    int n = fill_[set];
+    const uint32_t *base = entries_.data() +
+        static_cast<size_t>(set) * cfg_.ways;
+    // Most-recent-first: head_ points at the next victim, so the newest
+    // entry sits just behind it.
+    for (int i = 0; i < n; ++i) {
+        int idx = (head_[set] - 1 - i + cfg_.ways * 2) % cfg_.ways;
+        scratch_[i] = base[idx];
+    }
+    return {scratch_.data(), static_cast<size_t>(n)};
+}
+
+void
+BankedHashTable::insert(uint32_t set, uint32_t pos)
+{
+    uint32_t *base = entries_.data() +
+        static_cast<size_t>(set) * cfg_.ways;
+    base[head_[set]] = pos;
+    head_[set] = static_cast<uint8_t>((head_[set] + 1) % cfg_.ways);
+    if (fill_[set] < cfg_.ways)
+        ++fill_[set];
+}
+
+uint64_t
+BankedHashTable::sramBits() const
+{
+    uint64_t sets = uint64_t{1} << cfg_.indexBits;
+    // Each entry stores a 16-bit window-relative position plus a valid
+    // bit; per-set FIFO pointer is log2(ways) bits.
+    uint64_t entry_bits = 17;
+    uint64_t ptr_bits = 1;
+    while ((1u << ptr_bits) < static_cast<unsigned>(cfg_.ways))
+        ++ptr_bits;
+    return sets * (static_cast<uint64_t>(cfg_.ways) * entry_bits +
+                   ptr_bits);
+}
+
+} // namespace nx

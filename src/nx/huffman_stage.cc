@@ -1,0 +1,41 @@
+#include "nx/huffman_stage.h"
+
+#include "util/bitstream.h"
+
+namespace nx {
+
+using deflate::BlockType;
+using deflate::HuffmanCode;
+
+EncodeResult
+HuffmanStage::encodeFixed(std::span<const deflate::Token> tokens) const
+{
+    EncodeResult res;
+    util::BitWriter bw;
+    bw.writeBits(1, 1);    // BFINAL: the engine emits one block per CRB
+    bw.writeBits(static_cast<uint32_t>(BlockType::FixedHuffman), 2);
+    deflate::emitTokens(bw, tokens, HuffmanCode::fixedLitLen(),
+                        HuffmanCode::fixedDist());
+    res.bits = bw.bitsWritten();
+    res.bytes = bw.take();
+    res.cycles = drainCycles(res.bits);
+    return res;
+}
+
+EncodeResult
+HuffmanStage::encodeDynamic(std::span<const deflate::Token> tokens,
+                            const deflate::BlockCodes &codes) const
+{
+    EncodeResult res;
+    util::BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(static_cast<uint32_t>(BlockType::DynamicHuffman), 2);
+    deflate::writeDynamicHeader(bw, codes);
+    deflate::emitTokens(bw, tokens, codes.litlen, codes.dist);
+    res.bits = bw.bitsWritten();
+    res.bytes = bw.take();
+    res.cycles = drainCycles(res.bits);
+    return res;
+}
+
+} // namespace nx

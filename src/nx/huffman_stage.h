@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The encoder back-end: serializes the token stream into DEFLATE bits
+ * using fixed or generated dynamic tables, and models the bit-packer's
+ * drain rate (encodeBitsPerCycle).
+ *
+ * The functional emission reuses the software codec's canonical-Huffman
+ * primitives — the streams must be bit-identical in format — while the
+ * timing is the accelerator's own.
+ */
+
+#ifndef NXSIM_NX_HUFFMAN_STAGE_H
+#define NXSIM_NX_HUFFMAN_STAGE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "deflate/deflate_encoder.h"
+#include "nx/nx_config.h"
+#include "sim/ticks.h"
+
+namespace nx {
+
+/** Output of the encode stage. */
+struct EncodeResult
+{
+    std::vector<uint8_t> bytes;    ///< raw DEFLATE stream
+    uint64_t bits = 0;
+    sim::Tick cycles = 0;
+};
+
+/** The Huffman encode stage. */
+class HuffmanStage
+{
+  public:
+    explicit HuffmanStage(const NxConfig &cfg) : cfg_(cfg) {}
+
+    /** Emit one final fixed-Huffman block. */
+    EncodeResult encodeFixed(std::span<const deflate::Token> tokens) const;
+
+    /** Emit one final dynamic-Huffman block with the given codes. */
+    EncodeResult encodeDynamic(std::span<const deflate::Token> tokens,
+                               const deflate::BlockCodes &codes) const;
+
+  private:
+    sim::Tick
+    drainCycles(uint64_t bits) const
+    {
+        return sim::ceilDiv(bits,
+            static_cast<uint64_t>(cfg_.encodeBitsPerCycle));
+    }
+
+    NxConfig cfg_;
+};
+
+} // namespace nx
+
+#endif // NXSIM_NX_HUFFMAN_STAGE_H

@@ -1,0 +1,84 @@
+#include "nx/memory_image.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nx {
+
+MemoryImage::Page &
+MemoryImage::pageFor(uint64_t addr)
+{
+    auto [it, inserted] = pages_.try_emplace(addr / kPageBytes);
+    if (inserted)
+        it->second.fill(0);
+    return it->second;
+}
+
+const MemoryImage::Page *
+MemoryImage::pageIfPresent(uint64_t addr) const
+{
+    auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+void
+MemoryImage::write(uint64_t addr, std::span<const uint8_t> data)
+{
+    size_t done = 0;
+    while (done < data.size()) {
+        uint64_t a = addr + done;
+        uint64_t in_page = a % kPageBytes;
+        size_t n = std::min<size_t>(data.size() - done,
+                                    kPageBytes - in_page);
+        std::memcpy(pageFor(a).data() + in_page, data.data() + done,
+                    n);
+        done += n;
+    }
+}
+
+std::vector<uint8_t>
+MemoryImage::read(uint64_t addr, uint64_t len) const
+{
+    std::vector<uint8_t> out(len, 0);
+    uint64_t done = 0;
+    while (done < len) {
+        uint64_t a = addr + done;
+        uint64_t in_page = a % kPageBytes;
+        uint64_t n = std::min<uint64_t>(len - done,
+                                        kPageBytes - in_page);
+        if (const Page *p = pageIfPresent(a))
+            std::memcpy(out.data() + done, p->data() + in_page, n);
+        done += n;
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+MemoryImage::gather(const DdeList &list) const
+{
+    std::vector<uint8_t> out;
+    out.reserve(list.totalBytes());
+    for (const Dde &d : list.entries) {
+        auto part = read(d.address, d.length);
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+}
+
+bool
+MemoryImage::scatter(const DdeList &list, std::span<const uint8_t> data)
+{
+    if (data.size() > list.totalBytes())
+        return false;
+    size_t done = 0;
+    for (const Dde &d : list.entries) {
+        if (done >= data.size())
+            break;
+        size_t n = std::min<size_t>(d.length, data.size() - done);
+        write(d.address, data.subspan(done, n));
+        done += n;
+    }
+    return true;
+}
+
+} // namespace nx

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A sparse model of user virtual memory for exercising the CRB's
+ * scatter/gather path.
+ *
+ * Real CRBs carry virtual addresses in DDE lists; the engine's DMA
+ * unit gathers the source from possibly many discontiguous ranges and
+ * scatters the result back. MemoryImage stands in for the user
+ * address space: pages materialize on first touch, reads of untouched
+ * memory return zeroes (like anonymous mappings), and the gather/
+ * scatter helpers implement exactly the DDE traversal the hardware
+ * front-end performs.
+ */
+
+#ifndef NXSIM_NX_MEMORY_IMAGE_H
+#define NXSIM_NX_MEMORY_IMAGE_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "nx/crb.h"
+
+namespace nx {
+
+/** Sparse byte-addressable address space. */
+class MemoryImage
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+
+    /** Copy @p data into the image at @p addr. */
+    void write(uint64_t addr, std::span<const uint8_t> data);
+
+    /** Read @p len bytes at @p addr (untouched memory reads as 0). */
+    std::vector<uint8_t> read(uint64_t addr, uint64_t len) const;
+
+    /** Gather all ranges of @p list, in order. */
+    std::vector<uint8_t> gather(const DdeList &list) const;
+
+    /**
+     * Scatter @p data across @p list in order.
+     * @return false when the list is too small for the data
+     */
+    bool scatter(const DdeList &list, std::span<const uint8_t> data);
+
+    /** Number of materialized pages (diagnostics). */
+    size_t pageCount() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<uint8_t, kPageBytes>;
+
+    Page &pageFor(uint64_t addr);
+    const Page *pageIfPresent(uint64_t addr) const;
+
+    std::unordered_map<uint64_t, Page> pages_;
+};
+
+} // namespace nx
+
+#endif // NXSIM_NX_MEMORY_IMAGE_H

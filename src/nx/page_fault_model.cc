@@ -1,0 +1,90 @@
+#include "nx/page_fault_model.h"
+
+#include <vector>
+
+#include "nx/vas.h"
+
+namespace nx {
+
+FaultModelResult
+runFaultModel(const FaultModelConfig &cfg)
+{
+    FaultModelResult res;
+    util::Xoshiro256 rng(cfg.seed);
+    ServiceModel service{cfg.chip};
+
+    uint64_t pages = sim::ceilDiv(cfg.jobBytes, cfg.pageBytes);
+    sim::Tick faultFreePerJob = service.compressCycles(cfg.jobBytes);
+
+    uint64_t totalCycles = 0;
+    uint64_t resubmits = 0;
+
+    for (int j = 0; j < cfg.jobs; ++j) {
+        // Residency of each source page for this job.
+        std::vector<bool> resident(pages);
+        for (auto &&r : resident)
+            r = !rng.chance(cfg.faultProbPerPage);
+
+        if (cfg.strategy == FaultStrategy::TouchPagesFirst) {
+            // Touch every page on the core first: faulted pages cost a
+            // fault service, resident ones a cheap touch. Then one
+            // clean accelerator pass.
+            for (uint64_t p = 0; p < pages; ++p) {
+                if (!resident[p]) {
+                    totalCycles += cfg.faultServiceCycles;
+                    ++res.totalFaults;
+                } else {
+                    totalCycles += cfg.touchCycles;
+                }
+            }
+            totalCycles += faultFreePerJob;
+            continue;
+        }
+
+        // ResubmitOnFault: the engine streams until it hits the first
+        // non-resident page, reports partial progress, the library
+        // touches that page and resubmits from the fault offset.
+        uint64_t offset = 0;
+        while (offset < cfg.jobBytes) {
+            uint64_t firstFault = pages;
+            for (uint64_t p = offset / cfg.pageBytes; p < pages; ++p) {
+                if (!resident[p]) {
+                    firstFault = p;
+                    break;
+                }
+            }
+            uint64_t runEnd = firstFault == pages
+                ? cfg.jobBytes : firstFault * cfg.pageBytes;
+            uint64_t chunk = runEnd - offset;
+
+            if (firstFault == pages) {
+                // Clean run to the end.
+                totalCycles += service.compressCycles(chunk);
+                offset = cfg.jobBytes;
+                break;
+            }
+
+            // Partial run: engine overhead is paid even for the
+            // aborted attempt (dispatch + the streaming done so far +
+            // fault reporting as a completion).
+            totalCycles += service.compressCycles(chunk);
+            ++res.totalFaults;
+            ++resubmits;
+            totalCycles += cfg.faultServiceCycles;    // OS touches page
+            resident[firstFault] = true;
+            offset = runEnd;
+        }
+    }
+
+    double secs = cfg.chip.clock.toSeconds(totalCycles);
+    double ffSecs = cfg.chip.clock.toSeconds(
+        faultFreePerJob * static_cast<uint64_t>(cfg.jobs));
+    uint64_t totalBytes = cfg.jobBytes * static_cast<uint64_t>(cfg.jobs);
+    res.effectiveBps = static_cast<double>(totalBytes) / secs;
+    res.faultFreeBps = static_cast<double>(totalBytes) / ffSecs;
+    res.slowdown = res.faultFreeBps / res.effectiveBps;
+    res.meanResubmits = static_cast<double>(resubmits) / cfg.jobs;
+    return res;
+}
+
+} // namespace nx

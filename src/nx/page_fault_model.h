@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Accelerator page-fault handling model.
+ *
+ * The NX engines access user memory through address translation; a
+ * miss on a page the OS has not resident yields CSB condition code
+ * "translation fault" with the faulting address and the count of bytes
+ * already processed. The library then either (a) touches the faulting
+ * page and resubmits the CRB starting at the reported offset, or (b)
+ * proactively touches every source/target page before first submission
+ * ("touch pages" protocol), trading a known up-front cost for fault-free
+ * execution. The paper discusses this software protocol as part of the
+ * user-mode integration story; this model reproduces the throughput
+ * effect of both strategies under a sweepable fault probability.
+ */
+
+#ifndef NXSIM_NX_PAGE_FAULT_MODEL_H
+#define NXSIM_NX_PAGE_FAULT_MODEL_H
+
+#include <cstdint>
+
+#include "nx/nx_config.h"
+#include "sim/ticks.h"
+#include "util/prng.h"
+
+namespace nx {
+
+/** Strategy the submitting library uses against faults. */
+enum class FaultStrategy
+{
+    ResubmitOnFault,   ///< run, fault, touch one page, resubmit
+    TouchPagesFirst,   ///< pre-touch all pages, then run fault-free
+};
+
+/** Parameters of one fault-model run. */
+struct FaultModelConfig
+{
+    NxConfig chip;
+    uint64_t jobBytes = 1 << 20;
+    double faultProbPerPage = 0.0;   ///< P(source page not resident)
+    uint64_t pageBytes = 4096;
+    /** OS cost to make one page resident (cycles on the core). */
+    sim::Tick faultServiceCycles = 20000;    // ~10 us at 2 GHz
+    /** Core cost to touch one already-resident page. */
+    sim::Tick touchCycles = 200;
+    FaultStrategy strategy = FaultStrategy::ResubmitOnFault;
+    uint64_t seed = 1;
+    int jobs = 100;
+};
+
+/** Aggregate outcome. */
+struct FaultModelResult
+{
+    double effectiveBps = 0.0;      ///< goodput incl. fault overhead
+    double faultFreeBps = 0.0;      ///< same jobs with zero faults
+    double slowdown = 1.0;          ///< faultFree / effective
+    double meanResubmits = 0.0;     ///< CRB resubmissions per job
+    uint64_t totalFaults = 0;
+};
+
+/** Run the model. */
+FaultModelResult runFaultModel(const FaultModelConfig &cfg);
+
+} // namespace nx
+
+#endif // NXSIM_NX_PAGE_FAULT_MODEL_H

@@ -1,0 +1,4 @@
+#include "sim/event_queue.h"
+
+// EventQueue is header-only today; this TU anchors the library target and
+// keeps a home for future out-of-line kernel features (tracing, stats).

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel for the queueing experiments
+ * (VAS dispatch, multi-engine scaling, Spark stage pipelines).
+ *
+ * Engines with closed-form cycle counts (the compress/decompress pipes)
+ * do not need this; it exists for experiments where *contention* between
+ * many requesters is the phenomenon being measured.
+ */
+
+#ifndef NXSIM_SIM_EVENT_QUEUE_H
+#define NXSIM_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/ticks.h"
+
+namespace sim {
+
+/** Discrete-event kernel: schedule closures at absolute ticks. */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Schedule @p fn at absolute time @p when (>= now). */
+    void
+    schedule(Tick when, Handler fn)
+    {
+        if (when < now_)
+            when = now_;
+        heap_.push(Event{when, seq_++, std::move(fn)});
+    }
+
+    /** Schedule @p fn @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Handler fn)
+    {
+        schedule(now_ + delta, std::move(fn));
+    }
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Run until the queue drains or @p limit ticks pass. */
+    void
+    run(Tick limit = ~Tick{0})
+    {
+        while (!heap_.empty()) {
+            // Copy out; pop before invoking so handlers can schedule.
+            const Event &top = heap_.top();
+            if (top.when > limit) {
+                now_ = limit;
+                return;
+            }
+            now_ = top.when;
+            Handler fn = std::move(const_cast<Event &>(top).fn);
+            heap_.pop();
+            fn();
+        }
+    }
+
+    /** Number of pending events. */
+    size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        uint64_t seq;    // FIFO among same-tick events, deterministic
+        Handler fn;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Tick now_ = 0;
+    uint64_t seq_ = 0;
+};
+
+} // namespace sim
+
+#endif // NXSIM_SIM_EVENT_QUEUE_H

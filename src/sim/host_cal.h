@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Host calibration of the software codec.
+ *
+ * The paper's headline speedups compare the accelerator against zlib
+ * running on a general-purpose core. We keep that comparison honest by
+ * *measuring* our software codec's bytes/second on the host machine at
+ * bench time (rather than hard-coding a number), then treating the host
+ * as a stand-in for the POWER9 core. DESIGN.md documents this
+ * substitution; the shape of the result (hundreds-of-x single core,
+ * ~13x whole chip) is insensitive to the exact core chosen.
+ */
+
+#ifndef NXSIM_SIM_HOST_CAL_H
+#define NXSIM_SIM_HOST_CAL_H
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace sim {
+
+/** Measured software codec rates on this host. */
+struct SwCodecRates
+{
+    /** Compression bytes/second per zlib-style level. */
+    std::map<int, double> compressBps;
+    /** Decompression bytes/second. */
+    double decompressBps = 0.0;
+    /** Compressed-size ratio (original/compressed) per level. */
+    std::map<int, double> ratio;
+};
+
+/**
+ * Measure software deflate/inflate rates on @p sample.
+ *
+ * @param sample representative input (a few MiB of corpus data)
+ * @param levels which levels to measure
+ * @param min_seconds minimum wall time per level (repeats as needed)
+ */
+SwCodecRates measureSoftwareRates(std::span<const uint8_t> sample,
+                                  std::span<const int> levels,
+                                  double min_seconds = 0.1);
+
+} // namespace sim
+
+#endif // NXSIM_SIM_HOST_CAL_H

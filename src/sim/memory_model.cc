@@ -1,0 +1,3 @@
+#include "sim/memory_model.h"
+
+// DmaPort is header-only today; this TU anchors the library target.

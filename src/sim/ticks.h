@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Simulation time base. One Tick is one cycle of the owning clock domain;
+ * conversions to wall time go through a Frequency.
+ */
+
+#ifndef NXSIM_SIM_TICKS_H
+#define NXSIM_SIM_TICKS_H
+
+#include <cstdint>
+
+namespace sim {
+
+/** One cycle of a clock domain. */
+using Tick = uint64_t;
+
+/** A clock-domain frequency with tick/time conversion helpers. */
+class Frequency
+{
+  public:
+    constexpr explicit Frequency(double hz = 2.0e9) : hz_(hz) {}
+
+    constexpr double hz() const { return hz_; }
+    constexpr double ghz() const { return hz_ / 1e9; }
+
+    /** Seconds represented by @p ticks. */
+    constexpr double
+    toSeconds(Tick ticks) const
+    {
+        return static_cast<double>(ticks) / hz_;
+    }
+
+    /** Ticks required to cover @p seconds (rounded up). */
+    constexpr Tick
+    fromSeconds(double seconds) const
+    {
+        double t = seconds * hz_;
+        auto ticks = static_cast<Tick>(t);
+        return (static_cast<double>(ticks) < t) ? ticks + 1 : ticks;
+    }
+
+    /** Throughput in bytes/s for @p bytes processed in @p ticks. */
+    constexpr double
+    rate(uint64_t bytes, Tick ticks) const
+    {
+        if (ticks == 0)
+            return 0.0;
+        return static_cast<double>(bytes) / toSeconds(ticks);
+    }
+
+  private:
+    double hz_;
+};
+
+/** Ceiling division helper used all over the timing models. */
+constexpr Tick
+ceilDiv(uint64_t num, uint64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+} // namespace sim
+
+#endif // NXSIM_SIM_TICKS_H

@@ -1,0 +1,52 @@
+#include "util/adler32.h"
+
+namespace util {
+
+namespace {
+constexpr uint32_t kMod = 65521;
+// Largest n such that 255n(n+1)/2 + (n+1)(kMod-1) fits in 32 bits.
+constexpr size_t kNmax = 5552;
+} // namespace
+
+void
+Adler32::update(std::span<const uint8_t> data)
+{
+    size_t i = 0;
+    while (i < data.size()) {
+        size_t chunk = std::min(kNmax, data.size() - i);
+        for (size_t j = 0; j < chunk; ++j) {
+            a_ += data[i + j];
+            b_ += a_;
+        }
+        a_ %= kMod;
+        b_ %= kMod;
+        i += chunk;
+    }
+}
+
+uint32_t
+adler32(std::span<const uint8_t> data)
+{
+    Adler32 a;
+    a.update(data);
+    return a.value();
+}
+
+uint32_t
+adler32Combine(uint32_t adler_a, uint32_t adler_b, uint64_t len_b)
+{
+    // Processing B after A: the running a continues from aA, so
+    //   a = aA + (aB - 1)
+    //   b = bA + bB + lenB * (aA - 1)
+    uint64_t a1 = adler_a & 0xffff;
+    uint64_t b1 = (adler_a >> 16) & 0xffff;
+    uint64_t a2 = adler_b & 0xffff;
+    uint64_t b2 = (adler_b >> 16) & 0xffff;
+    uint64_t rem = len_b % kMod;
+
+    uint64_t a = (a1 + a2 + kMod - 1) % kMod;
+    uint64_t b = (b1 + b2 + rem * ((a1 + kMod - 1) % kMod)) % kMod;
+    return static_cast<uint32_t>((b << 16) | a);
+}
+
+} // namespace util

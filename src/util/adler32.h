@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Adler-32 checksum as used by the zlib container (RFC 1950).
+ */
+
+#ifndef NXSIM_UTIL_ADLER32_H
+#define NXSIM_UTIL_ADLER32_H
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace util {
+
+/** Incremental Adler-32. Initial state is 1 per RFC 1950. */
+class Adler32
+{
+  public:
+    Adler32() = default;
+
+    /** Fold @p data into the running checksum. */
+    void update(std::span<const uint8_t> data);
+
+    /** Checksum over everything updated so far. */
+    uint32_t value() const { return (b_ << 16) | a_; }
+
+    /** Reset to the empty-message state. */
+    void reset() { a_ = 1; b_ = 0; }
+
+  private:
+    uint32_t a_ = 1;
+    uint32_t b_ = 0;
+};
+
+/** One-shot Adler-32 of @p data. */
+uint32_t adler32(std::span<const uint8_t> data);
+
+/** Adler-32 of a concatenation from the parts' checksums. */
+uint32_t adler32Combine(uint32_t adler_a, uint32_t adler_b,
+                        uint64_t len_b);
+
+} // namespace util
+
+#endif // NXSIM_UTIL_ADLER32_H

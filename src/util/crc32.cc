@@ -1,0 +1,106 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace util {
+
+namespace {
+
+constexpr uint32_t kPoly = 0xedb88320u;
+
+constexpr std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+        t[i] = c;
+    }
+    return t;
+}
+
+constexpr auto kTable = makeTable();
+
+} // namespace
+
+void
+Crc32::update(std::span<const uint8_t> data)
+{
+    uint32_t c = state_;
+    for (uint8_t b : data)
+        c = kTable[(c ^ b) & 0xff] ^ (c >> 8);
+    state_ = c;
+}
+
+uint32_t
+crc32(std::span<const uint8_t> data)
+{
+    Crc32 c;
+    c.update(data);
+    return c.value();
+}
+
+namespace {
+
+/** Multiply GF(2) 32x32 matrix by vector. */
+uint32_t
+gf2MatTimesVec(const std::array<uint32_t, 32> &mat, uint32_t vec)
+{
+    uint32_t sum = 0;
+    int i = 0;
+    while (vec) {
+        if (vec & 1)
+            sum ^= mat[i];
+        vec >>= 1;
+        ++i;
+    }
+    return sum;
+}
+
+/** Square a GF(2) matrix. */
+std::array<uint32_t, 32>
+gf2MatSquare(const std::array<uint32_t, 32> &mat)
+{
+    std::array<uint32_t, 32> sq{};
+    for (int i = 0; i < 32; ++i)
+        sq[i] = gf2MatTimesVec(mat, mat[i]);
+    return sq;
+}
+
+} // namespace
+
+uint32_t
+crc32Combine(uint32_t crc_a, uint32_t crc_b, uint64_t len_b)
+{
+    if (len_b == 0)
+        return crc_a;
+
+    // odd = matrix advancing the CRC register by one zero bit.
+    std::array<uint32_t, 32> odd{};
+    odd[0] = kPoly;
+    for (int i = 1; i < 32; ++i)
+        odd[i] = 1u << (i - 1);
+    auto even = gf2MatSquare(odd);    // two zero bits
+    odd = gf2MatSquare(even);         // four zero bits
+
+    // Advance crc_a through len_b zero BYTES by repeated squaring.
+    uint64_t len = len_b;
+    do {
+        even = gf2MatSquare(odd);
+        if (len & 1)
+            crc_a = gf2MatTimesVec(even, crc_a);
+        len >>= 1;
+        if (len == 0)
+            break;
+        odd = gf2MatSquare(even);
+        if (len & 1)
+            crc_a = gf2MatTimesVec(odd, crc_a);
+        len >>= 1;
+    } while (len != 0);
+
+    return crc_a ^ crc_b;
+}
+
+} // namespace util

@@ -1,0 +1,43 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace util {
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Percentiles::percentile(double p) const
+{
+    if (samples_.empty())
+        return 0.0;
+    std::sort(samples_.begin(), samples_.end());
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+std::string
+StatSet::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_)
+        os << prefix << "." << name << " = " << value << "\n";
+    return os.str();
+}
+
+} // namespace util

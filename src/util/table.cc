@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace util {
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    // Column widths over header + all rows.
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            width[i] = std::max(width[i], cells[i].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    std::ostringstream os;
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < ncols; ++i) {
+            std::string c = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+               << c;
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t w : width)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    for (const auto &n : notes_)
+        os << "  note: " << n << "\n";
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::cout << str() << std::flush;
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::fmtBytes(uint64_t bytes)
+{
+    const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    int u = 0;
+    while (v >= 1024.0 && u < 4) {
+        v /= 1024.0;
+        ++u;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << " "
+       << units[u];
+    return os.str();
+}
+
+std::string
+Table::fmtRate(double bytes_per_sec)
+{
+    const char *units[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+    double v = bytes_per_sec;
+    int u = 0;
+    while (v >= 1000.0 && u < 4) {
+        v /= 1000.0;
+        ++u;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << v << " " << units[u];
+    return os.str();
+}
+
+} // namespace util

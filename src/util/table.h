@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Console table printer used by every bench binary so the regenerated
+ * paper tables/series share one readable format.
+ */
+
+#ifndef NXSIM_UTIL_TABLE_H
+#define NXSIM_UTIL_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace util {
+
+/** Fixed-column text table with an optional title and footnote. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cols) { header_ = std::move(cols); }
+
+    /** Append a data row (stringified cells). */
+    void row(std::vector<std::string> cells);
+
+    /** Append a footnote line printed under the table. */
+    void note(const std::string &text) { notes_.push_back(text); }
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format helpers for bench code. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmtBytes(uint64_t bytes);
+    static std::string fmtRate(double bytes_per_sec);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace util
+
+#endif // NXSIM_UTIL_TABLE_H

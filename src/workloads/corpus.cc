@@ -1,0 +1,300 @@
+#include "workloads/corpus.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/prng.h"
+
+namespace workloads {
+
+namespace {
+
+/** Append a string to a byte vector. */
+void
+put(std::vector<uint8_t> &v, const char *s)
+{
+    v.insert(v.end(), s, s + std::strlen(s));
+}
+
+void
+put(std::vector<uint8_t> &v, const std::string &s)
+{
+    v.insert(v.end(), s.begin(), s.end());
+}
+
+const std::array<const char *, 64> kWords = {
+    "the", "of", "and", "a", "to", "in", "is", "was", "he", "for",
+    "it", "with", "as", "his", "on", "be", "at", "by", "had", "not",
+    "are", "but", "from", "or", "have", "an", "they", "which", "one",
+    "you", "were", "her", "all", "she", "there", "would", "their",
+    "we", "him", "been", "has", "when", "who", "will", "more", "no",
+    "if", "out", "so", "said", "what", "up", "its", "about", "into",
+    "than", "them", "can", "only", "other", "new", "some", "could",
+    "time",
+};
+
+const std::array<const char *, 8> kLogTemplates = {
+    "connection accepted from",
+    "request completed in",
+    "cache miss for key",
+    "retrying operation after transient failure on",
+    "flushed dirty pages to volume",
+    "authentication succeeded for user",
+    "garbage collection pause of",
+    "replicated segment to peer",
+};
+
+const std::array<const char *, 12> kIdentifiers = {
+    "buffer", "offset", "length", "result", "status", "handle",
+    "request", "response", "context", "index", "count", "value",
+};
+
+} // namespace
+
+std::vector<uint8_t>
+makeText(size_t bytes, uint64_t seed)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint8_t> v;
+    v.reserve(bytes + 16);
+    size_t sentence = 0;
+    while (v.size() < bytes) {
+        // Zipf-ranked word choice models natural-language repetition.
+        const char *w = kWords[rng.zipf(kWords.size(), 1.3)];
+        if (sentence == 0 && !v.empty())
+            v.push_back(' ');
+        put(v, w);
+        ++sentence;
+        if (rng.chance(0.08)) {
+            put(v, ". ");
+            sentence = 0;
+        } else {
+            v.push_back(' ');
+        }
+    }
+    v.resize(bytes);
+    return v;
+}
+
+std::vector<uint8_t>
+makeLog(size_t bytes, uint64_t seed)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint8_t> v;
+    v.reserve(bytes + 128);
+    uint64_t ts = 1700000000;
+    while (v.size() < bytes) {
+        ts += rng.below(5);
+        char head[64];
+        std::snprintf(head, sizeof(head),
+                      "2024-11-%02u %02u:%02u:%02u.%03u ",
+                      static_cast<unsigned>(1 + ts % 28),
+                      static_cast<unsigned>(ts / 3600 % 24),
+                      static_cast<unsigned>(ts / 60 % 60),
+                      static_cast<unsigned>(ts % 60),
+                      static_cast<unsigned>(rng.below(1000)));
+        put(v, head);
+        put(v, rng.chance(0.9) ? "INFO " : "WARN ");
+        put(v, kLogTemplates[rng.zipf(kLogTemplates.size(), 1.1)]);
+        char tail[64];
+        std::snprintf(tail, sizeof(tail), " 10.%u.%u.%u:%u id=%llu\n",
+                      static_cast<unsigned>(rng.below(4)),
+                      static_cast<unsigned>(rng.below(256)),
+                      static_cast<unsigned>(rng.below(256)),
+                      static_cast<unsigned>(1024 + rng.below(60000)),
+                      static_cast<unsigned long long>(rng.below(
+                          100000)));
+        put(v, tail);
+    }
+    v.resize(bytes);
+    return v;
+}
+
+std::vector<uint8_t>
+makeJson(size_t bytes, uint64_t seed)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint8_t> v;
+    v.reserve(bytes + 256);
+    put(v, "[\n");
+    uint64_t id = 1;
+    while (v.size() < bytes) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+            "  {\"id\": %llu, \"user\": \"user_%llu\", "
+            "\"active\": %s, \"score\": %u.%02u, "
+            "\"tags\": [\"%s\", \"%s\"], \"region\": \"%s\"},\n",
+            static_cast<unsigned long long>(id++),
+            static_cast<unsigned long long>(rng.zipf(5000, 1.2)),
+            rng.chance(0.8) ? "true" : "false",
+            static_cast<unsigned>(rng.below(100)),
+            static_cast<unsigned>(rng.below(100)),
+            kWords[rng.zipf(kWords.size(), 1.3)],
+            kWords[rng.zipf(kWords.size(), 1.3)],
+            rng.chance(0.6) ? "us-east" : "eu-west");
+        put(v, buf);
+    }
+    v.resize(bytes);
+    return v;
+}
+
+std::vector<uint8_t>
+makeCsv(size_t bytes, uint64_t seed)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint8_t> v;
+    v.reserve(bytes + 128);
+    put(v, "order_id,customer_id,sku,qty,price,date,status\n");
+    uint64_t order = 100000;
+    while (v.size() < bytes) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+            "%llu,%llu,SKU-%04u,%u,%u.%02u,2024-%02u-%02u,%s\n",
+            static_cast<unsigned long long>(order++),
+            static_cast<unsigned long long>(rng.zipf(20000, 1.1)),
+            static_cast<unsigned>(rng.zipf(3000, 1.2)),
+            static_cast<unsigned>(1 + rng.below(9)),
+            static_cast<unsigned>(1 + rng.below(500)),
+            static_cast<unsigned>(rng.below(100)),
+            static_cast<unsigned>(1 + rng.below(12)),
+            static_cast<unsigned>(1 + rng.below(28)),
+            rng.chance(0.85) ? "shipped" : "pending");
+        put(v, buf);
+    }
+    v.resize(bytes);
+    return v;
+}
+
+std::vector<uint8_t>
+makeSource(size_t bytes, uint64_t seed)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint8_t> v;
+    v.reserve(bytes + 256);
+    unsigned fn = 0;
+    while (v.size() < bytes) {
+        const char *a = kIdentifiers[rng.zipf(kIdentifiers.size(), 1.1)];
+        const char *b = kIdentifiers[rng.zipf(kIdentifiers.size(), 1.1)];
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+            "static int\nprocess_%u(struct %s *%s, size_t %s)\n{\n"
+            "    if (%s == NULL || %s == 0)\n        return -EINVAL;\n"
+            "    for (size_t i = 0; i < %s; ++i)\n"
+            "        %s->%s[i] = compute(%s, i);\n"
+            "    return 0;\n}\n\n",
+            fn++, a, a, b, a, b, b, a, b, a);
+        put(v, buf);
+    }
+    v.resize(bytes);
+    return v;
+}
+
+std::vector<uint8_t>
+makeHtml(size_t bytes, uint64_t seed)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint8_t> v;
+    v.reserve(bytes + 256);
+    put(v, "<!DOCTYPE html>\n<html><head><title>report</title></head>"
+           "<body>\n");
+    while (v.size() < bytes) {
+        put(v, "<div class=\"row\"><span class=\"label\">");
+        put(v, kWords[rng.zipf(kWords.size(), 1.3)]);
+        put(v, "</span><span class=\"value\">");
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%u",
+                      static_cast<unsigned>(rng.below(100000)));
+        put(v, buf);
+        put(v, "</span></div>\n");
+    }
+    v.resize(bytes);
+    return v;
+}
+
+std::vector<uint8_t>
+makeBinary(size_t bytes, uint64_t seed)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint8_t> v;
+    v.reserve(bytes + 32);
+    // 32-byte records: monotone id, small-delta timestamp, enum bytes,
+    // a float-ish field, zero padding. Correlations make this ~2-3x
+    // compressible, like real binary telemetry.
+    uint64_t id = 0;
+    uint64_t ts = 0x5f000000;
+    while (v.size() < bytes) {
+        id += 1 + rng.below(3);
+        ts += rng.below(1000);
+        auto put64 = [&](uint64_t x) {
+            for (int i = 0; i < 8; ++i)
+                v.push_back(static_cast<uint8_t>(x >> (8 * i)));
+        };
+        put64(id);
+        put64(ts);
+        v.push_back(static_cast<uint8_t>(rng.below(4)));
+        v.push_back(static_cast<uint8_t>(rng.below(2)));
+        v.push_back(0);
+        v.push_back(0);
+        uint32_t val = static_cast<uint32_t>(rng.below(1 << 16));
+        for (int i = 0; i < 4; ++i)
+            v.push_back(static_cast<uint8_t>(val >> (8 * i)));
+        for (int i = 0; i < 8; ++i)
+            v.push_back(0);
+    }
+    v.resize(bytes);
+    return v;
+}
+
+std::vector<uint8_t>
+makeRandom(size_t bytes, uint64_t seed)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint8_t> v(bytes);
+    for (auto &b : v)
+        b = static_cast<uint8_t>(rng.next());
+    return v;
+}
+
+std::vector<uint8_t>
+makeZeros(size_t bytes)
+{
+    return std::vector<uint8_t>(bytes, 0);
+}
+
+std::vector<uint8_t>
+makeMixed(size_t bytes, uint64_t seed)
+{
+    // Fixed proportions: text 30 %, log 20 %, json 15 %, csv 15 %,
+    // binary 15 %, random 5 % — an enterprise-data-lake-ish blend.
+    std::vector<uint8_t> v;
+    v.reserve(bytes);
+    auto append = [&](std::vector<uint8_t> part) {
+        v.insert(v.end(), part.begin(), part.end());
+    };
+    append(makeText(bytes * 30 / 100, seed + 1));
+    append(makeLog(bytes * 20 / 100, seed + 2));
+    append(makeJson(bytes * 15 / 100, seed + 3));
+    append(makeCsv(bytes * 15 / 100, seed + 4));
+    append(makeBinary(bytes * 15 / 100, seed + 5));
+    append(makeRandom(bytes * 5 / 100, seed + 6));
+    v.resize(bytes);
+    return v;
+}
+
+std::vector<CorpusFile>
+standardCorpus(size_t bytes_per_file)
+{
+    std::vector<CorpusFile> files;
+    files.push_back({"zeros", makeZeros(bytes_per_file)});
+    files.push_back({"html", makeHtml(bytes_per_file, 11)});
+    files.push_back({"source", makeSource(bytes_per_file, 12)});
+    files.push_back({"log", makeLog(bytes_per_file, 13)});
+    files.push_back({"json", makeJson(bytes_per_file, 14)});
+    files.push_back({"csv", makeCsv(bytes_per_file, 15)});
+    files.push_back({"text", makeText(bytes_per_file, 16)});
+    files.push_back({"binary", makeBinary(bytes_per_file, 17)});
+    files.push_back({"random", makeRandom(bytes_per_file, 18)});
+    return files;
+}
+
+} // namespace workloads

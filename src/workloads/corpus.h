@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic synthetic corpus generators.
+ *
+ * The paper evaluates on standard corpora (Calgary/Silesia class) and
+ * customer data we cannot redistribute; these generators produce
+ * stand-ins with the statistical properties the experiments depend on:
+ * natural-text word repetition, log-line templates with variable
+ * fields, structured JSON/CSV, source code, binary records with
+ * correlated fields, plus the incompressible and trivially
+ * compressible extremes. Every generator is seeded and reproducible.
+ */
+
+#ifndef NXSIM_WORKLOADS_CORPUS_H
+#define NXSIM_WORKLOADS_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace workloads {
+
+/** One named corpus member. */
+struct CorpusFile
+{
+    std::string name;
+    std::vector<uint8_t> data;
+};
+
+/** English-like word salad with Zipfian word frequencies. */
+std::vector<uint8_t> makeText(size_t bytes, uint64_t seed);
+
+/** Server-log lines: timestamp, level, template, variable fields. */
+std::vector<uint8_t> makeLog(size_t bytes, uint64_t seed);
+
+/** JSON documents with a recurring schema and varied values. */
+std::vector<uint8_t> makeJson(size_t bytes, uint64_t seed);
+
+/** CSV rows: ids, enums, decimals, dates. */
+std::vector<uint8_t> makeCsv(size_t bytes, uint64_t seed);
+
+/** C-like source code with repeated identifiers and idioms. */
+std::vector<uint8_t> makeSource(size_t bytes, uint64_t seed);
+
+/** HTML with nested repeated tags around text content. */
+std::vector<uint8_t> makeHtml(size_t bytes, uint64_t seed);
+
+/** Binary records: packed structs with correlated numeric fields. */
+std::vector<uint8_t> makeBinary(size_t bytes, uint64_t seed);
+
+/** Uniform random bytes (incompressible). */
+std::vector<uint8_t> makeRandom(size_t bytes, uint64_t seed);
+
+/** All zero bytes (maximally compressible). */
+std::vector<uint8_t> makeZeros(size_t bytes);
+
+/** Concatenated mix of the above in fixed proportions. */
+std::vector<uint8_t> makeMixed(size_t bytes, uint64_t seed);
+
+/**
+ * The standard evaluation suite: eight named members of @p bytes each,
+ * ordered from most to least compressible. Seeded deterministically
+ * from the member index.
+ */
+std::vector<CorpusFile> standardCorpus(size_t bytes_per_file);
+
+} // namespace workloads
+
+#endif // NXSIM_WORKLOADS_CORPUS_H

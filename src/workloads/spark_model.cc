@@ -1,0 +1,134 @@
+#include "workloads/spark_model.h"
+
+#include <algorithm>
+
+#include "util/prng.h"
+
+namespace workloads {
+
+std::vector<QueryPlan>
+makeTpcdsQueries(int n, uint64_t seed, double scale_gb)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<QueryPlan> queries;
+    double scale_bytes = scale_gb * 1e9;
+
+    for (int q = 0; q < n; ++q) {
+        QueryPlan plan;
+        plan.name = "q" + std::to_string(q + 1);
+        int nstages = 3 + static_cast<int>(rng.below(5));
+
+        // Query "size": how much of the fact data it scans.
+        double scan_frac = 0.05 + rng.uniform() * 0.45;
+        auto scan_bytes = static_cast<uint64_t>(
+            scale_bytes * scan_frac);
+
+        for (int s = 0; s < nstages; ++s) {
+            SparkStage stage;
+            stage.name = plan.name + ".s" + std::to_string(s);
+            if (s == 0) {
+                // Scan stage: read compressed-at-rest tables, project,
+                // shuffle out a reduced set.
+                stage.storageReadBytes = scan_bytes;
+                stage.shuffleWriteBytes = scan_bytes / 4;
+                // Core-seconds: JVM query processing moves ~30 MB/s
+                // per core on scan-project-filter work.
+                stage.cpuSeconds =
+                    static_cast<double>(scan_bytes) / 30e6;
+            } else if (s + 1 == nstages) {
+                // Final aggregation: small read, tiny output.
+                stage.shuffleReadBytes = scan_bytes / 64;
+                stage.cpuSeconds =
+                    static_cast<double>(stage.shuffleReadBytes) / 20e6;
+            } else {
+                // Join/aggregate stages: read the previous shuffle,
+                // emit a smaller one.
+                uint64_t in = scan_bytes / (4u << (s - 1));
+                stage.shuffleReadBytes = in;
+                stage.shuffleWriteBytes = in / 2;
+                // Join/aggregation work is heavier per byte than scans.
+                stage.cpuSeconds = static_cast<double>(in) / 20e6;
+            }
+            plan.stages.push_back(stage);
+        }
+        queries.push_back(std::move(plan));
+    }
+    return queries;
+}
+
+QueryTime
+runQuery(const QueryPlan &plan, const ClusterConfig &cluster,
+         const CodecModel &codec)
+{
+    QueryTime qt;
+    qt.query = plan.name;
+    double total_cores = static_cast<double>(cluster.executorCores) *
+        cluster.nodes;
+    double disk = cluster.diskBps * cluster.nodes;
+    double net = cluster.networkBps * cluster.nodes;
+    int devices = std::max(1, cluster.accelPerNode * cluster.nodes);
+
+    for (const SparkStage &st : plan.stages) {
+        double compute = st.cpuSeconds / total_cores;
+
+        double comp_bytes = static_cast<double>(st.shuffleWriteBytes);
+        double decomp_bytes = static_cast<double>(
+            st.shuffleReadBytes + st.storageReadBytes);
+
+        double codec_wall;
+        if (codec.onCore) {
+            // Codec work is task work: it serializes with compute on
+            // the same cores (rates are per-core).
+            double core_secs = comp_bytes / codec.compressBps +
+                decomp_bytes / codec.decompressBps;
+            codec_wall = core_secs / total_cores;
+        } else {
+            // Device codec: compress and decompress engines are
+            // distinct hardware, so the two flows overlap.
+            double c = comp_bytes / (codec.compressBps * devices);
+            double d = decomp_bytes / (codec.decompressBps * devices);
+            codec_wall = std::max(c, d);
+        }
+
+        // I/O moves compressed bytes.
+        double disk_bytes =
+            (comp_bytes + static_cast<double>(st.storageReadBytes) +
+             static_cast<double>(st.shuffleReadBytes)) / codec.ratio;
+        double net_bytes =
+            static_cast<double>(st.shuffleReadBytes) / codec.ratio;
+        double io_wall = std::max(disk_bytes / disk, net_bytes / net);
+
+        double stage_wall;
+        if (codec.onCore)
+            stage_wall = std::max(compute + codec_wall, io_wall);
+        else
+            stage_wall = std::max({compute, codec_wall, io_wall});
+
+        qt.totalSeconds += stage_wall;
+        qt.computeSeconds += compute;
+        qt.codecSeconds += codec_wall;
+        qt.ioSeconds += io_wall;
+    }
+    return qt;
+}
+
+SuiteComparison
+compareSuite(const std::vector<QueryPlan> &queries,
+             const ClusterConfig &cluster, const CodecModel &a,
+             const CodecModel &b)
+{
+    SuiteComparison cmp;
+    for (const QueryPlan &q : queries) {
+        QueryTime ta = runQuery(q, cluster, a);
+        QueryTime tb = runQuery(q, cluster, b);
+        cmp.totalA += ta.totalSeconds;
+        cmp.totalB += tb.totalSeconds;
+        cmp.perQueryA.push_back(ta);
+        cmp.perQueryB.push_back(tb);
+    }
+    if (cmp.totalA > 0.0)
+        cmp.speedupPct = 100.0 * (cmp.totalA - cmp.totalB) / cmp.totalA;
+    return cmp;
+}
+
+} // namespace workloads

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Analytic pipeline model of a Spark TPC-DS job, for the end-to-end
+ * experiment (E7): how much does swapping the shuffle/storage codec
+ * from software zlib to the on-chip accelerator improve whole-job time?
+ *
+ * The paper reports 23 % on a POWER9 system. That number is an
+ * Amdahl-style composition: (share of job time spent in compression +
+ * decompression) x (codec speedup), minus second-order effects (I/O
+ * shrinks with better ratio, cores freed from codec work speed up the
+ * compute phase slightly). The model makes the composition explicit:
+ *
+ *   stage time = max(cpu, disk, network) per pipeline phase, where
+ *     write path: compress at codec rate, write compressed bytes
+ *     read path:  read compressed bytes, decompress at codec rate
+ *
+ * Codec rates and ratios are *inputs*, measured by the caller on
+ * representative bytes (see tpcds_gen.h) — the model contains no
+ * hard-coded speedup.
+ */
+
+#ifndef NXSIM_WORKLOADS_SPARK_MODEL_H
+#define NXSIM_WORKLOADS_SPARK_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace workloads {
+
+/** A codec as the pipeline model sees it. */
+struct CodecModel
+{
+    std::string name;
+    double compressBps = 0.0;     ///< per executor-core (sw) or device
+    double decompressBps = 0.0;
+    double ratio = 1.0;           ///< original / compressed
+    /**
+     * True when the codec runs on the cores, stealing cycles from the
+     * compute phase; false for the accelerator.
+     */
+    bool onCore = true;
+};
+
+/** One Spark stage of a query. */
+struct SparkStage
+{
+    std::string name;
+    double cpuSeconds = 0.0;          ///< pure compute, all cores busy
+    uint64_t shuffleWriteBytes = 0;   ///< uncompressed map output
+    uint64_t shuffleReadBytes = 0;    ///< uncompressed reduce input
+    uint64_t storageReadBytes = 0;    ///< compressed-at-rest input scans
+};
+
+/** Cluster resources. */
+struct ClusterConfig
+{
+    int executorCores = 40;           ///< cores running tasks per node
+    int nodes = 2;
+    double diskBps = 2.0e9;           ///< per node aggregate
+    double networkBps = 5.0e9;        ///< per node
+    /** Accelerator devices per node (0 = software only). */
+    int accelPerNode = 1;
+};
+
+/** Per-query outcome. */
+struct QueryTime
+{
+    std::string query;
+    double totalSeconds = 0.0;
+    double computeSeconds = 0.0;
+    double codecSeconds = 0.0;        ///< time attributable to codec
+    double ioSeconds = 0.0;
+};
+
+/** A TPC-DS-like query plan: a list of stages. */
+struct QueryPlan
+{
+    std::string name;
+    std::vector<SparkStage> stages;
+};
+
+/** Generate a deterministic suite of @p n query plans. */
+std::vector<QueryPlan> makeTpcdsQueries(int n, uint64_t seed,
+                                        double scale_gb);
+
+/** Run one query through the pipeline model with the given codec. */
+QueryTime runQuery(const QueryPlan &plan, const ClusterConfig &cluster,
+                   const CodecModel &codec);
+
+/** Aggregate speedup of codec B over codec A across a query suite. */
+struct SuiteComparison
+{
+    double totalA = 0.0;
+    double totalB = 0.0;
+    double speedupPct = 0.0;          ///< 100 * (A - B) / A
+    std::vector<QueryTime> perQueryA;
+    std::vector<QueryTime> perQueryB;
+};
+
+SuiteComparison compareSuite(const std::vector<QueryPlan> &queries,
+                             const ClusterConfig &cluster,
+                             const CodecModel &a, const CodecModel &b);
+
+} // namespace workloads
+
+#endif // NXSIM_WORKLOADS_SPARK_MODEL_H

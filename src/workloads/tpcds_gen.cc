@@ -1,0 +1,70 @@
+#include "workloads/tpcds_gen.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/prng.h"
+
+namespace workloads {
+
+std::vector<uint8_t>
+makeStoreSales(size_t bytes, const TpcdsConfig &cfg)
+{
+    util::Xoshiro256 rng(cfg.seed);
+    std::vector<uint8_t> v;
+    v.reserve(bytes + 256);
+    uint64_t ticket = 1;
+    while (v.size() < bytes) {
+        // ss_sold_date_sk|ss_item_sk|ss_customer_sk|ss_store_sk|
+        // ss_ticket_number|ss_quantity|ss_sales_price|ss_net_profit
+        uint64_t date_sk = 2450815 + rng.below(1823);
+        uint64_t item = 1 + rng.zipf(cfg.items, 1.1);
+        uint64_t cust = 1 + rng.zipf(cfg.customers, 1.05);
+        uint64_t store = 1 + rng.zipf(cfg.stores, 1.2);
+        unsigned qty = static_cast<unsigned>(1 + rng.below(100));
+        unsigned price_c = static_cast<unsigned>(50 + rng.below(29950));
+        int profit_c = static_cast<int>(rng.below(8000)) - 2000;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "%llu|%llu|%llu|%llu|%llu|%u|%u.%02u|%d.%02u|\n",
+                      static_cast<unsigned long long>(date_sk),
+                      static_cast<unsigned long long>(item),
+                      static_cast<unsigned long long>(cust),
+                      static_cast<unsigned long long>(store),
+                      static_cast<unsigned long long>(ticket++),
+                      qty, price_c / 100, price_c % 100,
+                      profit_c / 100,
+                      static_cast<unsigned>(std::abs(profit_c) % 100));
+        v.insert(v.end(), buf, buf + std::strlen(buf));
+    }
+    v.resize(bytes);
+    return v;
+}
+
+std::vector<uint8_t>
+makeShufflePartition(size_t bytes, const TpcdsConfig &cfg)
+{
+    util::Xoshiro256 rng(cfg.seed + 77);
+    std::vector<uint8_t> v;
+    v.reserve(bytes + 256);
+    // Aggregation shuffle records: group key (join of dims) + partial
+    // aggregates. Keys repeat heavily (that is why shuffles compress).
+    while (v.size() < bytes) {
+        uint64_t item = 1 + rng.zipf(cfg.items, 1.3);
+        uint64_t store = 1 + rng.zipf(cfg.stores, 1.3);
+        unsigned year = 1998 + static_cast<unsigned>(rng.below(5));
+        unsigned cnt = static_cast<unsigned>(1 + rng.below(50));
+        unsigned sum_c = static_cast<unsigned>(rng.below(5000000));
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "(%llu,%llu,%u)\t{count:%u,sum:%u.%02u}\n",
+                      static_cast<unsigned long long>(item),
+                      static_cast<unsigned long long>(store),
+                      year, cnt, sum_c / 100, sum_c % 100);
+        v.insert(v.end(), buf, buf + std::strlen(buf));
+    }
+    v.resize(bytes);
+    return v;
+}
+
+} // namespace workloads

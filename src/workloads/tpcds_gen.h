@@ -1,0 +1,42 @@
+/**
+ * @file
+ * TPC-DS-like table data generator.
+ *
+ * The Spark experiment (E7) compresses shuffle and storage data whose
+ * statistical character is decision-support fact tables: wide rows of
+ * surrogate keys, dates, decimals and low-cardinality dimensions. This
+ * generator produces store_sales-shaped rows in the columnar-ish text
+ * layout Spark shuffles carry, with realistic key skew, so the codec
+ * rates and ratios fed into the pipeline model come from representative
+ * bytes rather than guesses.
+ */
+
+#ifndef NXSIM_WORKLOADS_TPCDS_GEN_H
+#define NXSIM_WORKLOADS_TPCDS_GEN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace workloads {
+
+/** Generator parameters. */
+struct TpcdsConfig
+{
+    uint64_t seed = 2020;
+    uint64_t customers = 100000;
+    uint64_t items = 18000;
+    uint64_t stores = 500;
+};
+
+/** Generate ~@p bytes of store_sales-like rows. */
+std::vector<uint8_t> makeStoreSales(size_t bytes,
+                                    const TpcdsConfig &cfg = {});
+
+/** Generate ~@p bytes of shuffle-partition-like key/value records. */
+std::vector<uint8_t> makeShufflePartition(size_t bytes,
+                                          const TpcdsConfig &cfg = {});
+
+} // namespace workloads
+
+#endif // NXSIM_WORKLOADS_TPCDS_GEN_H

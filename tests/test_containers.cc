@@ -1,0 +1,212 @@
+/**
+ * @file
+ * gzip (RFC 1952) and zlib (RFC 1950) container tests: wrap/unwrap round
+ * trips, header parsing, checksum verification, corruption detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "deflate/deflate_encoder.h"
+#include "deflate/gzip_stream.h"
+#include "deflate/zlib_stream.h"
+#include "util/prng.h"
+
+using deflate::deflateCompress;
+using deflate::gzipUnwrap;
+using deflate::gzipWrap;
+using deflate::zlibUnwrap;
+using deflate::zlibWrap;
+
+namespace {
+
+std::vector<uint8_t>
+sampleData(size_t n, uint64_t seed)
+{
+    util::Xoshiro256 rng(seed);
+    std::vector<uint8_t> v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = rng.chance(0.7) ? static_cast<uint8_t>('a' + i % 17)
+                               : static_cast<uint8_t>(rng.next());
+    return v;
+}
+
+} // namespace
+
+TEST(Gzip, RoundTrip)
+{
+    auto data = sampleData(50000, 1);
+    auto raw = deflateCompress(data).bytes;
+    auto member = gzipWrap(raw, data);
+    auto res = gzipUnwrap(member);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.inflate.bytes, data);
+}
+
+TEST(Gzip, NameFieldPreserved)
+{
+    auto data = sampleData(100, 2);
+    auto raw = deflateCompress(data).bytes;
+    auto member = gzipWrap(raw, data, "file.txt");
+    auto res = gzipUnwrap(member);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.header.name, "file.txt");
+    EXPECT_EQ(res.inflate.bytes, data);
+}
+
+TEST(Gzip, EmptyPayload)
+{
+    std::vector<uint8_t> data;
+    auto raw = deflateCompress(data).bytes;
+    auto member = gzipWrap(raw, data);
+    auto res = gzipUnwrap(member);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.inflate.bytes.empty());
+}
+
+TEST(Gzip, BadMagicRejected)
+{
+    auto data = sampleData(100, 3);
+    auto member = gzipWrap(deflateCompress(data).bytes, data);
+    member[0] = 0x00;
+    auto res = gzipUnwrap(member);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error, "bad magic");
+}
+
+TEST(Gzip, CrcMismatchDetected)
+{
+    auto data = sampleData(1000, 4);
+    auto member = gzipWrap(deflateCompress(data).bytes, data);
+    member[member.size() - 5] ^= 0xff;    // corrupt stored CRC
+    auto res = gzipUnwrap(member);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error, "CRC mismatch");
+}
+
+TEST(Gzip, IsizeMismatchDetected)
+{
+    auto data = sampleData(1000, 5);
+    auto member = gzipWrap(deflateCompress(data).bytes, data);
+    member[member.size() - 1] ^= 0x01;    // corrupt ISIZE
+    auto res = gzipUnwrap(member);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error, "ISIZE mismatch");
+}
+
+TEST(Gzip, TruncatedMemberRejected)
+{
+    auto data = sampleData(1000, 6);
+    auto member = gzipWrap(deflateCompress(data).bytes, data);
+    member.resize(12);
+    auto res = gzipUnwrap(member);
+    EXPECT_FALSE(res.ok);
+}
+
+TEST(Gzip, PayloadCorruptionDetected)
+{
+    auto data = sampleData(5000, 7);
+    auto member = gzipWrap(deflateCompress(data).bytes, data);
+    member[member.size() / 2] ^= 0x55;
+    auto res = gzipUnwrap(member);
+    // Either inflate fails outright or the CRC catches it.
+    EXPECT_FALSE(res.ok);
+}
+
+TEST(Gzip, FullHeaderFieldsRoundTrip)
+{
+    auto data = sampleData(20000, 20);
+    deflate::GzipWriteOptions opts;
+    opts.name = "payload.bin";
+    opts.comment = "produced by nxsim";
+    opts.extra = {0x41, 0x42, 0x04, 0x00, 1, 2, 3, 4};    // subfield
+    opts.mtime = 1720000000;
+    opts.headerCrc = true;
+    auto member = deflate::gzipWrapEx(
+        deflate::deflateCompress(data).bytes, data, opts);
+
+    auto res = deflate::gzipUnwrap(member);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.header.name, "payload.bin");
+    EXPECT_EQ(res.header.comment, "produced by nxsim");
+    EXPECT_EQ(res.header.extra, opts.extra);
+    EXPECT_EQ(res.header.mtime, 1720000000u);
+    EXPECT_TRUE(res.header.hcrcPresent);
+    EXPECT_TRUE(res.header.hcrcValid);
+    EXPECT_EQ(res.inflate.bytes, data);
+}
+
+TEST(Gzip, HeaderCrcCatchesHeaderCorruption)
+{
+    auto data = sampleData(1000, 21);
+    deflate::GzipWriteOptions opts;
+    opts.name = "x";
+    opts.headerCrc = true;
+    auto member = deflate::gzipWrapEx(
+        deflate::deflateCompress(data).bytes, data, opts);
+    member[10] ^= 0x01;    // corrupt the name field
+    auto res = deflate::gzipUnwrap(member);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error, "header CRC mismatch");
+}
+
+TEST(Gzip, TruncatedExtraRejected)
+{
+    auto data = sampleData(100, 22);
+    deflate::GzipWriteOptions opts;
+    opts.extra = std::vector<uint8_t>(64, 0x5a);
+    auto member = deflate::gzipWrapEx(
+        deflate::deflateCompress(data).bytes, data, opts);
+    member.resize(14);    // cuts inside FEXTRA
+    auto res = deflate::gzipUnwrap(member);
+    EXPECT_FALSE(res.ok);
+}
+
+TEST(Zlib, RoundTrip)
+{
+    auto data = sampleData(30000, 8);
+    auto raw = deflateCompress(data).bytes;
+    auto stream = zlibWrap(raw, data);
+    auto res = zlibUnwrap(stream);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.inflate.bytes, data);
+}
+
+TEST(Zlib, HeaderCheckBitsValid)
+{
+    auto data = sampleData(10, 9);
+    for (int level : {0, 1, 6, 9}) {
+        auto stream = zlibWrap(deflateCompress(data).bytes, data, level);
+        unsigned cmf = stream[0], flg = stream[1];
+        EXPECT_EQ((cmf * 256 + flg) % 31, 0u) << "level " << level;
+        EXPECT_EQ(cmf & 0x0f, 8u);
+    }
+}
+
+TEST(Zlib, AdlerMismatchDetected)
+{
+    auto data = sampleData(1000, 10);
+    auto stream = zlibWrap(deflateCompress(data).bytes, data);
+    stream[stream.size() - 1] ^= 0x01;
+    auto res = zlibUnwrap(stream);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error, "Adler-32 mismatch");
+}
+
+TEST(Zlib, FcheckFailureRejected)
+{
+    auto data = sampleData(100, 11);
+    auto stream = zlibWrap(deflateCompress(data).bytes, data);
+    stream[1] ^= 0x01;
+    auto res = zlibUnwrap(stream);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error, "FCHECK failed");
+}
+
+TEST(Zlib, TooShortRejected)
+{
+    std::vector<uint8_t> stream = {0x78, 0x9c};
+    auto res = zlibUnwrap(stream);
+    EXPECT_FALSE(res.ok);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parameterized property suite over the accelerator engines: for a
+ * grid of (generation, mode, data shape, size), every compressed
+ * stream must round-trip through the independent software inflater
+ * with correct checksums, and the timing model must respect its
+ * invariants (peak-rate bound, monotonicity in input size).
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/device.h"
+#include "core/topology.h"
+#include "deflate/gzip_stream.h"
+#include "util/crc32.h"
+#include "workloads/corpus.h"
+
+namespace {
+
+enum class Gen { P9, Z15 };
+enum class Data { Text, Log, Json, Binary, Random, Zeros, Mixed };
+
+const char *
+genName(Gen g)
+{
+    return g == Gen::P9 ? "P9" : "Z15";
+}
+
+const char *
+dataName(Data d)
+{
+    switch (d) {
+      case Data::Text: return "Text";
+      case Data::Log: return "Log";
+      case Data::Json: return "Json";
+      case Data::Binary: return "Binary";
+      case Data::Random: return "Random";
+      case Data::Zeros: return "Zeros";
+      case Data::Mixed: return "Mixed";
+    }
+    return "?";
+}
+
+const char *
+modeName(core::Mode m)
+{
+    switch (m) {
+      case core::Mode::Fht: return "Fht";
+      case core::Mode::DhtSampled: return "DhtSampled";
+      case core::Mode::DhtTwoPass: return "DhtTwoPass";
+      case core::Mode::Auto: return "Auto";
+    }
+    return "?";
+}
+
+std::vector<uint8_t>
+makeData(Data d, size_t n, uint64_t seed)
+{
+    switch (d) {
+      case Data::Text: return workloads::makeText(n, seed);
+      case Data::Log: return workloads::makeLog(n, seed);
+      case Data::Json: return workloads::makeJson(n, seed);
+      case Data::Binary: return workloads::makeBinary(n, seed);
+      case Data::Random: return workloads::makeRandom(n, seed);
+      case Data::Zeros: return workloads::makeZeros(n);
+      case Data::Mixed: return workloads::makeMixed(n, seed);
+    }
+    return {};
+}
+
+using Param = std::tuple<Gen, core::Mode, Data, size_t>;
+
+std::string
+paramName(const ::testing::TestParamInfo<Param> &info)
+{
+    return std::string(genName(std::get<0>(info.param))) + "_" +
+        modeName(std::get<1>(info.param)) + "_" +
+        dataName(std::get<2>(info.param)) + "_" +
+        std::to_string(std::get<3>(info.param));
+}
+
+} // namespace
+
+class EngineProperty : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(EngineProperty, RoundTripWithChecksumAndRateBound)
+{
+    auto [gen, mode, data, size] = GetParam();
+    auto cfg = gen == Gen::P9 ? nx::NxConfig::power9()
+                              : nx::NxConfig::z15();
+    auto input = makeData(data, size, 0xabc + size);
+
+    core::NxDevice dev(cfg);
+    auto c = dev.compress(input, nx::Framing::Gzip, mode);
+    ASSERT_TRUE(c.ok());
+
+    // Independent decode path with CRC verification.
+    auto res = deflate::gzipUnwrap(c.data);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.inflate.bytes, input);
+    EXPECT_EQ(c.csb.checksum, util::crc32(input));
+
+    // Device decode path agrees.
+    auto d = dev.decompress(c.data, nx::Framing::Gzip);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d.data, input);
+
+    // Timing invariants.
+    EXPECT_GT(c.engineCycles, 0u);
+    if (!input.empty()) {
+        EXPECT_LE(c.sourceBps(), cfg.peakCompressBps() * 1.01);
+        double out_bps = static_cast<double>(d.data.size()) /
+            d.seconds;
+        EXPECT_LE(out_bps, cfg.peakDecompressBps() * 1.01);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EngineProperty,
+    ::testing::Combine(
+        ::testing::Values(Gen::P9, Gen::Z15),
+        ::testing::Values(core::Mode::Fht, core::Mode::DhtSampled,
+                          core::Mode::DhtTwoPass),
+        ::testing::Values(Data::Text, Data::Log, Data::Json,
+                          Data::Binary, Data::Random, Data::Zeros,
+                          Data::Mixed),
+        ::testing::Values(size_t{0}, size_t{1}, size_t{4096},
+                          size_t{100000})),
+    paramName);
+
+/** Size monotonicity of the compress timing model, per generation. */
+class EngineTiming : public ::testing::TestWithParam<Gen>
+{
+};
+
+TEST_P(EngineTiming, CyclesMonotonicInSize)
+{
+    auto cfg = GetParam() == Gen::P9 ? nx::NxConfig::power9()
+                                     : nx::NxConfig::z15();
+    core::NxDevice dev(cfg);
+    auto base = workloads::makeText(1 << 20, 7);
+    sim::Tick prev = 0;
+    for (size_t size : {size_t{16} << 10, size_t{128} << 10,
+                        size_t{1} << 20}) {
+        auto c = dev.compress(
+            std::span<const uint8_t>(base.data(), size),
+            nx::Framing::Raw, core::Mode::DhtSampled);
+        ASSERT_TRUE(c.ok());
+        EXPECT_GT(c.engineCycles, prev);
+        prev = c.engineCycles;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gens, EngineTiming,
+    ::testing::Values(Gen::P9, Gen::Z15),
+    [](const ::testing::TestParamInfo<Gen> &info) {
+        return std::string(genName(info.param));
+    });

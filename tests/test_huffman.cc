@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Huffman coder tests: canonical code construction, length limiting,
+ * decode-table validity checks, and encode/decode round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "deflate/huffman.h"
+#include "util/prng.h"
+
+using deflate::buildCodeLengths;
+using deflate::HuffmanCode;
+using deflate::HuffmanDecodeTable;
+
+namespace {
+
+/** Kraft sum in units of 2^-max over nonzero lengths. */
+uint64_t
+kraftSum(const std::vector<uint8_t> &lengths, int max_bits)
+{
+    uint64_t k = 0;
+    for (uint8_t l : lengths)
+        if (l)
+            k += 1ull << (max_bits - l);
+    return k;
+}
+
+} // namespace
+
+TEST(BuildCodeLengths, EmptyFrequencies)
+{
+    std::vector<uint64_t> freqs(10, 0);
+    auto lengths = buildCodeLengths(freqs, 15);
+    for (uint8_t l : lengths)
+        EXPECT_EQ(l, 0);
+}
+
+TEST(BuildCodeLengths, SingleSymbolGetsOneBit)
+{
+    std::vector<uint64_t> freqs(10, 0);
+    freqs[3] = 100;
+    auto lengths = buildCodeLengths(freqs, 15);
+    EXPECT_EQ(lengths[3], 1);
+    for (size_t i = 0; i < lengths.size(); ++i) {
+        if (i != 3) {
+            EXPECT_EQ(lengths[i], 0);
+        }
+    }
+}
+
+TEST(BuildCodeLengths, TwoSymbols)
+{
+    std::vector<uint64_t> freqs = {5, 0, 1000};
+    auto lengths = buildCodeLengths(freqs, 15);
+    EXPECT_EQ(lengths[0], 1);
+    EXPECT_EQ(lengths[2], 1);
+    EXPECT_EQ(lengths[1], 0);
+}
+
+TEST(BuildCodeLengths, KraftCompleteness)
+{
+    util::Xoshiro256 rng(123);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<uint64_t> freqs(286);
+        for (auto &f : freqs)
+            f = rng.below(1000);
+        auto lengths = buildCodeLengths(freqs, 15);
+        int used = 0;
+        for (uint8_t l : lengths)
+            if (l)
+                ++used;
+        if (used >= 2) {
+            EXPECT_EQ(kraftSum(lengths, 15), 1ull << 15);
+        }
+    }
+}
+
+TEST(BuildCodeLengths, RespectsMaxBitsWithSkewedFreqs)
+{
+    // Fibonacci-like frequencies force deep unbalanced trees.
+    std::vector<uint64_t> freqs(40);
+    uint64_t a = 1, b = 1;
+    for (auto &f : freqs) {
+        f = a;
+        uint64_t t = a + b;
+        a = b;
+        b = t;
+    }
+    auto lengths = buildCodeLengths(freqs, 15);
+    for (uint8_t l : lengths) {
+        EXPECT_GT(l, 0);
+        EXPECT_LE(l, 15);
+    }
+    EXPECT_EQ(kraftSum(lengths, 15), 1ull << 15);
+
+    auto lengths7 = buildCodeLengths(freqs, 7);
+    // 40 symbols cannot all fit in 7 bits... 2^7=128 >= 40, they can.
+    for (uint8_t l : lengths7)
+        EXPECT_LE(l, 7);
+    EXPECT_EQ(kraftSum(lengths7, 7), 1ull << 7);
+}
+
+TEST(BuildCodeLengths, FrequentSymbolsGetShorterCodes)
+{
+    std::vector<uint64_t> freqs = {1000, 1, 1, 1, 1, 1, 1, 1};
+    auto lengths = buildCodeLengths(freqs, 15);
+    for (size_t i = 1; i < freqs.size(); ++i)
+        EXPECT_LE(lengths[0], lengths[i]);
+}
+
+TEST(HuffmanCode, FixedLitLenMatchesRfc)
+{
+    const auto &c = HuffmanCode::fixedLitLen();
+    EXPECT_EQ(c.length(0), 8);
+    EXPECT_EQ(c.length(143), 8);
+    EXPECT_EQ(c.length(144), 9);
+    EXPECT_EQ(c.length(255), 9);
+    EXPECT_EQ(c.length(256), 7);
+    EXPECT_EQ(c.length(279), 7);
+    EXPECT_EQ(c.length(280), 8);
+    EXPECT_EQ(c.length(287), 8);
+    // RFC 1951: literal 0 encodes as 00110000 (MSB-first); our stored
+    // code is bit-reversed for the LSB-first writer.
+    EXPECT_EQ(c.code(0), util::reverseBits(0b00110000, 8));
+    // Symbol 256 encodes as 0000000.
+    EXPECT_EQ(c.code(256), 0u);
+}
+
+TEST(HuffmanCode, CanonicalOrdering)
+{
+    // lengths {2,1,3,3} -> canonical codes per RFC: B=0, A=10, C=110,
+    // D=111.
+    std::vector<uint8_t> lengths = {2, 1, 3, 3};
+    HuffmanCode c(lengths);
+    EXPECT_EQ(c.code(1), util::reverseBits(0b0, 1));
+    EXPECT_EQ(c.code(0), util::reverseBits(0b10, 2));
+    EXPECT_EQ(c.code(2), util::reverseBits(0b110, 3));
+    EXPECT_EQ(c.code(3), util::reverseBits(0b111, 3));
+}
+
+TEST(HuffmanCode, CostBitsSums)
+{
+    std::vector<uint8_t> lengths = {2, 1, 3, 3};
+    HuffmanCode c(lengths);
+    std::vector<uint64_t> freqs = {10, 20, 5, 1};
+    EXPECT_EQ(c.costBits(freqs), 10u * 2 + 20u * 1 + 5u * 3 + 1u * 3);
+}
+
+TEST(HuffmanDecodeTable, RejectsOversubscribed)
+{
+    std::vector<uint8_t> lengths = {1, 1, 1};    // Kraft sum 1.5
+    HuffmanDecodeTable t;
+    EXPECT_FALSE(t.init(lengths));
+}
+
+TEST(HuffmanDecodeTable, RejectsIncompleteMultiSymbol)
+{
+    std::vector<uint8_t> lengths = {2, 2, 2};    // Kraft sum 0.75
+    HuffmanDecodeTable t;
+    EXPECT_FALSE(t.init(lengths));
+}
+
+TEST(HuffmanDecodeTable, AcceptsDegenerateSingleSymbol)
+{
+    std::vector<uint8_t> lengths = {0, 1, 0};
+    HuffmanDecodeTable t;
+    EXPECT_TRUE(t.init(lengths));
+}
+
+TEST(HuffmanDecodeTable, RoundTripRandomAlphabets)
+{
+    util::Xoshiro256 rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        size_t nsyms = 2 + rng.below(280);
+        std::vector<uint64_t> freqs(nsyms);
+        for (auto &f : freqs)
+            f = rng.below(500);
+        freqs[0] = 1;    // ensure at least one used symbol
+        auto lengths = buildCodeLengths(freqs, 15);
+        HuffmanCode code(lengths);
+        HuffmanDecodeTable table;
+        ASSERT_TRUE(table.init(lengths));
+
+        // Encode a random symbol sequence drawn from used symbols.
+        std::vector<int> used;
+        for (size_t s = 0; s < nsyms; ++s)
+            if (lengths[s])
+                used.push_back(static_cast<int>(s));
+        ASSERT_FALSE(used.empty());
+
+        std::vector<int> msg(200);
+        util::BitWriter bw;
+        for (auto &m : msg) {
+            m = used[rng.below(used.size())];
+            code.writeSymbol(bw, m);
+        }
+        auto bytes = bw.take();
+        util::BitReader br(bytes);
+        for (int expected : msg)
+            ASSERT_EQ(table.decode(br), expected);
+    }
+}
+
+TEST(HuffmanDecodeTable, SevenBitClcAlphabet)
+{
+    std::vector<uint64_t> freqs(19, 3);
+    auto lengths = buildCodeLengths(freqs, 7);
+    HuffmanCode code(lengths);
+    HuffmanDecodeTable table;
+    ASSERT_TRUE(table.init(lengths, 7));
+    util::BitWriter bw;
+    for (int s = 0; s < 19; ++s)
+        code.writeSymbol(bw, s);
+    auto bytes = bw.take();
+    util::BitReader br(bytes);
+    for (int s = 0; s < 19; ++s)
+        ASSERT_EQ(table.decode(br), s);
+}

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Inflater tests against hand-constructed streams (independent of our
+ * encoder) and malformed-input error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "deflate/constants.h"
+#include "deflate/inflate_decoder.h"
+#include "util/bitstream.h"
+
+using deflate::inflateDecompress;
+using deflate::InflateStatus;
+using util::BitWriter;
+
+namespace {
+
+/** Write a fixed-Huffman literal symbol (RFC 1951 3.2.6). */
+void
+writeFixedLiteral(BitWriter &bw, int sym)
+{
+    ASSERT_LT(sym, 144);
+    // Symbols 0..143: 8-bit codes 00110000..10111111, MSB first.
+    uint32_t code = 0b00110000 + static_cast<uint32_t>(sym);
+    bw.writeBits(util::reverseBits(code, 8), 8);
+}
+
+/** Write the fixed-Huffman end-of-block symbol (7 zero bits). */
+void
+writeFixedEob(BitWriter &bw)
+{
+    bw.writeBits(0, 7);
+}
+
+} // namespace
+
+TEST(Inflate, HandBuiltFixedBlock)
+{
+    // BFINAL=1, BTYPE=01 (fixed), literals "Hi", EOB.
+    BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(1, 2);
+    writeFixedLiteral(bw, 'H');
+    writeFixedLiteral(bw, 'i');
+    writeFixedEob(bw);
+    auto stream = bw.take();
+
+    auto res = inflateDecompress(stream);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(std::string(res.bytes.begin(), res.bytes.end()), "Hi");
+    EXPECT_EQ(res.stats.fixedBlocks, 1u);
+    EXPECT_EQ(res.stats.literals, 2u);
+}
+
+TEST(Inflate, HandBuiltFixedBlockWithMatch)
+{
+    // "abcabc": 3 literals then match(len=3, dist=3).
+    BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(1, 2);
+    writeFixedLiteral(bw, 'a');
+    writeFixedLiteral(bw, 'b');
+    writeFixedLiteral(bw, 'c');
+    // Length 3 = code 257 -> fixed code space 0000001 (7 bits), no extra.
+    bw.writeBits(util::reverseBits(0b0000001, 7), 7);
+    // Distance 3 = code 2 -> 5-bit code 00010, no extra.
+    bw.writeBits(util::reverseBits(0b00010, 5), 5);
+    writeFixedEob(bw);
+    auto stream = bw.take();
+
+    auto res = inflateDecompress(stream);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(std::string(res.bytes.begin(), res.bytes.end()), "abcabc");
+    EXPECT_EQ(res.stats.matches, 1u);
+    EXPECT_EQ(res.stats.matchedBytes, 3u);
+}
+
+TEST(Inflate, HandBuiltStoredBlock)
+{
+    BitWriter bw;
+    bw.writeBits(1, 1);    // BFINAL
+    bw.writeBits(0, 2);    // stored
+    bw.alignToByte();
+    bw.writeU16le(5);
+    bw.writeU16le(static_cast<uint16_t>(~5));
+    const char *payload = "hello";
+    bw.writeBytes(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(payload), 5));
+    auto stream = bw.take();
+
+    auto res = inflateDecompress(stream);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(std::string(res.bytes.begin(), res.bytes.end()), "hello");
+    EXPECT_EQ(res.stats.storedBlocks, 1u);
+}
+
+TEST(Inflate, MultipleBlocks)
+{
+    BitWriter bw;
+    // Non-final stored block "ab".
+    bw.writeBits(0, 1);
+    bw.writeBits(0, 2);
+    bw.alignToByte();
+    bw.writeU16le(2);
+    bw.writeU16le(static_cast<uint16_t>(~2));
+    bw.writeByte('a');
+    bw.writeByte('b');
+    // Final fixed block "c".
+    bw.writeBits(1, 1);
+    bw.writeBits(1, 2);
+    writeFixedLiteral(bw, 'c');
+    writeFixedEob(bw);
+    auto stream = bw.take();
+
+    auto res = inflateDecompress(stream);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(std::string(res.bytes.begin(), res.bytes.end()), "abc");
+}
+
+TEST(Inflate, EmptyInputIsTruncated)
+{
+    auto res = inflateDecompress({});
+    EXPECT_EQ(res.status, InflateStatus::TruncatedInput);
+}
+
+TEST(Inflate, BadBlockTypeRejected)
+{
+    BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(3, 2);    // BTYPE=11 reserved
+    bw.writeBits(0, 16);
+    auto stream = bw.take();
+    auto res = inflateDecompress(stream);
+    EXPECT_EQ(res.status, InflateStatus::BadBlockType);
+}
+
+TEST(Inflate, StoredLengthComplementChecked)
+{
+    BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(0, 2);
+    bw.alignToByte();
+    bw.writeU16le(5);
+    bw.writeU16le(1234);    // wrong NLEN
+    auto stream = bw.take();
+    auto res = inflateDecompress(stream);
+    EXPECT_EQ(res.status, InflateStatus::BadStoredLength);
+}
+
+TEST(Inflate, TruncatedStoredPayload)
+{
+    BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(0, 2);
+    bw.alignToByte();
+    bw.writeU16le(100);
+    bw.writeU16le(static_cast<uint16_t>(~100));
+    bw.writeByte('x');    // only 1 of 100 bytes
+    auto stream = bw.take();
+    auto res = inflateDecompress(stream);
+    EXPECT_EQ(res.status, InflateStatus::TruncatedInput);
+}
+
+TEST(Inflate, DistanceBeyondOutputRejected)
+{
+    BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(1, 2);
+    writeFixedLiteral(bw, 'a');
+    // match len 3, dist 4 (> 1 byte of history).
+    bw.writeBits(util::reverseBits(0b0000001, 7), 7);
+    bw.writeBits(util::reverseBits(0b00011, 5), 5);    // dist code 3 = 4
+    writeFixedEob(bw);
+    auto stream = bw.take();
+    auto res = inflateDecompress(stream);
+    EXPECT_EQ(res.status, InflateStatus::BadDistance);
+}
+
+TEST(Inflate, TruncatedMidSymbol)
+{
+    BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(1, 2);
+    writeFixedLiteral(bw, 'a');
+    // Stream ends with no EOB; the trailing zero padding of take()
+    // decodes as part of an incomplete symbol or EOB+overrun.
+    auto stream = bw.take();
+    auto res = inflateDecompress(stream);
+    // Zero padding happens to look like EOB (0000000) here, so Ok is
+    // acceptable; anything but a crash/garbage is fine. Accept either
+    // Ok with "a" or TruncatedInput.
+    if (res.ok())
+        EXPECT_EQ(res.bytes.size(), 1u);
+    else
+        EXPECT_EQ(res.status, InflateStatus::TruncatedInput);
+}
+
+TEST(Inflate, OutputLimitEnforced)
+{
+    // 1 MiB of zeros compresses tiny; cap output at 1000 bytes.
+    BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(1, 2);
+    writeFixedLiteral(bw, 0);
+    // Repeat match(len=258, dist=1) many times.
+    for (int i = 0; i < 100; ++i) {
+        // Length 258 = code 285: fixed litlen code 11000101 (8 bits).
+        bw.writeBits(util::reverseBits(0b11000101, 8), 8);
+        bw.writeBits(util::reverseBits(0b00000, 5), 5);    // dist 1
+    }
+    writeFixedEob(bw);
+    auto stream = bw.take();
+    auto res = inflateDecompress(stream, 1000);
+    EXPECT_EQ(res.status, InflateStatus::OutputLimit);
+}
+
+TEST(Inflate, GarbageInputDoesNotCrash)
+{
+    util::BitWriter bw;
+    for (int i = 0; i < 256; ++i)
+        bw.writeByte(static_cast<uint8_t>(i * 37 + 11));
+    auto stream = bw.take();
+    auto res = inflateDecompress(stream);
+    // Any error status is acceptable; only Ok would be suspicious for
+    // this particular byte pattern (and even Ok is legal in principle).
+    SUCCEED();
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * DHT generator tests: sampled vs two-pass table quality, completeness
+ * of sampled codes (every symbol encodable), and cycle accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deflate/constants.h"
+#include "nx/dht_generator.h"
+#include "nx/match_pipeline.h"
+#include "workloads/corpus.h"
+
+using nx::DhtGenerator;
+using nx::DhtMode;
+using nx::MatchPipeline;
+using nx::NxConfig;
+
+class DhtTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cfg_ = NxConfig::power9();
+        input_ = workloads::makeText(512 * 1024, 61);
+        MatchPipeline pipe(cfg_);
+        tokens_ = pipe.run(input_).tokens;
+    }
+
+    NxConfig cfg_;
+    std::vector<uint8_t> input_;
+    std::vector<deflate::Token> tokens_;
+};
+
+TEST_F(DhtTest, SampledCodesCoverWholeAlphabet)
+{
+    DhtGenerator gen(cfg_);
+    auto res = gen.generate(tokens_, input_.size(), DhtMode::Sampled,
+                            4096);
+    // The frequency floor guarantees every symbol a code, so tokens in
+    // the unsampled tail can never hit a zero-length code.
+    for (int s = 0; s < deflate::kNumLitLen; ++s)
+        EXPECT_GT(res.codes.litlen.length(s), 0) << "litlen " << s;
+    for (int s = 0; s < deflate::kNumDist; ++s)
+        EXPECT_GT(res.codes.dist.length(s), 0) << "dist " << s;
+}
+
+TEST_F(DhtTest, SampleBytesCapped)
+{
+    DhtGenerator gen(cfg_);
+    auto res = gen.generate(tokens_, input_.size(), DhtMode::Sampled,
+                            8192);
+    EXPECT_LE(res.sampleBytes, 8192u + deflate::kMaxMatch);
+    auto resAll = gen.generate(tokens_, input_.size(),
+                               DhtMode::Sampled, 1u << 30);
+    EXPECT_LE(resAll.sampleBytes, input_.size());
+}
+
+TEST_F(DhtTest, TwoPassCostsMoreCyclesThanSampled)
+{
+    DhtGenerator gen(cfg_);
+    auto sampled = gen.generate(tokens_, input_.size(),
+                                DhtMode::Sampled, 16384);
+    auto twoPass = gen.generate(tokens_, input_.size(),
+                                DhtMode::TwoPass);
+    EXPECT_LT(sampled.cycles, twoPass.cycles);
+}
+
+TEST_F(DhtTest, TwoPassTablesAtLeastAsGoodAsSampled)
+{
+    DhtGenerator gen(cfg_);
+    auto sampled = gen.generate(tokens_, input_.size(),
+                                DhtMode::Sampled, 4096);
+    auto twoPass = gen.generate(tokens_, input_.size(),
+                                DhtMode::TwoPass);
+
+    deflate::SymbolFreqs freqs;
+    freqs.accumulate(tokens_);
+    uint64_t costSampled = deflate::tokenCostBits(
+        freqs, sampled.codes.litlen, sampled.codes.dist);
+    uint64_t costTwoPass = deflate::tokenCostBits(
+        freqs, twoPass.codes.litlen, twoPass.codes.dist);
+    EXPECT_LE(costTwoPass, costSampled);
+}
+
+TEST_F(DhtTest, LargerSamplesImproveTables)
+{
+    DhtGenerator gen(cfg_);
+    deflate::SymbolFreqs freqs;
+    freqs.accumulate(tokens_);
+
+    uint64_t prev_cost = UINT64_MAX;
+    for (uint64_t sample : {1024u, 16384u, 262144u}) {
+        auto res = gen.generate(tokens_, input_.size(),
+                                DhtMode::Sampled, sample);
+        uint64_t cost = deflate::tokenCostBits(
+            freqs, res.codes.litlen, res.codes.dist);
+        // Not strictly monotone in theory, but for homogeneous text it
+        // should be (allow 1 % slack).
+        EXPECT_LE(cost, prev_cost + prev_cost / 100) << sample;
+        prev_cost = cost;
+    }
+}
+
+TEST_F(DhtTest, CyclesIncludeBuildCost)
+{
+    DhtGenerator gen(cfg_);
+    auto res = gen.generate(tokens_, input_.size(), DhtMode::Sampled,
+                            1024);
+    EXPECT_GE(res.cycles, cfg_.dhtBuildCycles);
+}
+
+TEST_F(DhtTest, EmptyTokenStream)
+{
+    DhtGenerator gen(cfg_);
+    std::vector<deflate::Token> empty;
+    auto res = gen.generate(empty, 0, DhtMode::TwoPass);
+    // EOB must still be encodable.
+    EXPECT_GT(res.codes.litlen.length(deflate::kEob), 0);
+}

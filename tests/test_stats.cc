@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for RunningStat, Percentiles and StatSet.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+#include "util/table.h"
+
+using util::Percentiles;
+using util::RunningStat;
+using util::StatSet;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMaxSum)
+{
+    RunningStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, VarianceMatchesDefinition)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    // Sample variance of the classic dataset = 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Percentiles, ExactOnSmallSet)
+{
+    Percentiles p;
+    for (int i = 1; i <= 100; ++i)
+        p.add(i);
+    EXPECT_NEAR(p.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(p.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(p.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(p.percentile(99), 99.01, 0.01);
+}
+
+TEST(Percentiles, EmptyReturnsZero)
+{
+    Percentiles p;
+    EXPECT_DOUBLE_EQ(p.percentile(50), 0.0);
+}
+
+TEST(StatSet, IncrementAndGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("missing"), 0u);
+    s.inc("cycles");
+    s.inc("cycles", 9);
+    EXPECT_EQ(s.get("cycles"), 10u);
+    s.set("cycles", 3);
+    EXPECT_EQ(s.get("cycles"), 3u);
+}
+
+TEST(StatSet, DumpIsSortedAndPrefixed)
+{
+    StatSet s;
+    s.inc("b", 2);
+    s.inc("a", 1);
+    std::string d = s.dump("eng0");
+    EXPECT_NE(d.find("eng0.a = 1"), std::string::npos);
+    EXPECT_NE(d.find("eng0.b = 2"), std::string::npos);
+    EXPECT_LT(d.find("eng0.a"), d.find("eng0.b"));
+}
+
+TEST(Table, RendersHeaderAndRows)
+{
+    util::Table t("demo");
+    t.header({"col1", "column2"});
+    t.row({"a", "b"});
+    t.row({"longer", "x"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("col1"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(util::Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(util::Table::fmtBytes(2048), "2.00 KiB");
+    EXPECT_EQ(util::Table::fmtRate(2.5e9), "2.50 GB/s");
+}

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Streaming codec tests: DeflateStream window carry and flush
+ * semantics, InflateStream resumability at arbitrary split points,
+ * and property-style random chunking round trips between all four
+ * encoder/decoder combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deflate/deflate_stream.h"
+#include "deflate/inflate_decoder.h"
+#include "deflate/inflate_stream.h"
+#include "util/prng.h"
+#include "workloads/corpus.h"
+
+using deflate::DeflateOptions;
+using deflate::DeflateStream;
+using deflate::Flush;
+using deflate::InflateStream;
+using deflate::StreamStatus;
+
+namespace {
+
+/** Compress via the streaming encoder in chunks of @p chunk bytes. */
+std::vector<uint8_t>
+streamCompress(std::span<const uint8_t> input, size_t chunk,
+               int level = 6)
+{
+    DeflateOptions opts;
+    opts.level = level;
+    DeflateStream ds(opts);
+    std::vector<uint8_t> out;
+    size_t off = 0;
+    while (off < input.size()) {
+        size_t n = std::min(chunk, input.size() - off);
+        bool last = off + n >= input.size();
+        ds.write(input.subspan(off, n),
+                 last ? Flush::Finish : Flush::None, out);
+        off += n;
+    }
+    if (input.empty())
+        ds.write({}, Flush::Finish, out);
+    return out;
+}
+
+/** Decompress via the streaming decoder in chunks of @p chunk bytes. */
+bool
+streamDecompress(std::span<const uint8_t> stream, size_t chunk,
+                 std::vector<uint8_t> &out)
+{
+    InflateStream is;
+    size_t off = 0;
+    while (off < stream.size()) {
+        size_t n = std::min(chunk, stream.size() - off);
+        auto st = is.feed(stream.subspan(off, n), out);
+        if (st == StreamStatus::Error)
+            return false;
+        off += n;
+        if (st == StreamStatus::Done)
+            return true;
+    }
+    return is.feed({}, out) == StreamStatus::Done;
+}
+
+} // namespace
+
+TEST(DeflateStream, SingleShotMatchesOneShotSemantics)
+{
+    auto input = workloads::makeText(100000, 81);
+    auto stream = streamCompress(input, input.size());
+    auto res = deflate::inflateDecompress(stream);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.bytes, input);
+}
+
+TEST(DeflateStream, TinyChunksRoundTrip)
+{
+    auto input = workloads::makeLog(50000, 82);
+    auto stream = streamCompress(input, 777);
+    auto res = deflate::inflateDecompress(stream);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.bytes, input);
+}
+
+TEST(DeflateStream, WindowCarryCompressesAcrossChunks)
+{
+    // The same 4 KiB page fed repeatedly in separate chunks: with
+    // window carry, chunks 2..N should compress to almost nothing.
+    auto page = workloads::makeText(4096, 83);
+    DeflateStream ds;
+    std::vector<uint8_t> out;
+    for (int i = 0; i < 16; ++i)
+        ds.write(page, Flush::None, out);
+    ds.write({}, Flush::Finish, out);
+
+    auto res = deflate::inflateDecompress(out);
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(res.bytes.size(), page.size() * 16);
+    // Cross-chunk matches must make this far smaller than 16
+    // independent compressions of the page.
+    deflate::DeflateOptions opts;
+    auto one = deflate::deflateCompress(page, opts);
+    EXPECT_LT(out.size(), one.bytes.size() * 4);
+}
+
+TEST(DeflateStream, SyncFlushMakesPrefixDecodable)
+{
+    auto part1 = workloads::makeJson(20000, 84);
+    auto part2 = workloads::makeJson(20000, 85);
+
+    DeflateStream ds;
+    std::vector<uint8_t> out;
+    ds.write(part1, Flush::Sync, out);
+    size_t sync_point = out.size();
+
+    // The bytes up to the sync point must decode to exactly part1
+    // through the *streaming* decoder.
+    InflateStream is;
+    std::vector<uint8_t> decoded;
+    auto st = is.feed(std::span<const uint8_t>(out.data(), sync_point),
+                      decoded);
+    EXPECT_EQ(st, StreamStatus::NeedMoreInput);    // stream not final
+    EXPECT_EQ(decoded, part1);
+
+    ds.write(part2, Flush::Finish, out);
+    st = is.feed(std::span<const uint8_t>(out.data() + sync_point,
+                                          out.size() - sync_point),
+                 decoded);
+    EXPECT_EQ(st, StreamStatus::Done);
+    std::vector<uint8_t> both(part1);
+    both.insert(both.end(), part2.begin(), part2.end());
+    EXPECT_EQ(decoded, both);
+}
+
+TEST(DeflateStream, SyncFlushEndsOnByteBoundaryWithMarker)
+{
+    auto input = workloads::makeText(10000, 86);
+    DeflateStream ds;
+    std::vector<uint8_t> out;
+    ds.write(input, Flush::Sync, out);
+    ASSERT_GE(out.size(), 4u);
+    // Z_SYNC_FLUSH marker tail: 00 00 FF FF.
+    EXPECT_EQ(out[out.size() - 4], 0x00);
+    EXPECT_EQ(out[out.size() - 3], 0x00);
+    EXPECT_EQ(out[out.size() - 2], 0xff);
+    EXPECT_EQ(out[out.size() - 1], 0xff);
+}
+
+TEST(DeflateStream, EmptyInputFinish)
+{
+    DeflateStream ds;
+    std::vector<uint8_t> out;
+    ds.write({}, Flush::Finish, out);
+    EXPECT_TRUE(ds.finished());
+    auto res = deflate::inflateDecompress(out);
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res.bytes.empty());
+}
+
+TEST(DeflateStream, TotalsTrack)
+{
+    auto input = workloads::makeText(30000, 87);
+    DeflateStream ds;
+    std::vector<uint8_t> out;
+    ds.write(input, Flush::Finish, out);
+    EXPECT_EQ(ds.totalIn(), input.size());
+    EXPECT_EQ(ds.totalOut(), out.size());
+}
+
+TEST(InflateStream, ByteAtATime)
+{
+    auto input = workloads::makeCsv(20000, 88);
+    auto stream = deflate::deflateCompress(input).bytes;
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(streamDecompress(stream, 1, out));
+    EXPECT_EQ(out, input);
+}
+
+TEST(InflateStream, AllBlockTypesByteAtATime)
+{
+    // Level 0 (stored), 1 (mostly fixed for small), 6 (dynamic).
+    for (int level : {0, 1, 6}) {
+        auto input = workloads::makeText(30000, 89);
+        deflate::DeflateOptions opts;
+        opts.level = level;
+        opts.blockBytes = 8192;    // several blocks
+        auto stream = deflate::deflateCompress(input, opts).bytes;
+        std::vector<uint8_t> out;
+        ASSERT_TRUE(streamDecompress(stream, 1, out)) << level;
+        EXPECT_EQ(out, input) << level;
+    }
+}
+
+TEST(InflateStream, ErrorOnGarbage)
+{
+    std::vector<uint8_t> garbage(64, 0x6e);    // BTYPE=3 quickly
+    InflateStream is;
+    std::vector<uint8_t> out;
+    auto st = is.feed(garbage, out);
+    EXPECT_EQ(st, StreamStatus::Error);
+}
+
+TEST(InflateStream, TrailingBytesLeftBuffered)
+{
+    auto input = workloads::makeText(5000, 90);
+    auto stream = deflate::deflateCompress(input).bytes;
+    stream.push_back(0xAA);    // trailer-like extra byte
+    stream.push_back(0xBB);
+    InflateStream is;
+    std::vector<uint8_t> out;
+    auto st = is.feed(stream, out);
+    EXPECT_EQ(st, StreamStatus::Done);
+    EXPECT_EQ(out, input);
+    EXPECT_GE(is.bufferedBits(), 16u);
+}
+
+/** Property sweep: random chunk sizes on both sides. */
+class StreamingChunks : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StreamingChunks, RandomSplitRoundTrip)
+{
+    util::Xoshiro256 rng(static_cast<uint64_t>(GetParam()) * 7919);
+    auto input = workloads::makeMixed(
+        40000 + rng.below(100000), 9000 + GetParam());
+
+    // Random write chunking with occasional sync flushes.
+    DeflateStream ds;
+    std::vector<uint8_t> stream;
+    size_t off = 0;
+    while (off < input.size()) {
+        size_t n = 1 + rng.below(9000);
+        n = std::min(n, input.size() - off);
+        bool last = off + n >= input.size();
+        Flush f = last ? Flush::Finish
+                       : (rng.chance(0.2) ? Flush::Sync : Flush::None);
+        ds.write(std::span<const uint8_t>(input).subspan(off, n), f,
+                 stream);
+        off += n;
+    }
+
+    // Random read chunking.
+    InflateStream is;
+    std::vector<uint8_t> out;
+    size_t roff = 0;
+    StreamStatus st = StreamStatus::NeedMoreInput;
+    while (roff < stream.size()) {
+        size_t n = 1 + rng.below(5000);
+        n = std::min(n, stream.size() - roff);
+        st = is.feed(std::span<const uint8_t>(stream).subspan(roff, n),
+                     out);
+        ASSERT_NE(st, StreamStatus::Error);
+        roff += n;
+    }
+    EXPECT_EQ(st, StreamStatus::Done);
+    EXPECT_EQ(out, input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingChunks,
+                         ::testing::Range(0, 12));
+
+TEST(Streaming, OneShotDecoderAcceptsStreamedOutput)
+{
+    auto input = workloads::makeBinary(60000, 91);
+    auto stream = streamCompress(input, 4096);
+    auto res = deflate::inflateDecompress(stream);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.bytes, input);
+}
+
+TEST(Streaming, StreamingDecoderAcceptsOneShotOutput)
+{
+    auto input = workloads::makeHtml(60000, 92);
+    auto stream = deflate::deflateCompress(input).bytes;
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(streamDecompress(stream, 313, out));
+    EXPECT_EQ(out, input);
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Workload generator tests: determinism, size exactness, and — most
+ * importantly — the compressibility ordering the experiments depend on.
+ * Also covers the TPC-DS generator and the Spark pipeline model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deflate/deflate_encoder.h"
+#include "workloads/corpus.h"
+#include "workloads/spark_model.h"
+#include "workloads/tpcds_gen.h"
+
+namespace {
+
+double
+ratioOf(const std::vector<uint8_t> &data)
+{
+    auto res = deflate::deflateCompress(data);
+    return static_cast<double>(data.size()) /
+        static_cast<double>(res.bytes.size());
+}
+
+} // namespace
+
+TEST(Corpus, ExactSizes)
+{
+    for (size_t n : {size_t{1}, size_t{1000}, size_t{65536}}) {
+        EXPECT_EQ(workloads::makeText(n, 1).size(), n);
+        EXPECT_EQ(workloads::makeLog(n, 1).size(), n);
+        EXPECT_EQ(workloads::makeJson(n, 1).size(), n);
+        EXPECT_EQ(workloads::makeCsv(n, 1).size(), n);
+        EXPECT_EQ(workloads::makeSource(n, 1).size(), n);
+        EXPECT_EQ(workloads::makeHtml(n, 1).size(), n);
+        EXPECT_EQ(workloads::makeBinary(n, 1).size(), n);
+        EXPECT_EQ(workloads::makeRandom(n, 1).size(), n);
+        EXPECT_EQ(workloads::makeZeros(n).size(), n);
+        EXPECT_EQ(workloads::makeMixed(n, 1).size(), n);
+    }
+}
+
+TEST(Corpus, Deterministic)
+{
+    auto a = workloads::makeLog(10000, 42);
+    auto b = workloads::makeLog(10000, 42);
+    EXPECT_EQ(a, b);
+    auto c = workloads::makeLog(10000, 43);
+    EXPECT_NE(a, c);
+}
+
+TEST(Corpus, CompressibilityOrdering)
+{
+    const size_t n = 256 * 1024;
+    double zeros = ratioOf(workloads::makeZeros(n));
+    double html = ratioOf(workloads::makeHtml(n, 2));
+    double text = ratioOf(workloads::makeText(n, 2));
+    double binary = ratioOf(workloads::makeBinary(n, 2));
+    double random = ratioOf(workloads::makeRandom(n, 2));
+
+    EXPECT_GT(zeros, 100.0);
+    EXPECT_GT(html, text);
+    EXPECT_GT(text, 1.5);
+    EXPECT_GT(binary, 1.3);
+    EXPECT_LT(random, 1.01);
+    EXPECT_GT(binary, random);
+}
+
+TEST(Corpus, StandardSuiteShape)
+{
+    auto suite = workloads::standardCorpus(4096);
+    EXPECT_EQ(suite.size(), 9u);
+    EXPECT_EQ(suite.front().name, "zeros");
+    EXPECT_EQ(suite.back().name, "random");
+    for (const auto &f : suite)
+        EXPECT_EQ(f.data.size(), 4096u);
+}
+
+TEST(Tpcds, StoreSalesShape)
+{
+    auto data = workloads::makeStoreSales(100000);
+    EXPECT_EQ(data.size(), 100000u);
+    // Pipe-delimited rows with newlines.
+    size_t pipes = 0, newlines = 0;
+    for (uint8_t b : data) {
+        pipes += b == '|';
+        newlines += b == '\n';
+    }
+    EXPECT_GT(newlines, 500u);
+    EXPECT_GT(pipes, newlines * 7);
+    // DB rows compress well (the premise of the whole paper).
+    EXPECT_GT(ratioOf(data), 2.0);
+}
+
+TEST(Tpcds, ShufflePartitionCompressesWell)
+{
+    auto data = workloads::makeShufflePartition(100000);
+    EXPECT_GT(ratioOf(data), 2.5);
+}
+
+TEST(SparkModel, QuerySuiteDeterministic)
+{
+    auto a = workloads::makeTpcdsQueries(10, 7, 1000.0);
+    auto b = workloads::makeTpcdsQueries(10, 7, 1000.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].stages.size(), b[i].stages.size());
+        EXPECT_EQ(a[i].stages[0].storageReadBytes,
+                  b[i].stages[0].storageReadBytes);
+    }
+}
+
+TEST(SparkModel, FasterCodecNeverSlower)
+{
+    auto queries = workloads::makeTpcdsQueries(10, 7, 1000.0);
+    workloads::ClusterConfig cluster;
+
+    workloads::CodecModel slow{"sw", 40e6, 200e6, 3.0, true};
+    workloads::CodecModel fast{"accel", 8e9, 16e9, 2.8, false};
+
+    auto cmp = workloads::compareSuite(queries, cluster, slow, fast);
+    EXPECT_GT(cmp.speedupPct, 0.0);
+    EXPECT_LT(cmp.speedupPct, 100.0);
+    EXPECT_GT(cmp.totalA, cmp.totalB);
+}
+
+TEST(SparkModel, IdenticalCodecsNoSpeedup)
+{
+    auto queries = workloads::makeTpcdsQueries(5, 9, 500.0);
+    workloads::ClusterConfig cluster;
+    workloads::CodecModel c{"sw", 40e6, 200e6, 3.0, true};
+    auto cmp = workloads::compareSuite(queries, cluster, c, c);
+    EXPECT_NEAR(cmp.speedupPct, 0.0, 1e-9);
+}
+
+TEST(SparkModel, CodecShareBoundsSpeedup)
+{
+    // Amdahl: end-to-end speedup cannot exceed the baseline codec
+    // share of runtime.
+    auto queries = workloads::makeTpcdsQueries(10, 11, 1000.0);
+    workloads::ClusterConfig cluster;
+    workloads::CodecModel slow{"sw", 40e6, 200e6, 3.0, true};
+    workloads::CodecModel fast{"accel", 8e9, 16e9, 2.8, false};
+
+    double total = 0.0, codec = 0.0;
+    for (const auto &q : queries) {
+        auto t = workloads::runQuery(q, cluster, slow);
+        total += t.totalSeconds;
+        codec += t.codecSeconds;
+    }
+    auto cmp = workloads::compareSuite(queries, cluster, slow, fast);
+    EXPECT_LE(cmp.speedupPct, 100.0 * codec / total + 1.0);
+}
+
+TEST(SparkModel, BetterRatioShrinksIo)
+{
+    auto queries = workloads::makeTpcdsQueries(5, 13, 2000.0);
+    workloads::ClusterConfig cluster;
+    cluster.diskBps = 0.5e9;    // I/O-bound regime
+    workloads::CodecModel low{"low-ratio", 8e9, 16e9, 1.5, false};
+    workloads::CodecModel high{"high-ratio", 8e9, 16e9, 4.0, false};
+    double tLow = 0.0, tHigh = 0.0;
+    for (const auto &q : queries) {
+        tLow += workloads::runQuery(q, cluster, low).totalSeconds;
+        tHigh += workloads::runQuery(q, cluster, high).totalSeconds;
+    }
+    EXPECT_LT(tHigh, tLow);
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * nxzip — a gzip-compatible command-line tool over the library.
+ *
+ * Usage:
+ *   nxzip [-d] [-1|-6|-9] [-c chip] [-m fht|dht|auto|sw] <in> <out>
+ *
+ * Compresses <in> to a gzip member at <out> (or decompresses with
+ * -d). The output interoperates with standard gzip/gunzip — the
+ * integration tests exercise exactly that. `-m sw` forces the
+ * software codec; other modes go through the accelerator model and
+ * print the modelled device time.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/nxzip.h"
+#include "core/topology.h"
+#include "util/table.h"
+
+namespace {
+
+std::vector<uint8_t>
+readFile(const std::string &path, bool &ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    ok = static_cast<bool>(in);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+bool
+writeFile(const std::string &path, const std::vector<uint8_t> &data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    return static_cast<bool>(out);
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+        "usage: nxzip [-d] [-1|-6|-9] [-c power9|z15] "
+        "[-m fht|dht|dht2|auto|sw] <in> <out>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool decompress = false;
+    int level = 6;
+    std::string chip = "power9";
+    std::string mode = "auto";
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-d") {
+            decompress = true;
+        } else if (arg.size() == 2 && arg[0] == '-' &&
+                   arg[1] >= '0' && arg[1] <= '9') {
+            level = arg[1] - '0';
+        } else if (arg == "-c" && i + 1 < argc) {
+            chip = argv[++i];
+        } else if (arg == "-m" && i + 1 < argc) {
+            mode = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.size() != 2)
+        return usage();
+
+    bool ok = false;
+    auto input = readFile(files[0], ok);
+    if (!ok) {
+        std::fprintf(stderr, "nxzip: cannot read %s\n",
+                     files[0].c_str());
+        return 1;
+    }
+
+    core::ChipTopology topo = chip == "z15" ? core::z15Chip()
+                                            : core::power9Chip();
+    nxzip::Options opts;
+    opts.framing = nx::Framing::Gzip;
+    opts.softwareLevel = level;
+    if (mode == "fht")
+        opts.mode = core::Mode::Fht;
+    else if (mode == "dht")
+        opts.mode = core::Mode::DhtSampled;
+    else if (mode == "dht2")
+        opts.mode = core::Mode::DhtTwoPass;
+    else if (mode == "auto")
+        opts.mode = core::Mode::Auto;
+    else if (mode == "sw")
+        opts.minAccelBytes = UINT64_MAX;    // everything on the core
+    else
+        return usage();
+
+    nxzip::Context ctx(topo, opts);
+    nxzip::Result res = decompress ? ctx.decompress(input)
+                                   : ctx.compress(input);
+    if (!res.ok) {
+        std::fprintf(stderr, "nxzip: %s\n", res.error.c_str());
+        return 1;
+    }
+    if (!writeFile(files[1], res.data)) {
+        std::fprintf(stderr, "nxzip: cannot write %s\n",
+                     files[1].c_str());
+        return 1;
+    }
+
+    std::fprintf(stderr,
+        "nxzip: %s %zu -> %zu bytes (%s path, %s, %.1f us)\n",
+        decompress ? "decompressed" : "compressed", input.size(),
+        res.data.size(),
+        res.path == nxzip::Path::Accelerator ? "accelerator"
+                                             : "software",
+        util::Table::fmtRate(res.seconds > 0
+            ? static_cast<double>(input.size()) / res.seconds
+            : 0).c_str(),
+        res.seconds * 1e6);
+    return 0;
+}
