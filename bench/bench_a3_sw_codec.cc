@@ -35,7 +35,7 @@ BM_DeflateLevel(benchmark::State &state)
         benchmark::DoNotOptimize(res.bytes.data());
     }
     state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations() * sample().size()));
+        state.iterations() * static_cast<int64_t>(sample().size()));
     state.counters["ratio"] = static_cast<double>(sample().size()) /
         static_cast<double>(out);
 }
@@ -53,7 +53,7 @@ BM_Inflate(benchmark::State &state)
         benchmark::DoNotOptimize(res.bytes.data());
     }
     state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations() * sample().size()));
+        state.iterations() * static_cast<int64_t>(sample().size()));
 }
 BENCHMARK(BM_Inflate)->Arg(1)->Arg(6)->Unit(benchmark::kMillisecond);
 
@@ -67,7 +67,7 @@ BM_Lz77Only(benchmark::State &state)
         benchmark::DoNotOptimize(tokens.data());
     }
     state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations() * sample().size()));
+        state.iterations() * static_cast<int64_t>(sample().size()));
 }
 BENCHMARK(BM_Lz77Only)->Arg(1)->Arg(6)->Arg(9)
     ->Unit(benchmark::kMillisecond);
@@ -89,7 +89,7 @@ BM_HuffmanOnly(benchmark::State &state)
         benchmark::DoNotOptimize(bytes.data());
     }
     state.SetBytesProcessed(
-        static_cast<int64_t>(state.iterations() * sample().size()));
+        state.iterations() * static_cast<int64_t>(sample().size()));
 }
 BENCHMARK(BM_HuffmanOnly)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# CI pipeline for nxsim. Stages:
+#
+#   1. ci preset       warnings-as-errors build + full ctest
+#   2. asan-ubsan      full ctest under ASan+UBSan (no recover)
+#   3. lint            clang-tidy over files changed vs origin/main
+#                      (skipped with a notice when clang-tidy absent)
+#   4. fuzz smoke      30 s of each fuzz target on the seeded corpus
+#                      (libFuzzer with Clang; the standalone driver
+#                      otherwise — see fuzz/standalone_main.cc)
+#
+# Usage: ./ci.sh [--quick]   --quick skips stages 3 and 4.
+set -eu
+
+cd "$(dirname "$0")"
+jobs=$(nproc 2>/dev/null || echo 4)
+quick=${1:-}
+
+echo "=== [1/4] ci preset (warnings-as-errors) ==="
+cmake --preset ci
+cmake --build build-ci -j "$jobs"
+ctest --test-dir build-ci --output-on-failure -j "$jobs"
+
+echo "=== [2/4] asan-ubsan preset ==="
+cmake --preset asan-ubsan
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+if [ "$quick" = "--quick" ]; then
+    echo "=== --quick: skipping lint and fuzz smoke ==="
+    exit 0
+fi
+
+echo "=== [3/4] clang-tidy on changed files ==="
+if git rev-parse --verify origin/main >/dev/null 2>&1; then
+    changed=$(git diff --name-only origin/main -- 'src/*.cc' || true)
+else
+    changed=$(git diff --name-only HEAD~1 -- 'src/*.cc' || true)
+fi
+if [ -n "$changed" ]; then
+    # shellcheck disable=SC2086
+    tools/run_clang_tidy.sh -p build-ci $changed
+else
+    echo "no changed src/*.cc files; skipping clang-tidy"
+fi
+
+echo "=== [4/4] fuzz smoke (30 s per target) ==="
+cmake --preset fuzz
+cmake --build build-fuzz -j "$jobs"
+for t in fuzz_inflate fuzz_gzip fuzz_e842 fuzz_roundtrip; do
+    echo "--- $t ---"
+    # libFuzzer and the standalone driver share this CLI subset; both
+    # default to the target's dir under fuzz/corpus when built here.
+    if ./build-fuzz/fuzz/$t -help 2>&1 | grep -q libFuzzer; then
+        ./build-fuzz/fuzz/$t -max_total_time=30 -max_len=4096 \
+            "fuzz/corpus/${t#fuzz_}"
+    else
+        ./build-fuzz/fuzz/$t -time=30
+    fi
+done
+
+echo "=== CI green ==="

@@ -1,0 +1,151 @@
+#include "harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "deflate/deflate_encoder.h"
+#include "deflate/gzip_stream.h"
+#include "deflate/inflate_decoder.h"
+#include "deflate/inflate_stream.h"
+#include "deflate/zlib_stream.h"
+#include "e842/e842.h"
+#include "nx/compress_engine.h"
+#include "nx/crb.h"
+#include "util/crc32.h"
+
+namespace fuzz {
+
+namespace {
+
+/**
+ * Hard assertion that survives NDEBUG: fuzzing builds are usually
+ * RelWithDebInfo, where assert() is compiled out.
+ */
+#define FUZZ_CHECK(cond, msg)                                          \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            std::fprintf(stderr, "FUZZ_CHECK failed: %s (%s:%d)\n",    \
+                         msg, __FILE__, __LINE__);                     \
+            std::abort();                                              \
+        }                                                              \
+    } while (0)
+
+/** Output cap: bounds memory per exec without masking logic bugs. */
+constexpr size_t kMaxOutput = size_t{1} << 20;
+
+} // namespace
+
+int
+fuzzInflate(std::span<const uint8_t> data)
+{
+    auto one = deflate::inflateDecompress(data, kMaxOutput);
+
+    // Differential leg: the independent streaming inflater must agree
+    // whenever both decoders reach a decided, successful outcome. Skip
+    // large inputs — the streaming decoder has no output cap, and a
+    // max-expansion stream grows ~1032x.
+    if (data.size() <= 4096) {
+        deflate::InflateStream is;
+        std::vector<uint8_t> streamed;
+        auto st = is.feed(data, streamed);
+        if (one.ok() && st == deflate::StreamStatus::Done)
+            FUZZ_CHECK(one.bytes == streamed,
+                       "one-shot and streaming inflate disagree");
+        if (!one.ok() && one.status != deflate::InflateStatus::OutputLimit
+            && one.status != deflate::InflateStatus::TruncatedInput)
+            FUZZ_CHECK(st != deflate::StreamStatus::Done,
+                       "streaming accepted what one-shot rejected");
+    }
+
+    // The dictionary path shares the distance checks; drive it too.
+    static const std::vector<uint8_t> dict(512, 0x41);
+    (void)deflate::inflateDecompressWithDict(data, dict, kMaxOutput);
+    return 0;
+}
+
+int
+fuzzGzip(std::span<const uint8_t> data)
+{
+    (void)deflate::gzipUnwrap(data);
+    (void)deflate::gzipUnwrapAll(data);
+    (void)deflate::zlibUnwrap(data);
+    static const std::vector<uint8_t> dict = {'f', 'u', 'z', 'z'};
+    (void)deflate::zlibUnwrapWithDict(data, dict);
+    return 0;
+}
+
+int
+fuzzE842(std::span<const uint8_t> data)
+{
+    // Decode arbitrary bytes: must only ever fail via res.error.
+    auto dec = e842::decompress(data, kMaxOutput);
+    if (dec.ok)
+        FUZZ_CHECK(dec.bytes.size() <= kMaxOutput,
+                   "e842 output exceeded max_output");
+
+    // Output-limit contract, with a cap small enough that fuzz-sized
+    // inputs can actually overrun it (corpus: shortdata-limit.842).
+    constexpr size_t kTinyCap = 64;
+    auto tiny = e842::decompress(data, kTinyCap);
+    if (tiny.ok)
+        FUZZ_CHECK(tiny.bytes.size() <= kTinyCap,
+                   "e842 output exceeded small max_output");
+
+    // Identity: our own encoder's output must decode to the input.
+    auto enc = e842::compress(data);
+    auto rt = e842::decompress(enc.bytes, data.size() + 8);
+    FUZZ_CHECK(rt.ok, "e842 cannot decode its own stream");
+    FUZZ_CHECK(rt.bytes.size() == data.size() &&
+                   std::equal(rt.bytes.begin(), rt.bytes.end(),
+                              data.begin()),
+               "e842 round trip mismatch");
+    return 0;
+}
+
+int
+fuzzRoundtrip(std::span<const uint8_t> data)
+{
+    if (data.size() < 2)
+        return 0;
+    int level = data[0] % 10;
+    bool dht = (data[1] & 1) != 0;
+    auto payload = data.subspan(2);
+
+    // Software encoder leg.
+    deflate::DeflateOptions opts;
+    opts.level = level;
+    auto sw = deflate::deflateCompress(payload, opts);
+    auto swDec = deflate::inflateDecompress(sw.bytes,
+                                            payload.size() + 64);
+    FUZZ_CHECK(swDec.ok(), "software deflate stream does not inflate");
+    FUZZ_CHECK(swDec.bytes.size() == payload.size() &&
+                   std::equal(swDec.bytes.begin(), swDec.bytes.end(),
+                              payload.begin()),
+               "software round trip mismatch");
+
+    // NX engine leg (model of the hardware compress pipeline).
+    static nx::NxConfig cfg = nx::NxConfig::power9();
+    static nx::CompressEngine eng(cfg);
+    nx::Crb crb;
+    crb.func = dht ? nx::FuncCode::CompressDht : nx::FuncCode::CompressFht;
+    crb.framing = nx::Framing::Raw;
+    crb.source = nx::DdeList::direct(
+        0x10000, static_cast<uint32_t>(payload.size()));
+    crb.target = nx::DdeList::direct(
+        0x20000,
+        static_cast<uint32_t>(payload.size() + payload.size() / 2 + 4096));
+    auto job = eng.run(crb, payload);
+    FUZZ_CHECK(job.csb.cc == nx::CondCode::Success,
+               "NX compress CRB failed on valid input");
+    auto nxDec = deflate::inflateDecompress(job.output,
+                                            payload.size() + 64);
+    FUZZ_CHECK(nxDec.ok(), "NX deflate stream does not inflate");
+    FUZZ_CHECK(nxDec.bytes == swDec.bytes,
+               "NX and software decompressed outputs differ");
+    FUZZ_CHECK(util::crc32(nxDec.bytes) == util::crc32(payload),
+               "round-trip CRC32 mismatch");
+    return 0;
+}
+
+} // namespace fuzz

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Standalone driver for the fuzz harnesses when the toolchain has no
+ * libFuzzer (GCC builds). Implements the subset of the libFuzzer CLI
+ * that ci.sh and developers need:
+ *
+ *   fuzz_inflate CORPUS_DIR... FILE...   replay inputs deterministically
+ *   fuzz_inflate -time=30 DIR            mutation-fuzz for 30 seconds
+ *   fuzz_inflate -runs=100000 DIR        mutation-fuzz for N execs
+ *
+ * Options: -time=SECONDS, -runs=N, -max_len=BYTES (default 4096),
+ * -seed=S. With no positional arguments the target's seeded corpus
+ * (fuzz/corpus/<target>, compiled in) is used. Mutations are simple
+ * havoc-style edits (bit flips, byte ops, truncate/extend, splice)
+ * driven by the repo's deterministic Xoshiro PRNG, so a given
+ * (-seed, corpus) pair replays identically.
+ */
+
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/prng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data, size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/**
+ * The input being executed right now; dumped to crash-input.bin when a
+ * FUZZ_CHECK abort or a signal fires so the crasher can be added to
+ * fuzz/corpus/. (ASan exits without a signal — re-run with the same
+ * -seed to reproduce; execution is fully deterministic.)
+ */
+const std::vector<uint8_t> *g_current = nullptr;
+
+void
+dumpCurrentAndDie(int sig)
+{
+    if (g_current != nullptr) {
+        std::ofstream f("crash-input.bin", std::ios::binary);
+        f.write(reinterpret_cast<const char *>(g_current->data()),
+                static_cast<std::streamsize>(g_current->size()));
+        std::fprintf(stderr,
+                     "crashing input (%zu bytes) saved to "
+                     "crash-input.bin\n", g_current->size());
+    }
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+std::vector<uint8_t>
+readFile(const fs::path &p)
+{
+    std::ifstream f(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(f),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+collectInputs(const std::string &arg, std::vector<fs::path> &files)
+{
+    fs::path p(arg);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+        for (const auto &e : fs::directory_iterator(p, ec))
+            if (e.is_regular_file())
+                files.push_back(e.path());
+    } else if (fs::is_regular_file(p, ec)) {
+        files.push_back(p);
+    } else {
+        std::fprintf(stderr, "warning: no such input: %s\n",
+                     arg.c_str());
+    }
+}
+
+/** One havoc mutation in place. */
+void
+mutate(std::vector<uint8_t> &buf, util::Xoshiro256 &rng, size_t max_len,
+       const std::vector<std::vector<uint8_t>> &corpus)
+{
+    switch (rng.below(8)) {
+      case 0:    // bit flip
+        if (!buf.empty())
+            buf[rng.below(buf.size())] ^=
+                static_cast<uint8_t>(1u << rng.below(8));
+        break;
+      case 1:    // random byte
+        if (!buf.empty())
+            buf[rng.below(buf.size())] =
+                static_cast<uint8_t>(rng.next());
+        break;
+      case 2:    // interesting byte
+        if (!buf.empty()) {
+            static constexpr uint8_t kInteresting[] = {
+                0x00, 0x01, 0x7f, 0x80, 0xff, 0x08, 0x1f, 0x8b};
+            buf[rng.below(buf.size())] =
+                kInteresting[rng.below(std::size(kInteresting))];
+        }
+        break;
+      case 3:    // insert byte
+        if (buf.size() < max_len)
+            buf.insert(buf.begin() +
+                           static_cast<long>(rng.below(buf.size() + 1)),
+                       static_cast<uint8_t>(rng.next()));
+        break;
+      case 4:    // erase byte
+        if (!buf.empty())
+            buf.erase(buf.begin() +
+                      static_cast<long>(rng.below(buf.size())));
+        break;
+      case 5:    // truncate
+        if (!buf.empty())
+            buf.resize(rng.below(buf.size()) + 1);
+        break;
+      case 6: {    // append random run
+        size_t n = rng.below(32) + 1;
+        while (n-- && buf.size() < max_len)
+            buf.push_back(static_cast<uint8_t>(rng.next()));
+        break;
+      }
+      default:    // splice with another corpus entry
+        if (!corpus.empty()) {
+            const auto &other = corpus[rng.below(corpus.size())];
+            if (!other.empty() && !buf.empty()) {
+                size_t at = rng.below(buf.size());
+                size_t from = rng.below(other.size());
+                size_t n = std::min({rng.below(64) + 1,
+                                     buf.size() - at,
+                                     other.size() - from});
+                std::memcpy(buf.data() + at, other.data() + from, n);
+            }
+        }
+        break;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t runs = 0;
+    uint64_t timeSec = 0;
+    size_t maxLen = 4096;
+    uint64_t seed = 0x5eed;
+    std::vector<fs::path> files;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("-runs=", 0) == 0)
+            runs = std::stoull(a.substr(6));
+        else if (a.rfind("-time=", 0) == 0)
+            timeSec = std::stoull(a.substr(6));
+        else if (a.rfind("-max_len=", 0) == 0)
+            maxLen = std::stoull(a.substr(9));
+        else if (a.rfind("-seed=", 0) == 0)
+            seed = std::stoull(a.substr(6));
+        else if (a == "-help" || a == "--help") {
+            std::fprintf(stderr,
+                         "usage: %s [-runs=N] [-time=SEC] [-max_len=N] "
+                         "[-seed=S] [corpus_dir|file]...\n", argv[0]);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "ignoring unknown option %s\n",
+                         a.c_str());
+        } else {
+            collectInputs(a, files);
+        }
+    }
+
+    if (files.empty()) {
+        // Default to the compiled-in seeded corpus for this target:
+        // fuzz/corpus/<name> where <name> is argv[0] minus "fuzz_".
+        std::string base = fs::path(argv[0]).filename().string();
+        if (base.rfind("fuzz_", 0) == 0)
+            base = base.substr(5);
+        collectInputs(std::string(NXSIM_FUZZ_CORPUS_DIR) + "/" + base,
+                      files);
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<std::vector<uint8_t>> corpus;
+    corpus.reserve(files.size());
+    for (const auto &f : files)
+        corpus.push_back(readFile(f));
+
+    std::signal(SIGABRT, dumpCurrentAndDie);
+    std::signal(SIGSEGV, dumpCurrentAndDie);
+
+    // Phase 1: deterministic replay of every input.
+    uint64_t execs = 0;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+        g_current = &corpus[i];
+        LLVMFuzzerTestOneInput(corpus[i].data(), corpus[i].size());
+        ++execs;
+    }
+    g_current = nullptr;
+    std::fprintf(stderr, "replayed %zu corpus inputs\n", corpus.size());
+
+    // Phase 2: havoc mutation loop.
+    if (runs == 0 && timeSec == 0)
+        return 0;
+    util::Xoshiro256 rng(seed);
+    std::time_t deadline = std::time(nullptr) +
+        static_cast<std::time_t>(timeSec);
+    uint64_t mutated = 0;
+    while ((runs == 0 || mutated < runs) &&
+           (timeSec == 0 || std::time(nullptr) < deadline)) {
+        std::vector<uint8_t> buf;
+        if (!corpus.empty() && rng.below(8) != 0)
+            buf = corpus[rng.below(corpus.size())];
+        size_t edits = rng.below(8) + 1;
+        for (size_t e = 0; e < edits; ++e)
+            mutate(buf, rng, maxLen, corpus);
+        if (buf.size() > maxLen)
+            buf.resize(maxLen);
+        g_current = &buf;
+        LLVMFuzzerTestOneInput(buf.data(), buf.size());
+        g_current = nullptr;
+        ++mutated;
+        ++execs;
+        if (mutated % 50000 == 0)
+            std::fprintf(stderr, "#%llu execs\n",
+                         static_cast<unsigned long long>(execs));
+    }
+    std::fprintf(stderr, "done: %llu execs (%llu mutated)\n",
+                 static_cast<unsigned long long>(execs),
+                 static_cast<unsigned long long>(mutated));
+    return 0;
+}

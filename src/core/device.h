@@ -94,8 +94,16 @@ class NxDevice
     const nx::NxConfig &config() const { return cfg_; }
 
     /** Engine pool introspection (tests, benches). */
-    nx::CompressEngine &compressEngine(int i) { return *comp_[i]; }
-    nx::DecompressEngine &decompressEngine(int i) { return *decomp_[i]; }
+    nx::CompressEngine &
+    compressEngine(int i)
+    {
+        return *comp_[static_cast<size_t>(i)];
+    }
+    nx::DecompressEngine &
+    decompressEngine(int i)
+    {
+        return *decomp_[static_cast<size_t>(i)];
+    }
     int compressEngineCount() const { return static_cast<int>(
         comp_.size()); }
     int decompressEngineCount() const { return static_cast<int>(

@@ -10,6 +10,7 @@
 #define NXSIM_DEFLATE_CONSTANTS_H
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace deflate {
@@ -85,11 +86,12 @@ struct LengthCodeTable
 
     LengthCodeTable()
     {
-        for (int c = 0; c < 29; ++c) {
+        for (size_t c = 0; c < 29; ++c) {
             int base = kLengthBase[c];
             int span = 1 << kLengthExtra[c];
             for (int l = base; l < base + span && l <= kMaxMatch; ++l)
-                code[l - kMinMatch] = static_cast<uint8_t>(c);
+                code[static_cast<size_t>(l - kMinMatch)] =
+                    static_cast<uint8_t>(c);
         }
         // Length 258 is its own code (285), overriding code 284's range.
         code[kMaxMatch - kMinMatch] = 28;
@@ -103,7 +105,9 @@ inline const LengthCodeTable kLengthCodeTable;
 inline int
 lengthToCode(int length)
 {
-    return 257 + detail::kLengthCodeTable.code[length - kMinMatch];
+    return 257 +
+        detail::kLengthCodeTable.code[static_cast<size_t>(length -
+                                                          kMinMatch)];
 }
 
 inline int
@@ -114,7 +118,7 @@ distToCode(int dist)
     int hi = kNumDist - 1;
     while (lo < hi) {
         int mid = (lo + hi + 1) / 2;
-        if (kDistBase[mid] <= dist)
+        if (kDistBase[static_cast<size_t>(mid)] <= dist)
             lo = mid;
         else
             hi = mid - 1;

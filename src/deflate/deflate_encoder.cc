@@ -10,10 +10,10 @@ SymbolFreqs::accumulate(std::span<const Token> tokens)
 {
     for (const Token &t : tokens) {
         if (t.isLiteral()) {
-            ++litlen[t.literal];
+            ++litlen[static_cast<size_t>(t.literal)];
         } else {
-            ++litlen[lengthToCode(t.length)];
-            ++dist[distToCode(t.dist)];
+            ++litlen[static_cast<size_t>(lengthToCode(t.length))];
+            ++dist[static_cast<size_t>(distToCode(t.dist))];
         }
     }
     ++litlen[kEob];
@@ -158,16 +158,18 @@ emitTokens(util::BitWriter &bw, std::span<const Token> tokens,
         }
         int lc = lengthToCode(t.length);
         litlen.writeSymbol(bw, lc);
-        unsigned lextra = kLengthExtra[lc - 257];
+        auto li = static_cast<size_t>(lc - 257);
+        unsigned lextra = kLengthExtra[li];
         if (lextra > 0)
             bw.writeBits(static_cast<uint32_t>(
-                             t.length - kLengthBase[lc - 257]),
+                             t.length - kLengthBase[li]),
                          lextra);
         int dc = distToCode(t.dist);
         dist.writeSymbol(bw, dc);
-        unsigned dextra = kDistExtra[dc];
+        auto di = static_cast<size_t>(dc);
+        unsigned dextra = kDistExtra[di];
         if (dextra > 0)
-            bw.writeBits(static_cast<uint32_t>(t.dist - kDistBase[dc]),
+            bw.writeBits(static_cast<uint32_t>(t.dist - kDistBase[di]),
                          dextra);
     }
     litlen.writeSymbol(bw, kEob);
@@ -181,9 +183,9 @@ tokenCostBits(const SymbolFreqs &freqs, const HuffmanCode &litlen,
     uint64_t bits = litlen.costBits(freqs.litlen) +
         dist.costBits(freqs.dist);
     // Extra bits for length and distance codes.
-    for (int c = 257; c < kNumLitLen; ++c)
+    for (size_t c = 257; c < kNumLitLen; ++c)
         bits += freqs.litlen[c] * kLengthExtra[c - 257];
-    for (int c = 0; c < kNumDist; ++c)
+    for (size_t c = 0; c < kNumDist; ++c)
         bits += freqs.dist[c] * kDistExtra[c];
     return bits;
 }

@@ -110,7 +110,8 @@ gzipUnwrap(std::span<const uint8_t> member)
             res.error = "truncated FEXTRA";
             return res;
         }
-        size_t xlen = member[pos] | (member[pos + 1] << 8);
+        size_t xlen = static_cast<size_t>(member[pos]) |
+            (static_cast<size_t>(member[pos + 1]) << 8);
         pos += 2;
         if (pos + xlen > member.size()) {
             res.error = "truncated FEXTRA";

@@ -22,9 +22,10 @@ void
 assignDepths(const std::vector<Node> &pool, int idx, int depth,
              std::vector<uint8_t> &lengths)
 {
-    const Node &n = pool[idx];
+    const Node &n = pool[static_cast<size_t>(idx)];
     if (n.symbol >= 0) {
-        lengths[n.symbol] = static_cast<uint8_t>(std::max(depth, 1));
+        lengths[static_cast<size_t>(n.symbol)] =
+            static_cast<uint8_t>(std::max(depth, 1));
         return;
     }
     assignDepths(pool, n.left, depth + 1, lengths);
@@ -39,6 +40,7 @@ void
 limitLengths(std::vector<uint8_t> &lengths, int max_bits,
              std::span<const uint64_t> freqs)
 {
+    const auto maxBits = static_cast<size_t>(max_bits);
     bool overflow = false;
     for (uint8_t l : lengths) {
         if (l > max_bits) {
@@ -50,7 +52,7 @@ limitLengths(std::vector<uint8_t> &lengths, int max_bits,
         return;
 
     // Count codes per length, clamping overlong ones.
-    std::vector<int> blCount(max_bits + 1, 0);
+    std::vector<int> blCount(maxBits + 1, 0);
     for (auto &l : lengths) {
         if (l == 0)
             continue;
@@ -61,10 +63,10 @@ limitLengths(std::vector<uint8_t> &lengths, int max_bits,
 
     // Kraft sum in units of 2^-max_bits.
     uint64_t kraft = 0;
-    for (int bits = 1; bits <= max_bits; ++bits)
+    for (size_t bits = 1; bits <= maxBits; ++bits)
         kraft += static_cast<uint64_t>(blCount[bits])
-            << (max_bits - bits);
-    uint64_t budget = 1ull << max_bits;
+            << (maxBits - bits);
+    uint64_t budget = 1ull << maxBits;
 
     // Overfull: repeatedly find a code at length < max_bits to lengthen
     // (moving one leaf down costs 2^-(l+1)), preferring the lowest
@@ -76,44 +78,44 @@ limitLengths(std::vector<uint8_t> &lengths, int max_bits,
         // move a leaf from max_bits to max_bits (no-op) doesn't help.
         // Standard fix: find the largest bits < max_bits with a code,
         // turn one of its codes into two max-ish codes.
-        int bits = max_bits - 1;
+        size_t bits = maxBits - 1;
         while (bits > 0 && blCount[bits] == 0)
             --bits;
         assert(bits > 0 && "cannot repair Kraft overflow");
         --blCount[bits];
         ++blCount[bits + 1];
         // One code of length bits became length bits+1:
-        kraft -= (1ull << (max_bits - bits));
-        kraft += (1ull << (max_bits - bits - 1));
+        kraft -= (1ull << (maxBits - bits));
+        kraft += (1ull << (maxBits - bits - 1));
     }
 
     // Underfull (possible after clamping): shorten codes to use the slack.
     while (kraft < budget) {
-        int bits = max_bits;
+        size_t bits = maxBits;
         while (bits > 1 && blCount[bits] == 0)
             --bits;
         if (blCount[bits] == 0)
             break;
         --blCount[bits];
         ++blCount[bits - 1];
-        kraft -= (1ull << (max_bits - bits));
-        kraft += (1ull << (max_bits - bits + 1));
+        kraft -= (1ull << (maxBits - bits));
+        kraft += (1ull << (maxBits - bits + 1));
     }
     assert(kraft == budget);
 
     // Reassign lengths: sort used symbols by (freq desc) so frequent
     // symbols get the shorter lengths, then dole out blCount.
-    std::vector<int> used;
+    std::vector<size_t> used;
     for (size_t s = 0; s < lengths.size(); ++s)
         if (lengths[s] != 0)
-            used.push_back(static_cast<int>(s));
-    std::sort(used.begin(), used.end(), [&](int a, int b) {
+            used.push_back(s);
+    std::sort(used.begin(), used.end(), [&](size_t a, size_t b) {
         if (freqs[a] != freqs[b])
             return freqs[a] > freqs[b];
         return a < b;
     });
     size_t i = 0;
-    for (int bits = 1; bits <= max_bits; ++bits) {
+    for (size_t bits = 1; bits <= maxBits; ++bits) {
         for (int k = 0; k < blCount[bits]; ++k)
             lengths[used[i++]] = static_cast<uint8_t>(bits);
     }
@@ -131,37 +133,39 @@ buildCodeLengths(std::span<const uint64_t> freqs, int max_bits)
     pool.reserve(freqs.size() * 2);
     // Min-heap of pool indices by (freq, tie-break on index for
     // determinism).
-    auto cmp = [&pool](int a, int b) {
+    auto cmp = [&pool](size_t a, size_t b) {
         if (pool[a].freq != pool[b].freq)
             return pool[a].freq > pool[b].freq;
         return a > b;
     };
-    std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+    std::priority_queue<size_t, std::vector<size_t>, decltype(cmp)>
+        heap(cmp);
 
     for (size_t s = 0; s < freqs.size(); ++s) {
         if (freqs[s] == 0)
             continue;
         pool.push_back({freqs[s], static_cast<int>(s)});
-        heap.push(static_cast<int>(pool.size() - 1));
+        heap.push(pool.size() - 1);
     }
 
     if (heap.empty())
         return lengths;
     if (heap.size() == 1) {
-        lengths[pool[heap.top()].symbol] = 1;
+        lengths[static_cast<size_t>(pool[heap.top()].symbol)] = 1;
         return lengths;
     }
 
     while (heap.size() > 1) {
-        int a = heap.top();
+        size_t a = heap.top();
         heap.pop();
-        int b = heap.top();
+        size_t b = heap.top();
         heap.pop();
-        pool.push_back({pool[a].freq + pool[b].freq, -1, a, b});
-        heap.push(static_cast<int>(pool.size() - 1));
+        pool.push_back({pool[a].freq + pool[b].freq, -1,
+                        static_cast<int>(a), static_cast<int>(b)});
+        heap.push(pool.size() - 1);
     }
 
-    assignDepths(pool, heap.top(), 0, lengths);
+    assignDepths(pool, static_cast<int>(heap.top()), 0, lengths);
     limitLengths(lengths, max_bits, freqs);
     return lengths;
 }
@@ -177,7 +181,7 @@ HuffmanCode::HuffmanCode(std::span<const uint8_t> lengths)
 
     std::vector<uint32_t> nextCode(kMaxBits + 2, 0);
     uint32_t code = 0;
-    for (int bits = 1; bits <= kMaxBits; ++bits) {
+    for (size_t bits = 1; bits <= kMaxBits; ++bits) {
         code = (code + static_cast<uint32_t>(blCount[bits - 1])) << 1;
         nextCode[bits] = code;
     }
@@ -206,13 +210,13 @@ HuffmanCode::fixedLitLen()
 {
     static const HuffmanCode code = [] {
         std::vector<uint8_t> lengths(288);
-        for (int s = 0; s <= 143; ++s)
+        for (size_t s = 0; s <= 143; ++s)
             lengths[s] = 8;
-        for (int s = 144; s <= 255; ++s)
+        for (size_t s = 144; s <= 255; ++s)
             lengths[s] = 9;
-        for (int s = 256; s <= 279; ++s)
+        for (size_t s = 256; s <= 279; ++s)
             lengths[s] = 7;
-        for (int s = 280; s <= 287; ++s)
+        for (size_t s = 280; s <= 287; ++s)
             lengths[s] = 8;
         return HuffmanCode(lengths);
     }();
@@ -233,11 +237,12 @@ bool
 HuffmanDecodeTable::init(std::span<const uint8_t> lengths, int max_bits)
 {
     maxBits_ = max_bits;
-    table_.assign(size_t{1} << max_bits, Entry{});
+    const auto maxBits = static_cast<size_t>(max_bits);
+    table_.assign(size_t{1} << maxBits, Entry{});
 
     // Canonical codes, not reversed this time — we build the table by
     // enumerating all suffix-extended windows of each code.
-    std::vector<int> blCount(max_bits + 1, 0);
+    std::vector<int> blCount(maxBits + 1, 0);
     for (uint8_t l : lengths) {
         if (l > max_bits)
             return false;
@@ -249,12 +254,12 @@ HuffmanDecodeTable::init(std::span<const uint8_t> lengths, int max_bits)
     // only in the degenerate 1-symbol case (common in dynamic headers).
     uint64_t kraft = 0;
     int usedSymbols = 0;
-    for (int bits = 1; bits <= max_bits; ++bits) {
+    for (size_t bits = 1; bits <= maxBits; ++bits) {
         kraft += static_cast<uint64_t>(blCount[bits])
-            << (max_bits - bits);
+            << (maxBits - bits);
         usedSymbols += blCount[bits];
     }
-    uint64_t budget = 1ull << max_bits;
+    uint64_t budget = 1ull << maxBits;
     if (kraft > budget)
         return false;
     if (kraft < budget && usedSymbols > 1)
@@ -262,9 +267,9 @@ HuffmanDecodeTable::init(std::span<const uint8_t> lengths, int max_bits)
     if (usedSymbols == 0)
         return false;
 
-    std::vector<uint32_t> nextCode(max_bits + 2, 0);
+    std::vector<uint32_t> nextCode(maxBits + 2, 0);
     uint32_t code = 0;
-    for (int bits = 1; bits <= max_bits; ++bits) {
+    for (size_t bits = 1; bits <= maxBits; ++bits) {
         code = (code + static_cast<uint32_t>(blCount[bits - 1])) << 1;
         nextCode[bits] = code;
     }
@@ -277,7 +282,7 @@ HuffmanDecodeTable::init(std::span<const uint8_t> lengths, int max_bits)
         uint32_t reversed = util::reverseBits(c, len);
         // Every window whose low `len` bits equal `reversed` maps to s.
         uint32_t step = 1u << len;
-        for (uint32_t w = reversed; w < (1u << max_bits); w += step) {
+        for (uint32_t w = reversed; w < (1u << maxBits); w += step) {
             table_[w].symbol = static_cast<int16_t>(s);
             table_[w].length = len;
         }

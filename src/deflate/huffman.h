@@ -52,14 +52,23 @@ class HuffmanCode
     void
     writeSymbol(util::BitWriter &bw, int sym) const
     {
-        bw.writeBits(codes_[sym], lengths_[sym]);
+        auto s = static_cast<size_t>(sym);
+        bw.writeBits(codes_[s], lengths_[s]);
     }
 
     /** Code length of @p sym in bits (0 = not coded). */
-    uint8_t length(int sym) const { return lengths_[sym]; }
+    uint8_t
+    length(int sym) const
+    {
+        return lengths_[static_cast<size_t>(sym)];
+    }
 
     /** Bit-reversed (write-ready) code of @p sym. */
-    uint16_t code(int sym) const { return codes_[sym]; }
+    uint16_t
+    code(int sym) const
+    {
+        return codes_[static_cast<size_t>(sym)];
+    }
 
     /** Number of symbols in the alphabet. */
     size_t size() const { return lengths_.size(); }

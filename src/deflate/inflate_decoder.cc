@@ -112,10 +112,10 @@ inflateDecompressWithDict(std::span<const uint8_t> input,
     static const HuffmanDecodeTable *fixedLit = [] {
         auto *t = new HuffmanDecodeTable;
         std::vector<uint8_t> lengths(288);
-        for (int s = 0; s <= 143; ++s) lengths[s] = 8;
-        for (int s = 144; s <= 255; ++s) lengths[s] = 9;
-        for (int s = 256; s <= 279; ++s) lengths[s] = 7;
-        for (int s = 280; s <= 287; ++s) lengths[s] = 8;
+        for (size_t s = 0; s <= 143; ++s) lengths[s] = 8;
+        for (size_t s = 144; s <= 255; ++s) lengths[s] = 9;
+        for (size_t s = 256; s <= 279; ++s) lengths[s] = 7;
+        for (size_t s = 280; s <= 287; ++s) lengths[s] = 8;
         t->init(lengths);
         return t;
     }();
@@ -207,8 +207,9 @@ inflateDecompressWithDict(std::span<const uint8_t> input,
                 res.status = InflateStatus::BadSymbol;
                 return res;
             }
-            unsigned lextra = kLengthExtra[sym - 257];
-            unsigned length = kLengthBase[sym - 257] + br.readBits(lextra);
+            auto li = static_cast<size_t>(sym - 257);
+            unsigned lextra = kLengthExtra[li];
+            unsigned length = kLengthBase[li] + br.readBits(lextra);
 
             int dsym = dst->decode(br);
             if (dsym < 0 || dsym > 29) {
@@ -216,8 +217,9 @@ inflateDecompressWithDict(std::span<const uint8_t> input,
                                           : InflateStatus::BadSymbol;
                 return res;
             }
-            unsigned dextra = kDistExtra[dsym];
-            unsigned dist = kDistBase[dsym] + br.readBits(dextra);
+            auto di = static_cast<size_t>(dsym);
+            unsigned dextra = kDistExtra[di];
+            unsigned dist = kDistBase[di] + br.readBits(dextra);
             if (br.overrun()) {
                 res.status = InflateStatus::TruncatedInput;
                 return res;

@@ -13,10 +13,10 @@ fixedLitTable()
     static const HuffmanDecodeTable t = [] {
         HuffmanDecodeTable table;
         std::vector<uint8_t> lengths(288);
-        for (int s = 0; s <= 143; ++s) lengths[s] = 8;
-        for (int s = 144; s <= 255; ++s) lengths[s] = 9;
-        for (int s = 256; s <= 279; ++s) lengths[s] = 7;
-        for (int s = 280; s <= 287; ++s) lengths[s] = 8;
+        for (size_t s = 0; s <= 143; ++s) lengths[s] = 8;
+        for (size_t s = 144; s <= 255; ++s) lengths[s] = 9;
+        for (size_t s = 256; s <= 279; ++s) lengths[s] = 7;
+        for (size_t s = 280; s <= 287; ++s) lengths[s] = 8;
         table.init(lengths);
         return table;
     }();
@@ -299,11 +299,12 @@ InflateStream::stepSymbols(std::vector<uint8_t> &out)
                 fail(InflateStatus::BadSymbol);
                 return true;
             }
-            unsigned lextra = kLengthExtra[sym - 257];
+            auto li = static_cast<size_t>(sym - 257);
+            unsigned lextra = kLengthExtra[li];
             if (avail < len + lextra)
                 return moved;
             bits_.consume(len);
-            matchLength_ = kLengthBase[sym - 257] + bits_.peek(lextra);
+            matchLength_ = kLengthBase[li] + bits_.peek(lextra);
             if (lextra > 0)
                 bits_.consume(lextra);
             haveLength_ = true;
@@ -331,11 +332,12 @@ InflateStream::stepSymbols(std::vector<uint8_t> &out)
                 fail(InflateStatus::BadSymbol);
                 return true;
             }
-            unsigned dextra = kDistExtra[dsym];
+            auto di = static_cast<size_t>(dsym);
+            unsigned dextra = kDistExtra[di];
             if (avail < dlen + dextra)
                 return moved;
             bits_.consume(dlen);
-            unsigned dist = kDistBase[dsym] + bits_.peek(dextra);
+            unsigned dist = kDistBase[di] + bits_.peek(dextra);
             if (dextra > 0)
                 bits_.consume(dextra);
 

@@ -31,8 +31,8 @@ expandTokens(std::span<const Token> tokens)
         }
         if (t.dist == 0 || t.dist > out.size())
             return {};    // invalid reference; caller treats as failure
-        size_t start = out.size() - t.dist;
-        for (int i = 0; i < t.length; ++i)
+        size_t start = out.size() - static_cast<size_t>(t.dist);
+        for (size_t i = 0; i < static_cast<size_t>(t.length); ++i)
             out.push_back(out[start + i]);    // handles overlap correctly
     }
     return out;
@@ -56,10 +56,11 @@ tokensReproduce(std::span<const Token> tokens,
             return false;
         if (pos + t.length > input.size())
             return false;
-        for (int i = 0; i < t.length; ++i)
-            if (input[pos + i] != input[pos - t.dist + i])
+        for (size_t i = 0; i < static_cast<size_t>(t.length); ++i)
+            if (input[pos + i] !=
+                input[pos - static_cast<size_t>(t.dist) + i])
                 return false;
-        pos += t.length;
+        pos += static_cast<size_t>(t.length);
     }
     return pos == input.size();
 }

@@ -373,6 +373,10 @@ decompress(std::span<const uint8_t> stream, size_t max_output)
                 res.error = "empty short data";
                 return res;
             }
+            if (res.bytes.size() + count > max_output) {
+                res.error = "output limit";
+                return res;
+            }
             for (uint32_t i = 0; i < count; ++i)
                 res.bytes.push_back(
                     static_cast<uint8_t>(br.readBits(8)));

@@ -64,7 +64,7 @@ class E842Engine
     streamCycles(uint64_t raw_bytes, uint64_t stream_bytes) const
     {
         sim::Tick chunks = sim::ceilDiv(raw_bytes,
-            8ull * static_cast<uint64_t>(cfg_.chunksPerCycle));
+            uint64_t{8} * static_cast<uint64_t>(cfg_.chunksPerCycle));
         sim::Tick dma = sim::DmaPort(cfg_.dma).transferCycles(
             std::max(raw_bytes, stream_bytes));
         return cfg_.dispatchCycles + std::max(chunks, dma) +

@@ -44,8 +44,10 @@ DhtGenerator::generate(std::span<const Token> tokens,
             ++freqs.litlen[t.literal];
             covered += 1;
         } else {
-            ++freqs.litlen[deflate::lengthToCode(t.length)];
-            ++freqs.dist[deflate::distToCode(t.dist)];
+            ++freqs.litlen[static_cast<size_t>(
+                deflate::lengthToCode(t.length))];
+            ++freqs.dist[static_cast<size_t>(
+                deflate::distToCode(t.dist))];
             covered += t.length;
         }
     }

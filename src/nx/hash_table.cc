@@ -25,12 +25,13 @@ BankedHashTable::lookup(uint32_t set) const
 {
     int n = fill_[set];
     const uint32_t *base = entries_.data() +
-        static_cast<size_t>(set) * cfg_.ways;
+        static_cast<size_t>(set) * static_cast<size_t>(cfg_.ways);
     // Most-recent-first: head_ points at the next victim, so the newest
     // entry sits just behind it.
     for (int i = 0; i < n; ++i) {
         int idx = (head_[set] - 1 - i + cfg_.ways * 2) % cfg_.ways;
-        scratch_[i] = base[idx];
+        scratch_[static_cast<size_t>(i)] =
+            base[static_cast<size_t>(idx)];
     }
     return {scratch_.data(), static_cast<size_t>(n)};
 }
@@ -39,7 +40,7 @@ void
 BankedHashTable::insert(uint32_t set, uint32_t pos)
 {
     uint32_t *base = entries_.data() +
-        static_cast<size_t>(set) * cfg_.ways;
+        static_cast<size_t>(set) * static_cast<size_t>(cfg_.ways);
     base[head_[set]] = pos;
     head_[set] = static_cast<uint8_t>((head_[set] + 1) % cfg_.ways);
     if (fill_[set] < cfg_.ways)

@@ -22,7 +22,7 @@ MatchPipeline::bestMatch(std::span<const uint8_t> in, size_t pos,
         return 0;
 
     size_t limit = pos >= static_cast<size_t>(cfg_.windowBytes)
-        ? pos - cfg_.windowBytes + 1 : 0;
+        ? pos - static_cast<size_t>(cfg_.windowBytes) + 1 : 0;
     const uint8_t *cur = in.data() + pos;
 
     int best_len = 0;
@@ -76,7 +76,8 @@ MatchPipeline::run(std::span<const uint8_t> input)
             currentRow = row;
         }
 
-        bool can_hash = pos + cfg_.hash.minMatch <= n;
+        bool can_hash =
+            pos + static_cast<size_t>(cfg_.hash.minMatch) <= n;
         uint32_t set = 0;
         if (can_hash) {
             set = table_.hashAt(input.data() + pos);
@@ -101,7 +102,7 @@ MatchPipeline::run(std::span<const uint8_t> input)
             // periodic data keep matching at short distances.
             size_t end = pos + static_cast<size_t>(len);
             auto ins = [&](size_t p) {
-                if (p + cfg_.hash.minMatch <= n)
+                if (p + static_cast<size_t>(cfg_.hash.minMatch) <= n)
                     table_.insert(table_.hashAt(input.data() + p),
                                   static_cast<uint32_t>(p));
             };

@@ -85,8 +85,10 @@ BitReader::readBytes(uint8_t *out, size_t n)
         overrun_ = true;
         return false;
     }
-    std::memcpy(out + i, data_.data() + pos_, remain);
-    pos_ += remain;
+    if (remain != 0) {
+        std::memcpy(out + i, data_.data() + pos_, remain);
+        pos_ += remain;
+    }
     return true;
 }
 

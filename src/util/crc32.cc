@@ -49,7 +49,7 @@ uint32_t
 gf2MatTimesVec(const std::array<uint32_t, 32> &mat, uint32_t vec)
 {
     uint32_t sum = 0;
-    int i = 0;
+    size_t i = 0;
     while (vec) {
         if (vec & 1)
             sum ^= mat[i];
@@ -64,7 +64,7 @@ std::array<uint32_t, 32>
 gf2MatSquare(const std::array<uint32_t, 32> &mat)
 {
     std::array<uint32_t, 32> sq{};
-    for (int i = 0; i < 32; ++i)
+    for (size_t i = 0; i < 32; ++i)
         sq[i] = gf2MatTimesVec(mat, mat[i]);
     return sq;
 }
@@ -80,7 +80,7 @@ crc32Combine(uint32_t crc_a, uint32_t crc_b, uint64_t len_b)
     // odd = matrix advancing the CRC register by one zero bit.
     std::array<uint32_t, 32> odd{};
     odd[0] = kPoly;
-    for (int i = 1; i < 32; ++i)
+    for (size_t i = 1; i < 32; ++i)
         odd[i] = 1u << (i - 1);
     auto even = gf2MatSquare(odd);    // two zero bits
     odd = gf2MatSquare(even);         // four zero bits

@@ -16,12 +16,6 @@ put(std::vector<uint8_t> &v, const char *s)
     v.insert(v.end(), s, s + std::strlen(s));
 }
 
-void
-put(std::vector<uint8_t> &v, const std::string &s)
-{
-    v.insert(v.end(), s.begin(), s.end());
-}
-
 const std::array<const char *, 64> kWords = {
     "the", "of", "and", "a", "to", "in", "is", "was", "he", "for",
     "it", "with", "as", "his", "on", "be", "at", "by", "had", "not",

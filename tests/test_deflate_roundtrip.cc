@@ -98,7 +98,8 @@ class RoundTrip : public ::testing::TestWithParam<
 TEST_P(RoundTrip, LosslessAtEveryLevel)
 {
     auto [level, shape, size] = GetParam();
-    auto input = makeData(shape, size, 0xc0ffee + size + level);
+    auto input = makeData(shape, size,
+                          0xc0ffee + size + static_cast<size_t>(level));
 
     DeflateOptions opts;
     opts.level = level;

@@ -59,8 +59,9 @@ TEST(Dictionary, WrongDictionaryFailsOrCorrupts)
     auto out = inflateDecompressWithDict(res.bytes, wrong);
     // Decoding with the wrong dictionary either errors or produces
     // different bytes; it must never return the original content.
-    if (out.ok())
+    if (out.ok()) {
         EXPECT_NE(out.bytes, input);
+    }
 }
 
 TEST(Dictionary, EmptyDictEqualsPlain)

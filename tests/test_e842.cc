@@ -154,8 +154,9 @@ TEST(E842, TruncatedStreamRejected)
         // Truncation may expose a valid END opcode early in rare
         // alignments; a wrong-but-ok result is acceptable only if it
         // is a strict prefix mismatch — require not-ok or smaller out.
-        if (d.ok)
+        if (d.ok) {
             EXPECT_LT(d.bytes.size(), input.size());
+        }
     }
 }
 

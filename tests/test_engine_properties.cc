@@ -156,6 +156,6 @@ TEST_P(EngineTiming, CyclesMonotonicInSize)
 
 INSTANTIATE_TEST_SUITE_P(Gens, EngineTiming,
     ::testing::Values(Gen::P9, Gen::Z15),
-    [](const ::testing::TestParamInfo<Gen> &info) {
-        return std::string(genName(info.param));
+    [](const ::testing::TestParamInfo<Gen> &pinfo) {
+        return std::string(genName(pinfo.param));
     });

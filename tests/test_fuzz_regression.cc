@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic replay of the checked-in fuzz corpus (under
+ * fuzz/corpus/) through the fuzz harness entry points, under plain
+ * ctest. This keeps
+ * past crashers fixed and the harness invariants (differential
+ * agreement, round-trip identity, output caps) enforced by tier-1 even
+ * when no fuzzing toolchain is configured.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "harness.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint8_t>
+readFile(const fs::path &p)
+{
+    std::ifstream f(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(f),
+            std::istreambuf_iterator<char>()};
+}
+
+/** Replay every regular file in fuzz/corpus/<target> through fn. */
+void
+replayDir(const char *target, int (*fn)(std::span<const uint8_t>))
+{
+    fs::path dir = fs::path(NXSIM_FUZZ_CORPUS_DIR) / target;
+    ASSERT_TRUE(fs::is_directory(dir))
+        << "missing corpus dir " << dir
+        << " (regenerate with the fuzz_make_corpus tool)";
+    size_t files = 0;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        if (!e.is_regular_file())
+            continue;
+        auto bytes = readFile(e.path());
+        SCOPED_TRACE(e.path().string());
+        EXPECT_EQ(fn(bytes), 0);
+        ++files;
+    }
+    EXPECT_GT(files, 0u) << "empty corpus dir " << dir;
+}
+
+} // namespace
+
+TEST(FuzzRegression, InflateCorpus)
+{
+    replayDir("inflate", fuzz::fuzzInflate);
+}
+
+TEST(FuzzRegression, GzipCorpus)
+{
+    replayDir("gzip", fuzz::fuzzGzip);
+}
+
+TEST(FuzzRegression, E842Corpus)
+{
+    replayDir("e842", fuzz::fuzzE842);
+}
+
+TEST(FuzzRegression, RoundtripCorpus)
+{
+    replayDir("roundtrip", fuzz::fuzzRoundtrip);
+}

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "deflate/constants.h"
+#include "deflate/gzip_stream.h"
 #include "deflate/inflate_decoder.h"
 #include "util/bitstream.h"
 
@@ -227,4 +228,79 @@ TEST(Inflate, GarbageInputDoesNotCrash)
     // Any error status is acceptable; only Ok would be suspicious for
     // this particular byte pattern (and even Ok is legal in principle).
     SUCCEED();
+}
+
+TEST(Inflate, OverSubscribedDynamicCodeLengths)
+{
+    // Dynamic block whose code-length alphabet assigns 1-bit codes to
+    // all 19 symbols: only two 1-bit codes exist, so the Kraft sum is
+    // over-subscribed and table construction must fail cleanly.
+    BitWriter bw;
+    bw.writeBits(1, 1);     // BFINAL
+    bw.writeBits(2, 2);     // BTYPE=10 dynamic
+    bw.writeBits(0, 5);     // HLIT  = 257
+    bw.writeBits(0, 5);     // HDIST = 1
+    bw.writeBits(15, 4);    // HCLEN = 19
+    for (int i = 0; i < 19; ++i)
+        bw.writeBits(1, 3);
+    auto stream = bw.take();
+    auto res = inflateDecompress(stream);
+    EXPECT_EQ(res.status, InflateStatus::BadCodeLengths);
+}
+
+TEST(Inflate, DynamicHeaderCountsOutOfRange)
+{
+    // HLIT=31 encodes 288 litlen codes, above the legal 286.
+    BitWriter bw;
+    bw.writeBits(1, 1);
+    bw.writeBits(2, 2);
+    bw.writeBits(31, 5);    // HLIT = 288
+    bw.writeBits(0, 5);
+    bw.writeBits(0, 4);
+    bw.writeBits(0, 32);    // padding so the header itself isn't short
+    auto stream = bw.take();
+    auto res = inflateDecompress(stream);
+    EXPECT_EQ(res.status, InflateStatus::BadCodeLengths);
+}
+
+TEST(Inflate, TruncatedGzipHeader)
+{
+    // Shorter than the 10-byte fixed header + 8-byte trailer.
+    std::vector<uint8_t> shortHdr = {0x1f, 0x8b, 0x08, 0x00};
+    auto res = deflate::gzipUnwrap(shortHdr);
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.error.empty());
+
+    // Valid magic but FEXTRA length pointing past the end.
+    std::vector<uint8_t> badExtra = {
+        0x1f, 0x8b, 0x08, 0x04,    // magic, deflate, FLG=FEXTRA
+        0, 0, 0, 0,                // MTIME
+        0, 3,                      // XFL, OS
+        0xff, 0x7f,                // XLEN = 32767, way past the end
+        0, 0, 0, 0, 0, 0, 0, 0,    // filler so size >= 18
+    };
+    auto res2 = deflate::gzipUnwrap(badExtra);
+    EXPECT_FALSE(res2.ok);
+    EXPECT_EQ(res2.error, "truncated FEXTRA");
+
+    // Wrong magic bytes.
+    std::vector<uint8_t> badMagic(20, 0x00);
+    auto res3 = deflate::gzipUnwrap(badMagic);
+    EXPECT_FALSE(res3.ok);
+    EXPECT_EQ(res3.error, "bad magic");
+}
+
+TEST(Inflate, StatusToStringCoversEveryValue)
+{
+    EXPECT_STREQ(toString(InflateStatus::Ok), "Ok");
+    EXPECT_STREQ(toString(InflateStatus::TruncatedInput),
+                 "TruncatedInput");
+    EXPECT_STREQ(toString(InflateStatus::BadBlockType), "BadBlockType");
+    EXPECT_STREQ(toString(InflateStatus::BadStoredLength),
+                 "BadStoredLength");
+    EXPECT_STREQ(toString(InflateStatus::BadCodeLengths),
+                 "BadCodeLengths");
+    EXPECT_STREQ(toString(InflateStatus::BadSymbol), "BadSymbol");
+    EXPECT_STREQ(toString(InflateStatus::BadDistance), "BadDistance");
+    EXPECT_STREQ(toString(InflateStatus::OutputLimit), "OutputLimit");
 }

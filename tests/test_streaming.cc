@@ -224,7 +224,8 @@ TEST_P(StreamingChunks, RandomSplitRoundTrip)
 {
     util::Xoshiro256 rng(static_cast<uint64_t>(GetParam()) * 7919);
     auto input = workloads::makeMixed(
-        40000 + rng.below(100000), 9000 + GetParam());
+        40000 + rng.below(100000),
+        static_cast<uint64_t>(9000 + GetParam()));
 
     // Random write chunking with occasional sync flushes.
     DeflateStream ds;
