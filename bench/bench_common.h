@@ -19,6 +19,8 @@
 #include "core/nxzip.h"
 #include "core/topology.h"
 #include "sim/host_cal.h"
+#include "util/checked.h"
+#include "util/contracts.h"
 #include "util/table.h"
 #include "workloads/corpus.h"
 
@@ -41,6 +43,9 @@ measureAccel(const nx::NxConfig &cfg, std::span<const uint8_t> data,
              core::Mode mode = core::Mode::DhtSampled,
              size_t job_bytes = 1 << 20)
 {
+    // job_bytes == 0 would loop forever below; make the precondition
+    // loud instead of hanging a bench run.
+    NXSIM_EXPECT(job_bytes > 0, "job_bytes must be positive");
     core::NxDevice dev(cfg);
     AccelRates out;
     double comp_secs = 0.0;
@@ -55,8 +60,9 @@ measureAccel(const nx::NxConfig &cfg, std::span<const uint8_t> data,
         if (!job.ok())
             continue;
         comp_secs += job.seconds;
-        in_bytes += n;
-        comp_bytes += job.data.size();
+        in_bytes = nx::checkedAdd(in_bytes, static_cast<uint64_t>(n));
+        comp_bytes = nx::checkedAdd(
+            comp_bytes, static_cast<uint64_t>(job.data.size()));
 
         auto djob = dev.decompress(job.data, nx::Framing::Gzip);
         if (djob.ok())

@@ -9,6 +9,7 @@
 #include "deflate/zlib_stream.h"
 #include "util/adler32.h"
 #include "util/crc32.h"
+#include "util/checked.h"
 
 namespace core {
 
@@ -36,13 +37,13 @@ NxDevice::compress(std::span<const uint8_t> source, nx::Framing framing,
     crb.func = effective == Mode::Fht
         ? nx::FuncCode::CompressFht : nx::FuncCode::CompressDht;
     crb.framing = framing;
-    crb.source = nx::DdeList::direct(0x1000, static_cast<uint32_t>(
+    crb.source = nx::DdeList::direct(0x1000, nx::checked_cast<uint32_t>(
         source.size()));
     // Worst-case expansion: FHT emits 9-bit codes for literals
     // 144-255, so incompressible data can grow by up to 12.5 %
     // (plus framing). Stored-block fallback does not exist in FHT
     // mode, so the target must cover the full bound.
-    crb.target = nx::DdeList::direct(0x2000000, static_cast<uint32_t>(
+    crb.target = nx::DdeList::direct(0x2000000, nx::checked_cast<uint32_t>(
         source.size() + source.size() / 7 + 1024));
     crb.seq = seq_++;
 
@@ -68,9 +69,9 @@ NxDevice::decompress(std::span<const uint8_t> stream, nx::Framing framing,
     nx::Crb crb;
     crb.func = nx::FuncCode::Decompress;
     crb.framing = framing;
-    crb.source = nx::DdeList::direct(0x1000, static_cast<uint32_t>(
+    crb.source = nx::DdeList::direct(0x1000, nx::checked_cast<uint32_t>(
         stream.size()));
-    crb.target = nx::DdeList::direct(0x2000000, static_cast<uint32_t>(
+    crb.target = nx::DdeList::direct(0x2000000, nx::checked_cast<uint32_t>(
         max_output));
     crb.seq = seq_++;
 

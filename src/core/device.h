@@ -21,6 +21,7 @@
 #include "nx/compress_engine.h"
 #include "nx/decompress_engine.h"
 #include "nx/nx_config.h"
+#include "util/checked.h"
 
 namespace core {
 
@@ -64,12 +65,12 @@ class NxDevice
      * @param mode  table policy (Auto: FHT below autoFhtThreshold(),
      *              sampled DHT otherwise)
      */
-    JobResult compress(std::span<const uint8_t> source,
+    [[nodiscard]] JobResult compress(std::span<const uint8_t> source,
                        nx::Framing framing = nx::Framing::Gzip,
                        Mode mode = Mode::Auto);
 
     /** Decompress a framed stream produced by any conforming encoder. */
-    JobResult decompress(std::span<const uint8_t> stream,
+    [[nodiscard]] JobResult decompress(std::span<const uint8_t> stream,
                          nx::Framing framing = nx::Framing::Gzip,
                          uint64_t max_output = uint64_t{1} << 30);
 
@@ -80,12 +81,12 @@ class NxDevice
      * The modelled time assumes the engines run in parallel: it is
      * the max over engines of the sum of their jobs' cycles.
      */
-    JobResult compressLarge(std::span<const uint8_t> source,
+    [[nodiscard]] JobResult compressLarge(std::span<const uint8_t> source,
                             size_t chunk_bytes = 4u << 20,
                             Mode mode = Mode::DhtSampled);
 
     /** Decompress a multi-member gzip file (see compressLarge). */
-    JobResult decompressLarge(std::span<const uint8_t> file,
+    [[nodiscard]] JobResult decompressLarge(std::span<const uint8_t> file,
                               uint64_t max_output = uint64_t{1} << 30);
 
     /** Job size below which Auto mode selects FHT. */
@@ -104,9 +105,9 @@ class NxDevice
     {
         return *decomp_[static_cast<size_t>(i)];
     }
-    int compressEngineCount() const { return static_cast<int>(
+    int compressEngineCount() const { return nx::checked_cast<int>(
         comp_.size()); }
-    int decompressEngineCount() const { return static_cast<int>(
+    int decompressEngineCount() const { return nx::checked_cast<int>(
         decomp_.size()); }
 
   private:
@@ -129,9 +130,9 @@ class SoftwareCodec
   public:
     explicit SoftwareCodec(int level = 6) : level_(level) {}
 
-    JobResult compress(std::span<const uint8_t> source,
+    [[nodiscard]] JobResult compress(std::span<const uint8_t> source,
                        nx::Framing framing = nx::Framing::Gzip);
-    JobResult decompress(std::span<const uint8_t> stream,
+    [[nodiscard]] JobResult decompress(std::span<const uint8_t> stream,
                          nx::Framing framing = nx::Framing::Gzip);
 
     int level() const { return level_; }

@@ -12,6 +12,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -91,7 +92,7 @@ struct LengthCodeTable
             int span = 1 << kLengthExtra[c];
             for (int l = base; l < base + span && l <= kMaxMatch; ++l)
                 code[static_cast<size_t>(l - kMinMatch)] =
-                    static_cast<uint8_t>(c);
+                    nx::checked_cast<uint8_t>(c);
         }
         // Length 258 is its own code (285), overriding code 284's range.
         code[kMaxMatch - kMinMatch] = 28;

@@ -1,7 +1,7 @@
 #include "deflate/deflate_encoder.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -62,12 +62,12 @@ rleCodeLengths(std::span<const uint8_t> lengths)
             size_t left = run;
             while (left >= 11) {
                 size_t n = std::min<size_t>(left, 138);
-                out.push_back({18, static_cast<uint8_t>(n - 11), 7});
+                out.push_back({18, nx::checked_cast<uint8_t>(n - 11), 7});
                 left -= n;
             }
             while (left >= 3) {
                 size_t n = std::min<size_t>(left, 10);
-                out.push_back({17, static_cast<uint8_t>(n - 3), 3});
+                out.push_back({17, nx::checked_cast<uint8_t>(n - 3), 3});
                 left -= n;
             }
             while (left > 0) {
@@ -79,7 +79,7 @@ rleCodeLengths(std::span<const uint8_t> lengths)
             size_t left = run - 1;
             while (left >= 3) {
                 size_t n = std::min<size_t>(left, 6);
-                out.push_back({16, static_cast<uint8_t>(n - 3), 2});
+                out.push_back({16, nx::checked_cast<uint8_t>(n - 3), 2});
                 left -= n;
             }
             while (left > 0) {
@@ -133,9 +133,9 @@ writeDynamicHeader(util::BitWriter &bw, const BlockCodes &codes)
     while (hclen > 4 && clLengths[kClcOrder[hclen - 1]] == 0)
         --hclen;
 
-    bw.writeBits(static_cast<uint32_t>(hlit - 257), 5);
-    bw.writeBits(static_cast<uint32_t>(hdist - 1), 5);
-    bw.writeBits(static_cast<uint32_t>(hclen - 4), 4);
+    bw.writeBits(nx::checked_cast<uint32_t>(hlit - 257), 5);
+    bw.writeBits(nx::checked_cast<uint32_t>(hdist - 1), 5);
+    bw.writeBits(nx::checked_cast<uint32_t>(hclen - 4), 4);
     for (size_t i = 0; i < hclen; ++i)
         bw.writeBits(clLengths[kClcOrder[i]], 3);
     for (const ClSym &c : rle) {
@@ -161,7 +161,7 @@ emitTokens(util::BitWriter &bw, std::span<const Token> tokens,
         auto li = static_cast<size_t>(lc - 257);
         unsigned lextra = kLengthExtra[li];
         if (lextra > 0)
-            bw.writeBits(static_cast<uint32_t>(
+            bw.writeBits(nx::checked_cast<uint32_t>(
                              t.length - kLengthBase[li]),
                          lextra);
         int dc = distToCode(t.dist);
@@ -169,7 +169,7 @@ emitTokens(util::BitWriter &bw, std::span<const Token> tokens,
         auto di = static_cast<size_t>(dc);
         unsigned dextra = kDistExtra[di];
         if (dextra > 0)
-            bw.writeBits(static_cast<uint32_t>(t.dist - kDistBase[di]),
+            bw.writeBits(nx::checked_cast<uint32_t>(t.dist - kDistBase[di]),
                          dextra);
     }
     litlen.writeSymbol(bw, kEob);
@@ -198,11 +198,11 @@ writeStoredBlock(util::BitWriter &bw, std::span<const uint8_t> data,
                  bool final)
 {
     bw.writeBits(final ? 1 : 0, 1);
-    bw.writeBits(static_cast<uint32_t>(BlockType::Stored), 2);
+    bw.writeBits(nx::checked_cast<uint32_t>(BlockType::Stored), 2);
     bw.alignToByte();
-    auto len = static_cast<uint16_t>(data.size());
+    auto len = nx::checked_cast<uint16_t>(data.size());
     bw.writeU16le(len);
-    bw.writeU16le(static_cast<uint16_t>(~len));
+    bw.writeU16le(nx::truncate_cast<uint16_t>(~len));
     bw.writeBytes(data);
 }
 
@@ -253,7 +253,7 @@ deflateCompress(std::span<const uint8_t> input, const DeflateOptions &opts)
 
         if (opts.forceFixed) {
             bw.writeBits(final ? 1 : 0, 1);
-            bw.writeBits(static_cast<uint32_t>(BlockType::FixedHuffman),
+            bw.writeBits(nx::checked_cast<uint32_t>(BlockType::FixedHuffman),
                          2);
             emitTokens(bw, tokens, HuffmanCode::fixedLitLen(),
                        HuffmanCode::fixedDist());
@@ -282,14 +282,14 @@ deflateCompress(std::span<const uint8_t> input, const DeflateOptions &opts)
             } while (off < chunk.size());
         } else if (fixed_cost <= dyn_cost) {
             bw.writeBits(final ? 1 : 0, 1);
-            bw.writeBits(static_cast<uint32_t>(BlockType::FixedHuffman),
+            bw.writeBits(nx::checked_cast<uint32_t>(BlockType::FixedHuffman),
                          2);
             emitTokens(bw, tokens, HuffmanCode::fixedLitLen(),
                        HuffmanCode::fixedDist());
             ++res.fixedBlocks;
         } else {
             bw.writeBits(final ? 1 : 0, 1);
-            bw.writeBits(static_cast<uint32_t>(BlockType::DynamicHuffman),
+            bw.writeBits(nx::checked_cast<uint32_t>(BlockType::DynamicHuffman),
                          2);
             writeDynamicHeader(bw, codes);
             emitTokens(bw, tokens, codes.litlen, codes.dist);
@@ -347,13 +347,13 @@ deflateCompressWithDict(std::span<const uint8_t> input,
 
         bw.writeBits(final ? 1 : 0, 1);
         if (fixed_cost <= dyn_cost) {
-            bw.writeBits(static_cast<uint32_t>(
+            bw.writeBits(nx::checked_cast<uint32_t>(
                              BlockType::FixedHuffman), 2);
             emitTokens(bw, tokens, HuffmanCode::fixedLitLen(),
                        HuffmanCode::fixedDist());
             ++res.fixedBlocks;
         } else {
-            bw.writeBits(static_cast<uint32_t>(
+            bw.writeBits(nx::checked_cast<uint32_t>(
                              BlockType::DynamicHuffman), 2);
             writeDynamicHeader(bw, codes);
             emitTokens(bw, tokens, codes.litlen, codes.dist);

@@ -87,7 +87,7 @@ struct DeflateResult
 };
 
 /** Compress @p input into a raw DEFLATE stream. */
-DeflateResult deflateCompress(std::span<const uint8_t> input,
+[[nodiscard]] DeflateResult deflateCompress(std::span<const uint8_t> input,
                               const DeflateOptions &opts = {});
 
 /**
@@ -96,7 +96,7 @@ DeflateResult deflateCompress(std::span<const uint8_t> input,
  * zlib's deflateSetDictionary semantics. The decoder must be given
  * the same dictionary (inflateDecompressWithDict / zlib FDICT).
  */
-DeflateResult deflateCompressWithDict(std::span<const uint8_t> input,
+[[nodiscard]] DeflateResult deflateCompressWithDict(std::span<const uint8_t> input,
                                       std::span<const uint8_t> dict,
                                       const DeflateOptions &opts = {});
 

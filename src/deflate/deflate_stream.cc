@@ -1,7 +1,8 @@
 #include "deflate/deflate_stream.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/contracts.h"
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -13,8 +14,8 @@ DeflateStream::DeflateStream(const DeflateOptions &opts)
 void
 DeflateStream::setDictionary(std::span<const uint8_t> dict)
 {
-    assert(totalIn_ == 0 && !finished_ &&
-           "setDictionary after writing");
+    NXSIM_EXPECT(totalIn_ == 0 && !finished_,
+                 "setDictionary after writing");
     if (dict.size() > static_cast<size_t>(kWindowSize))
         dict = dict.subspan(dict.size() - kWindowSize);
     window_.assign(dict.begin(), dict.end());
@@ -24,7 +25,7 @@ void
 DeflateStream::write(std::span<const uint8_t> data, Flush flush,
                      std::vector<uint8_t> &out)
 {
-    assert(!finished_ && "write after Finish");
+    NXSIM_EXPECT(!finished_, "write after Finish");
     pending_.insert(pending_.end(), data.begin(), data.end());
     totalIn_ += data.size();
 
@@ -93,9 +94,9 @@ DeflateStream::emitBlock(bool final, bool sync,
                 bw_.writeBits(sub_final ? 1 : 0, 1);
                 bw_.writeBits(0, 2);
                 bw_.alignToByte();
-                auto len = static_cast<uint16_t>(sn);
+                auto len = nx::checked_cast<uint16_t>(sn);
                 bw_.writeU16le(len);
-                bw_.writeU16le(static_cast<uint16_t>(~len));
+                bw_.writeU16le(nx::truncate_cast<uint16_t>(~len));
                 bw_.writeBytes(chunk.subspan(off, sn));
                 off += sn;
             } while (off < n);
@@ -105,12 +106,12 @@ DeflateStream::emitBlock(bool final, bool sync,
             bw_.writeBits(final ? 1 : 0, 1);
             if (use_fixed) {
                 bw_.writeBits(
-                    static_cast<uint32_t>(BlockType::FixedHuffman), 2);
+                    nx::checked_cast<uint32_t>(BlockType::FixedHuffman), 2);
                 emitTokens(bw_, tokens, HuffmanCode::fixedLitLen(),
                            HuffmanCode::fixedDist());
             } else {
                 bw_.writeBits(
-                    static_cast<uint32_t>(BlockType::DynamicHuffman),
+                    nx::checked_cast<uint32_t>(BlockType::DynamicHuffman),
                     2);
                 writeDynamicHeader(bw_, codes);
                 emitTokens(bw_, tokens, codes.litlen, codes.dist);
@@ -140,7 +141,7 @@ DeflateStream::emitBlock(bool final, bool sync,
     }
 
     if (final) {
-        assert(emittedFinal_);
+        NXSIM_ASSERT(emittedFinal_);
         bw_.alignToByte();
     }
 

@@ -1,6 +1,7 @@
 #include "deflate/gzip_stream.h"
 
 #include "util/crc32.h"
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -44,14 +45,14 @@ gzipWrapEx(std::span<const uint8_t> deflate_stream,
     out.push_back(kCmDeflate);
     out.push_back(flg);
     for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<uint8_t>(
+        out.push_back(nx::checked_cast<uint8_t>(
             (opts.mtime >> (8 * i)) & 0xff));
     out.push_back(0);        // XFL
     out.push_back(kOsUnix);  // OS
     if (!opts.extra.empty()) {
-        auto xlen = static_cast<uint16_t>(opts.extra.size());
-        out.push_back(static_cast<uint8_t>(xlen & 0xff));
-        out.push_back(static_cast<uint8_t>(xlen >> 8));
+        auto xlen = nx::checked_cast<uint16_t>(opts.extra.size());
+        out.push_back(nx::checked_cast<uint8_t>(xlen & 0xff));
+        out.push_back(nx::checked_cast<uint8_t>(xlen >> 8));
         out.insert(out.end(), opts.extra.begin(), opts.extra.end());
     }
     if (!opts.name.empty()) {
@@ -65,19 +66,19 @@ gzipWrapEx(std::span<const uint8_t> deflate_stream,
     }
     if (opts.headerCrc) {
         // CRC16 of everything written so far (low 16 bits of CRC-32).
-        uint16_t hcrc = static_cast<uint16_t>(
+        uint16_t hcrc = nx::checked_cast<uint16_t>(
             util::crc32(out) & 0xffff);
-        out.push_back(static_cast<uint8_t>(hcrc & 0xff));
-        out.push_back(static_cast<uint8_t>(hcrc >> 8));
+        out.push_back(nx::checked_cast<uint8_t>(hcrc & 0xff));
+        out.push_back(nx::checked_cast<uint8_t>(hcrc >> 8));
     }
     out.insert(out.end(), deflate_stream.begin(), deflate_stream.end());
 
     uint32_t crc = util::crc32(original);
-    auto isize = static_cast<uint32_t>(original.size());
+    auto isize = nx::truncate_cast<uint32_t>(original.size());
     for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<uint8_t>((crc >> (8 * i)) & 0xff));
+        out.push_back(nx::checked_cast<uint8_t>((crc >> (8 * i)) & 0xff));
     for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<uint8_t>((isize >> (8 * i)) & 0xff));
+        out.push_back(nx::checked_cast<uint8_t>((isize >> (8 * i)) & 0xff));
     return out;
 }
 
@@ -99,10 +100,10 @@ gzipUnwrap(std::span<const uint8_t> member)
     }
     uint8_t flg = member[3];
     res.header.flags = flg;
-    res.header.mtime = static_cast<uint32_t>(member[4]) |
-        (static_cast<uint32_t>(member[5]) << 8) |
-        (static_cast<uint32_t>(member[6]) << 16) |
-        (static_cast<uint32_t>(member[7]) << 24);
+    res.header.mtime = nx::checked_cast<uint32_t>(member[4]) |
+        (nx::checked_cast<uint32_t>(member[5]) << 8) |
+        (nx::checked_cast<uint32_t>(member[6]) << 16) |
+        (nx::checked_cast<uint32_t>(member[7]) << 24);
 
     size_t pos = 10;
     if (flg & 0x04) {    // FEXTRA
@@ -124,13 +125,13 @@ gzipUnwrap(std::span<const uint8_t> member)
     }
     if (flg & kFlagName) {
         while (pos < member.size() && member[pos] != 0)
-            res.header.name.push_back(static_cast<char>(member[pos++]));
+            res.header.name.push_back(nx::truncate_cast<char>(member[pos++]));
         ++pos;    // NUL
     }
     if (flg & 0x10) {    // FCOMMENT
         while (pos < member.size() && member[pos] != 0)
             res.header.comment.push_back(
-                static_cast<char>(member[pos++]));
+                nx::truncate_cast<char>(member[pos++]));
         ++pos;
     }
     if (flg & 0x02) {    // FHCRC
@@ -139,9 +140,9 @@ gzipUnwrap(std::span<const uint8_t> member)
             res.error = "truncated FHCRC";
             return res;
         }
-        uint16_t want = static_cast<uint16_t>(
+        uint16_t want = nx::checked_cast<uint16_t>(
             member[pos] | (member[pos + 1] << 8));
-        uint16_t got = static_cast<uint16_t>(
+        uint16_t got = nx::checked_cast<uint16_t>(
             util::crc32(member.subspan(0, pos)) & 0xffff);
         res.header.hcrcValid = want == got;
         pos += 2;
@@ -169,10 +170,10 @@ gzipUnwrap(std::span<const uint8_t> member)
         return res;
     }
     auto rd32 = [&](size_t p) {
-        return static_cast<uint32_t>(member[p]) |
-            (static_cast<uint32_t>(member[p + 1]) << 8) |
-            (static_cast<uint32_t>(member[p + 2]) << 16) |
-            (static_cast<uint32_t>(member[p + 3]) << 24);
+        return nx::checked_cast<uint32_t>(member[p]) |
+            (nx::checked_cast<uint32_t>(member[p + 1]) << 8) |
+            (nx::checked_cast<uint32_t>(member[p + 2]) << 16) |
+            (nx::checked_cast<uint32_t>(member[p + 3]) << 24);
     };
     uint32_t crc = rd32(tpos);
     uint32_t isize = rd32(tpos + 4);
@@ -180,7 +181,7 @@ gzipUnwrap(std::span<const uint8_t> member)
         res.error = "CRC mismatch";
         return res;
     }
-    if (isize != static_cast<uint32_t>(res.inflate.bytes.size())) {
+    if (isize != nx::truncate_cast<uint32_t>(res.inflate.bytes.size())) {
         res.error = "ISIZE mismatch";
         return res;
     }

@@ -64,7 +64,7 @@ struct GzipUnwrapResult
 };
 
 /** Parse the header, inflate the payload, verify CRC-32 and ISIZE. */
-GzipUnwrapResult gzipUnwrap(std::span<const uint8_t> member);
+[[nodiscard]] GzipUnwrapResult gzipUnwrap(std::span<const uint8_t> member);
 
 /** Result of unwrapping a whole (possibly multi-member) gzip file. */
 struct GzipFileResult
@@ -79,7 +79,7 @@ struct GzipFileResult
  * Decode a gzip file that may contain several concatenated members
  * (the `cat a.gz b.gz` form gunzip accepts).
  */
-GzipFileResult gzipUnwrapAll(std::span<const uint8_t> file);
+[[nodiscard]] GzipFileResult gzipUnwrapAll(std::span<const uint8_t> file);
 
 } // namespace deflate
 

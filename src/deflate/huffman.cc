@@ -1,8 +1,9 @@
 #include "deflate/huffman.h"
 
 #include <algorithm>
-#include <cassert>
+#include "util/contracts.h"
 #include <queue>
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -25,7 +26,7 @@ assignDepths(const std::vector<Node> &pool, int idx, int depth,
     const Node &n = pool[static_cast<size_t>(idx)];
     if (n.symbol >= 0) {
         lengths[static_cast<size_t>(n.symbol)] =
-            static_cast<uint8_t>(std::max(depth, 1));
+            nx::checked_cast<uint8_t>(std::max(depth, 1));
         return;
     }
     assignDepths(pool, n.left, depth + 1, lengths);
@@ -57,7 +58,7 @@ limitLengths(std::vector<uint8_t> &lengths, int max_bits,
         if (l == 0)
             continue;
         if (l > max_bits)
-            l = static_cast<uint8_t>(max_bits);
+            l = nx::checked_cast<uint8_t>(max_bits);
         ++blCount[l];
     }
 
@@ -81,7 +82,7 @@ limitLengths(std::vector<uint8_t> &lengths, int max_bits,
         size_t bits = maxBits - 1;
         while (bits > 0 && blCount[bits] == 0)
             --bits;
-        assert(bits > 0 && "cannot repair Kraft overflow");
+        NXSIM_ASSERT(bits > 0, "cannot repair Kraft overflow");
         --blCount[bits];
         ++blCount[bits + 1];
         // One code of length bits became length bits+1:
@@ -101,7 +102,7 @@ limitLengths(std::vector<uint8_t> &lengths, int max_bits,
         kraft -= (1ull << (maxBits - bits));
         kraft += (1ull << (maxBits - bits + 1));
     }
-    assert(kraft == budget);
+    NXSIM_ENSURE(kraft == budget);
 
     // Reassign lengths: sort used symbols by (freq desc) so frequent
     // symbols get the shorter lengths, then dole out blCount.
@@ -117,9 +118,9 @@ limitLengths(std::vector<uint8_t> &lengths, int max_bits,
     size_t i = 0;
     for (size_t bits = 1; bits <= maxBits; ++bits) {
         for (int k = 0; k < blCount[bits]; ++k)
-            lengths[used[i++]] = static_cast<uint8_t>(bits);
+            lengths[used[i++]] = nx::checked_cast<uint8_t>(bits);
     }
-    assert(i == used.size());
+    NXSIM_ENSURE(i == used.size());
 }
 
 } // namespace
@@ -144,7 +145,7 @@ buildCodeLengths(std::span<const uint64_t> freqs, int max_bits)
     for (size_t s = 0; s < freqs.size(); ++s) {
         if (freqs[s] == 0)
             continue;
-        pool.push_back({freqs[s], static_cast<int>(s)});
+        pool.push_back({freqs[s], nx::checked_cast<int>(s)});
         heap.push(pool.size() - 1);
     }
 
@@ -161,11 +162,11 @@ buildCodeLengths(std::span<const uint64_t> freqs, int max_bits)
         size_t b = heap.top();
         heap.pop();
         pool.push_back({pool[a].freq + pool[b].freq, -1,
-                        static_cast<int>(a), static_cast<int>(b)});
+                        nx::checked_cast<int>(a), nx::checked_cast<int>(b)});
         heap.push(pool.size() - 1);
     }
 
-    assignDepths(pool, static_cast<int>(heap.top()), 0, lengths);
+    assignDepths(pool, nx::checked_cast<int>(heap.top()), 0, lengths);
     limitLengths(lengths, max_bits, freqs);
     return lengths;
 }
@@ -182,7 +183,7 @@ HuffmanCode::HuffmanCode(std::span<const uint8_t> lengths)
     std::vector<uint32_t> nextCode(kMaxBits + 2, 0);
     uint32_t code = 0;
     for (size_t bits = 1; bits <= kMaxBits; ++bits) {
-        code = (code + static_cast<uint32_t>(blCount[bits - 1])) << 1;
+        code = (code + nx::checked_cast<uint32_t>(blCount[bits - 1])) << 1;
         nextCode[bits] = code;
     }
     for (size_t s = 0; s < lengths_.size(); ++s) {
@@ -191,7 +192,7 @@ HuffmanCode::HuffmanCode(std::span<const uint8_t> lengths)
             continue;
         // Store bit-reversed so BitWriter's LSB-first write emits the code
         // MSB-first as DEFLATE requires.
-        codes_[s] = static_cast<uint16_t>(
+        codes_[s] = nx::checked_cast<uint16_t>(
             util::reverseBits(nextCode[len]++, len));
     }
 }
@@ -270,7 +271,7 @@ HuffmanDecodeTable::init(std::span<const uint8_t> lengths, int max_bits)
     std::vector<uint32_t> nextCode(maxBits + 2, 0);
     uint32_t code = 0;
     for (size_t bits = 1; bits <= maxBits; ++bits) {
-        code = (code + static_cast<uint32_t>(blCount[bits - 1])) << 1;
+        code = (code + nx::checked_cast<uint32_t>(blCount[bits - 1])) << 1;
         nextCode[bits] = code;
     }
 
@@ -283,7 +284,7 @@ HuffmanDecodeTable::init(std::span<const uint8_t> lengths, int max_bits)
         // Every window whose low `len` bits equal `reversed` maps to s.
         uint32_t step = 1u << len;
         for (uint32_t w = reversed; w < (1u << maxBits); w += step) {
-            table_[w].symbol = static_cast<int16_t>(s);
+            table_[w].symbol = nx::checked_cast<int16_t>(s);
             table_[w].length = len;
         }
     }

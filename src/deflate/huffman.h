@@ -22,6 +22,7 @@
 
 #include "deflate/constants.h"
 #include "util/bitstream.h"
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -112,7 +113,7 @@ class HuffmanDecodeTable
     int
     decode(util::BitReader &br) const
     {
-        uint32_t window = br.peekBits(static_cast<unsigned>(maxBits_));
+        uint32_t window = br.peekBits(nx::checked_cast<unsigned>(maxBits_));
         Entry e = table_[window];
         if (e.length == 0)
             return -1;

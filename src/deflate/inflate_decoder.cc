@@ -3,6 +3,7 @@
 #include "deflate/constants.h"
 #include "deflate/huffman.h"
 #include "util/bitstream.h"
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -39,7 +40,7 @@ readDynamicHeader(util::BitReader &br, HuffmanDecodeTable &litlen,
 
     std::vector<uint8_t> clLengths(kNumClc, 0);
     for (unsigned i = 0; i < hclen; ++i)
-        clLengths[kClcOrder[i]] = static_cast<uint8_t>(br.readBits(3));
+        clLengths[kClcOrder[i]] = nx::checked_cast<uint8_t>(br.readBits(3));
     if (br.overrun())
         return InflateStatus::TruncatedInput;
 
@@ -55,7 +56,7 @@ readDynamicHeader(util::BitReader &br, HuffmanDecodeTable &litlen,
             return br.overrun() ? InflateStatus::TruncatedInput
                                 : InflateStatus::BadCodeLengths;
         if (sym < 16) {
-            lengths.push_back(static_cast<uint8_t>(sym));
+            lengths.push_back(nx::checked_cast<uint8_t>(sym));
         } else if (sym == 16) {
             if (lengths.empty())
                 return InflateStatus::BadCodeLengths;
@@ -197,7 +198,7 @@ inflateDecompressWithDict(std::span<const uint8_t> input,
                     res.status = InflateStatus::OutputLimit;
                     return res;
                 }
-                res.bytes.push_back(static_cast<uint8_t>(sym));
+                res.bytes.push_back(nx::checked_cast<uint8_t>(sym));
                 ++res.stats.literals;
                 continue;
             }

@@ -64,7 +64,7 @@ struct InflateResult
  * @param input compressed bytes (stream must start at offset 0)
  * @param max_output safety cap on decompressed size (default 1 GiB)
  */
-InflateResult inflateDecompress(std::span<const uint8_t> input,
+[[nodiscard]] InflateResult inflateDecompress(std::span<const uint8_t> input,
                                 size_t max_output = size_t{1} << 30);
 
 /**
@@ -72,7 +72,7 @@ InflateResult inflateDecompress(std::span<const uint8_t> input,
  * may reach into the last 32 KiB of @p dict before output starts.
  * The dictionary bytes are NOT part of the returned output.
  */
-InflateResult inflateDecompressWithDict(std::span<const uint8_t> input,
+[[nodiscard]] InflateResult inflateDecompressWithDict(std::span<const uint8_t> input,
                                         std::span<const uint8_t> dict,
                                         size_t max_output =
                                             size_t{1} << 30);

@@ -1,6 +1,7 @@
 #include "deflate/inflate_stream.h"
 
 #include "deflate/constants.h"
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -120,8 +121,8 @@ InflateStream::stepStoredLen()
         return false;
     uint32_t v = bits_.peek(32);
     bits_.consume(32);
-    uint16_t len = static_cast<uint16_t>(v & 0xffff);
-    uint16_t nlen = static_cast<uint16_t>(v >> 16);
+    uint16_t len = nx::checked_cast<uint16_t>(v & 0xffff);
+    uint16_t nlen = nx::checked_cast<uint16_t>(v >> 16);
     if ((len ^ nlen) != 0xffff) {
         fail(InflateStatus::BadStoredLength);
         return true;
@@ -172,7 +173,7 @@ InflateStream::stepDynHeaderCounts()
     clLengths_.assign(kNumClc, 0);
     for (unsigned i = 0; i < hclen; ++i) {
         clLengths_[kClcOrder[i]] =
-            static_cast<uint8_t>(bits_.peek(3));
+            nx::checked_cast<uint8_t>(bits_.peek(3));
         bits_.consume(3);
     }
     if (!clTable_.init(clLengths_, kMaxClcBits)) {
@@ -200,16 +201,16 @@ InflateStream::stepDynCodeLengths()
         {
             uint8_t shim[4];
             uint32_t w = bits_.peek(24);
-            shim[0] = static_cast<uint8_t>(w & 0xff);
-            shim[1] = static_cast<uint8_t>((w >> 8) & 0xff);
-            shim[2] = static_cast<uint8_t>((w >> 16) & 0xff);
+            shim[0] = nx::checked_cast<uint8_t>(w & 0xff);
+            shim[1] = nx::checked_cast<uint8_t>((w >> 8) & 0xff);
+            shim[2] = nx::checked_cast<uint8_t>((w >> 16) & 0xff);
             shim[3] = 0;
             util::BitReader br({shim, 4});
             sym = clTable_.decode(br);
-            len = static_cast<unsigned>(br.bitsConsumed());
+            len = nx::checked_cast<unsigned>(br.bitsConsumed());
         }
         if (sym < 0) {
-            if (avail >= static_cast<unsigned>(kMaxClcBits)) {
+            if (avail >= nx::checked_cast<unsigned>(kMaxClcBits)) {
                 fail(InflateStatus::BadCodeLengths);
                 return true;
             }
@@ -221,7 +222,7 @@ InflateStream::stepDynCodeLengths()
             return false;
         bits_.consume(len);
         if (sym < 16) {
-            lengths_.push_back(static_cast<uint8_t>(sym));
+            lengths_.push_back(nx::checked_cast<uint8_t>(sym));
         } else if (sym == 16) {
             if (lengths_.empty()) {
                 fail(InflateStatus::BadCodeLengths);
@@ -267,11 +268,11 @@ InflateStream::stepSymbols(std::vector<uint8_t> &out)
             uint8_t shim[8];
             uint32_t w0 = bits_.peek(32);
             for (int i = 0; i < 4; ++i)
-                shim[i] = static_cast<uint8_t>((w0 >> (8 * i)) & 0xff);
+                shim[i] = nx::checked_cast<uint8_t>((w0 >> (8 * i)) & 0xff);
             shim[4] = shim[5] = shim[6] = shim[7] = 0;
             util::BitReader br({shim, 8});
             int sym = litlen_.decode(br);
-            auto len = static_cast<unsigned>(br.bitsConsumed());
+            auto len = nx::checked_cast<unsigned>(br.bitsConsumed());
             if (sym < 0) {
                 if (avail >= 15) {
                     fail(InflateStatus::BadSymbol);
@@ -283,7 +284,7 @@ InflateStream::stepSymbols(std::vector<uint8_t> &out)
                 if (avail < len)
                     return moved;
                 bits_.consume(len);
-                push(static_cast<uint8_t>(sym), out);
+                push(nx::checked_cast<uint8_t>(sym), out);
                 moved = true;
                 continue;
             }
@@ -316,11 +317,11 @@ InflateStream::stepSymbols(std::vector<uint8_t> &out)
             uint8_t shim[8];
             uint32_t w0 = bits_.peek(32);
             for (int i = 0; i < 4; ++i)
-                shim[i] = static_cast<uint8_t>((w0 >> (8 * i)) & 0xff);
+                shim[i] = nx::checked_cast<uint8_t>((w0 >> (8 * i)) & 0xff);
             shim[4] = shim[5] = shim[6] = shim[7] = 0;
             util::BitReader br({shim, 8});
             int dsym = dist_.decode(br);
-            auto dlen = static_cast<unsigned>(br.bitsConsumed());
+            auto dlen = nx::checked_cast<unsigned>(br.bitsConsumed());
             if (dsym < 0) {
                 if (avail >= 15) {
                     fail(InflateStatus::BadSymbol);

@@ -21,6 +21,7 @@
 
 #include "deflate/huffman.h"
 #include "deflate/inflate_decoder.h"
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -42,14 +43,14 @@ class InflateStream
      * Feed more compressed bytes; decoded bytes are appended to
      * @p out. May be called with empty input to re-drive the machine.
      */
-    StreamStatus feed(std::span<const uint8_t> data,
+    [[nodiscard]] StreamStatus feed(std::span<const uint8_t> data,
                       std::vector<uint8_t> &out);
 
     /** True once the final block has been consumed. */
     bool done() const { return state_ == State::Done; }
 
     /** Error detail when feed() returned Error. */
-    InflateStatus error() const { return error_; }
+    [[nodiscard]] InflateStatus error() const { return error_; }
 
     /** Total decompressed bytes produced. */
     uint64_t totalOut() const { return totalOut_; }
@@ -96,7 +97,7 @@ class InflateStream
         peek(unsigned nbits)
         {
             fill();
-            return static_cast<uint32_t>(buf_) &
+            return nx::truncate_cast<uint32_t>(buf_) &
                 (nbits >= 32 ? 0xffffffffu : ((1u << nbits) - 1));
         }
 
@@ -123,7 +124,7 @@ class InflateStream
         popByte()
         {
             fill();
-            auto b = static_cast<uint8_t>(buf_ & 0xff);
+            auto b = nx::checked_cast<uint8_t>(buf_ & 0xff);
             buf_ >>= 8;
             bitCount_ -= 8;
             return b;

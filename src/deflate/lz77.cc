@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -79,7 +80,7 @@ Lz77Matcher::insert(std::span<const uint8_t> in, size_t pos)
         return;
     uint32_t h = hash3(in.data() + pos);
     prev_[pos & (kWindowSize - 1)] = head_[h];
-    head_[h] = static_cast<uint32_t>(pos);
+    head_[h] = nx::checked_cast<uint32_t>(pos);
 }
 
 int
@@ -111,9 +112,9 @@ Lz77Matcher::findMatch(std::span<const uint8_t> in, size_t pos,
         size_t len = 0;
         while (len < max_len && ref[len] == cur[len])
             ++len;
-        if (static_cast<int>(len) > best_len) {
-            best_len = static_cast<int>(len);
-            best_dist = static_cast<int>(pos - cand);
+        if (nx::checked_cast<int>(len) > best_len) {
+            best_len = nx::checked_cast<int>(len);
+            best_dist = nx::checked_cast<int>(pos - cand);
             if (best_len >= nice_length)
                 break;
         }

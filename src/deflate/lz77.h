@@ -19,6 +19,7 @@
 
 #include "deflate/constants.h"
 #include "deflate/level_params.h"
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -38,8 +39,8 @@ struct Token
     static Token
     match(int len, int d)
     {
-        return Token{static_cast<uint16_t>(len),
-                     static_cast<uint16_t>(d), 0};
+        return Token{nx::checked_cast<uint16_t>(len),
+                     nx::checked_cast<uint16_t>(d), 0};
     }
 
     bool isLiteral() const { return length == 0; }
@@ -103,9 +104,9 @@ class Lz77Matcher
     static uint32_t
     hash3(const uint8_t *p)
     {
-        uint32_t v = static_cast<uint32_t>(p[0]) |
-            (static_cast<uint32_t>(p[1]) << 8) |
-            (static_cast<uint32_t>(p[2]) << 16);
+        uint32_t v = nx::checked_cast<uint32_t>(p[0]) |
+            (nx::checked_cast<uint32_t>(p[1]) << 8) |
+            (nx::checked_cast<uint32_t>(p[2]) << 16);
         return (v * 0x9e3779b1u) >> (32 - kHashBits);
     }
 

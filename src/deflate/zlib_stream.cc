@@ -3,6 +3,7 @@
 #include "util/adler32.h"
 
 #include <algorithm>
+#include "util/checked.h"
 
 namespace deflate {
 
@@ -16,17 +17,17 @@ zlibWrap(std::span<const uint8_t> deflate_stream,
     uint8_t cmf = 0x78;
     // FLEVEL from the nominal level.
     uint8_t flevel = level >= 7 ? 3 : level >= 5 ? 2 : level >= 2 ? 1 : 0;
-    uint8_t flg = static_cast<uint8_t>(flevel << 6);
+    uint8_t flg = nx::checked_cast<uint8_t>(flevel << 6);
     // FCHECK makes (cmf*256 + flg) a multiple of 31.
-    unsigned rem = (static_cast<unsigned>(cmf) * 256 + flg) % 31;
+    unsigned rem = (nx::checked_cast<unsigned>(cmf) * 256 + flg) % 31;
     if (rem != 0)
-        flg = static_cast<uint8_t>(flg + (31 - rem));
+        flg = nx::checked_cast<uint8_t>(flg + (31 - rem));
     out.push_back(cmf);
     out.push_back(flg);
     out.insert(out.end(), deflate_stream.begin(), deflate_stream.end());
     uint32_t adler = util::adler32(original);
     for (int i = 3; i >= 0; --i)    // Adler is stored big-endian
-        out.push_back(static_cast<uint8_t>((adler >> (8 * i)) & 0xff));
+        out.push_back(nx::checked_cast<uint8_t>((adler >> (8 * i)) & 0xff));
     return out;
 }
 
@@ -44,7 +45,7 @@ zlibUnwrap(std::span<const uint8_t> stream)
         res.error = "unsupported method";
         return res;
     }
-    if ((static_cast<unsigned>(cmf) * 256 + flg) % 31 != 0) {
+    if ((nx::checked_cast<unsigned>(cmf) * 256 + flg) % 31 != 0) {
         res.error = "FCHECK failed";
         return res;
     }
@@ -64,10 +65,10 @@ zlibUnwrap(std::span<const uint8_t> stream)
         res.error = "trailer overlaps payload";
         return res;
     }
-    uint32_t adler = (static_cast<uint32_t>(stream[tpos]) << 24) |
-        (static_cast<uint32_t>(stream[tpos + 1]) << 16) |
-        (static_cast<uint32_t>(stream[tpos + 2]) << 8) |
-        static_cast<uint32_t>(stream[tpos + 3]);
+    uint32_t adler = (nx::checked_cast<uint32_t>(stream[tpos]) << 24) |
+        (nx::checked_cast<uint32_t>(stream[tpos + 1]) << 16) |
+        (nx::checked_cast<uint32_t>(stream[tpos + 2]) << 8) |
+        nx::checked_cast<uint32_t>(stream[tpos + 3]);
     if (adler != util::adler32(res.inflate.bytes)) {
         res.error = "Adler-32 mismatch";
         return res;
@@ -86,19 +87,19 @@ zlibWrapWithDict(std::span<const uint8_t> deflate_stream,
     uint8_t cmf = 0x78;
     uint8_t flevel = level >= 7 ? 3 : level >= 5 ? 2 : level >= 2 ? 1
                                                                   : 0;
-    uint8_t flg = static_cast<uint8_t>((flevel << 6) | 0x20);  // FDICT
-    unsigned rem = (static_cast<unsigned>(cmf) * 256 + flg) % 31;
+    uint8_t flg = nx::checked_cast<uint8_t>((flevel << 6) | 0x20);  // FDICT
+    unsigned rem = (nx::checked_cast<unsigned>(cmf) * 256 + flg) % 31;
     if (rem != 0)
-        flg = static_cast<uint8_t>(flg + (31 - rem));
+        flg = nx::checked_cast<uint8_t>(flg + (31 - rem));
     out.push_back(cmf);
     out.push_back(flg);
     uint32_t dictid = util::adler32(dict);
     for (int i = 3; i >= 0; --i)
-        out.push_back(static_cast<uint8_t>((dictid >> (8 * i)) & 0xff));
+        out.push_back(nx::checked_cast<uint8_t>((dictid >> (8 * i)) & 0xff));
     out.insert(out.end(), deflate_stream.begin(), deflate_stream.end());
     uint32_t adler = util::adler32(original);
     for (int i = 3; i >= 0; --i)
-        out.push_back(static_cast<uint8_t>((adler >> (8 * i)) & 0xff));
+        out.push_back(nx::checked_cast<uint8_t>((adler >> (8 * i)) & 0xff));
     return out;
 }
 
@@ -117,7 +118,7 @@ zlibUnwrapWithDict(std::span<const uint8_t> stream,
         res.error = "unsupported method";
         return res;
     }
-    if ((static_cast<unsigned>(cmf) * 256 + flg) % 31 != 0) {
+    if ((nx::checked_cast<unsigned>(cmf) * 256 + flg) % 31 != 0) {
         res.error = "FCHECK failed";
         return res;
     }
@@ -127,10 +128,10 @@ zlibUnwrapWithDict(std::span<const uint8_t> stream,
             res.error = "truncated DICTID";
             return res;
         }
-        uint32_t dictid = (static_cast<uint32_t>(stream[2]) << 24) |
-            (static_cast<uint32_t>(stream[3]) << 16) |
-            (static_cast<uint32_t>(stream[4]) << 8) |
-            static_cast<uint32_t>(stream[5]);
+        uint32_t dictid = (nx::checked_cast<uint32_t>(stream[2]) << 24) |
+            (nx::checked_cast<uint32_t>(stream[3]) << 16) |
+            (nx::checked_cast<uint32_t>(stream[4]) << 8) |
+            nx::checked_cast<uint32_t>(stream[5]);
         if (dict.empty()) {
             res.error = "dictionary required";
             return res;
@@ -155,10 +156,10 @@ zlibUnwrapWithDict(std::span<const uint8_t> stream,
         res.error = "trailer overlaps payload";
         return res;
     }
-    uint32_t adler = (static_cast<uint32_t>(stream[tpos]) << 24) |
-        (static_cast<uint32_t>(stream[tpos + 1]) << 16) |
-        (static_cast<uint32_t>(stream[tpos + 2]) << 8) |
-        static_cast<uint32_t>(stream[tpos + 3]);
+    uint32_t adler = (nx::checked_cast<uint32_t>(stream[tpos]) << 24) |
+        (nx::checked_cast<uint32_t>(stream[tpos + 1]) << 16) |
+        (nx::checked_cast<uint32_t>(stream[tpos + 2]) << 8) |
+        nx::checked_cast<uint32_t>(stream[tpos + 3]);
     if (adler != util::adler32(res.inflate.bytes)) {
         res.error = "Adler-32 mismatch";
         return res;

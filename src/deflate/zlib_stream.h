@@ -30,7 +30,7 @@ struct ZlibUnwrapResult
 };
 
 /** Parse header, inflate, verify Adler-32. */
-ZlibUnwrapResult zlibUnwrap(std::span<const uint8_t> stream);
+[[nodiscard]] ZlibUnwrapResult zlibUnwrap(std::span<const uint8_t> stream);
 
 /**
  * Wrap a preset-dictionary stream (RFC 1950 FDICT): the header
@@ -47,7 +47,7 @@ std::vector<uint8_t> zlibWrapWithDict(
  * dictionary, @p dict is checked against DICTID and used for the
  * inflate history; a mismatch or a missing dictionary fails.
  */
-ZlibUnwrapResult zlibUnwrapWithDict(std::span<const uint8_t> stream,
+[[nodiscard]] ZlibUnwrapResult zlibUnwrapWithDict(std::span<const uint8_t> stream,
                                     std::span<const uint8_t> dict);
 
 } // namespace deflate

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "util/bitstream.h"
+#include "util/checked.h"
 
 namespace e842 {
 
@@ -33,7 +34,7 @@ constexpr unsigned kMaxRepeat = 1u << kRepeatBits;
 uint16_t
 get16(const uint8_t *p)
 {
-    return static_cast<uint16_t>(p[0] | (p[1] << 8));
+    return nx::checked_cast<uint16_t>(p[0] | (p[1] << 8));
 }
 
 uint32_t
@@ -94,11 +95,11 @@ struct Lookup
         for (int i = 0; i < 4; ++i) {
             uint64_t slot = (r.c2 - 4 + static_cast<uint64_t>(i)) %
                 kRing2;
-            m2[get16(p + 2 * i)] = static_cast<uint16_t>(slot);
+            m2[get16(p + 2 * i)] = nx::checked_cast<uint16_t>(slot);
         }
-        m4[get32(p)] = static_cast<uint16_t>((r.c4 - 2) % kRing4);
-        m4[get32(p + 4)] = static_cast<uint16_t>((r.c4 - 1) % kRing4);
-        m8[get64(p)] = static_cast<uint16_t>((r.c8 - 1) % kRing8);
+        m4[get32(p)] = nx::checked_cast<uint16_t>((r.c4 - 2) % kRing4);
+        m4[get32(p + 4)] = nx::checked_cast<uint16_t>((r.c4 - 1) % kRing4);
+        m8[get64(p)] = nx::checked_cast<uint16_t>((r.c8 - 1) % kRing8);
     }
 
     /** Find a live slot holding @p v (ring content is authoritative). */
@@ -231,20 +232,20 @@ compress(std::span<const uint8_t> input)
             break;
           case Kind::I8:
             bw.writeBits(kOpI8, 5);
-            bw.writeBits(static_cast<uint32_t>(i8), kI8Bits);
+            bw.writeBits(nx::checked_cast<uint32_t>(i8), kI8Bits);
             res.stats.indexBits += kI8Bits;
             break;
           case Kind::T44:
             bw.writeBits(kOp44Base + mask, 5);
             if (mask & 2) {
-                bw.writeBits(static_cast<uint32_t>(i4a), kI4Bits);
+                bw.writeBits(nx::checked_cast<uint32_t>(i4a), kI4Bits);
                 res.stats.indexBits += kI4Bits;
             } else {
                 bw.writeBits(get32(p), 32);
                 res.stats.literalBits += 32;
             }
             if (mask & 1) {
-                bw.writeBits(static_cast<uint32_t>(i4b), kI4Bits);
+                bw.writeBits(nx::checked_cast<uint32_t>(i4b), kI4Bits);
                 res.stats.indexBits += kI4Bits;
             } else {
                 bw.writeBits(get32(p + 4), 32);
@@ -254,7 +255,7 @@ compress(std::span<const uint8_t> input)
           case Kind::T422:
             bw.writeBits(kOp422Base + mask, 5);
             if (mask & 4) {
-                bw.writeBits(static_cast<uint32_t>(i4a), kI4Bits);
+                bw.writeBits(nx::checked_cast<uint32_t>(i4a), kI4Bits);
                 res.stats.indexBits += kI4Bits;
             } else {
                 bw.writeBits(get32(p), 32);
@@ -263,7 +264,7 @@ compress(std::span<const uint8_t> input)
             for (int k = 2; k < 4; ++k) {
                 bool idx = (mask >> (3 - k)) & 1;
                 if (idx) {
-                    bw.writeBits(static_cast<uint32_t>(i2[k]),
+                    bw.writeBits(nx::checked_cast<uint32_t>(i2[k]),
                                  kI2Bits);
                     res.stats.indexBits += kI2Bits;
                 } else {
@@ -277,7 +278,7 @@ compress(std::span<const uint8_t> input)
             for (int k = 0; k < 4; ++k) {
                 bool idx = (mask >> (3 - k)) & 1;
                 if (idx) {
-                    bw.writeBits(static_cast<uint32_t>(i2[k]),
+                    bw.writeBits(nx::checked_cast<uint32_t>(i2[k]),
                                  kI2Bits);
                     res.stats.indexBits += kI2Bits;
                 } else {
@@ -297,7 +298,7 @@ compress(std::span<const uint8_t> input)
     }
 
     if (pos < n) {
-        auto count = static_cast<uint32_t>(n - pos);
+        auto count = nx::checked_cast<uint32_t>(n - pos);
         bw.writeBits(kOpShortData, 5);
         bw.writeBits(count, 3);
         for (size_t i = pos; i < n; ++i)
@@ -379,7 +380,7 @@ decompress(std::span<const uint8_t> stream, size_t max_output)
             }
             for (uint32_t i = 0; i < count; ++i)
                 res.bytes.push_back(
-                    static_cast<uint8_t>(br.readBits(8)));
+                    nx::checked_cast<uint8_t>(br.readBits(8)));
             if (br.overrun()) {
                 res.error = "truncated short data";
                 return res;
@@ -392,7 +393,7 @@ decompress(std::span<const uint8_t> stream, size_t max_output)
             std::memcpy(dst, &v, 4);
         };
         auto readD16 = [&](uint8_t *dst) {
-            auto v = static_cast<uint16_t>(br.readBits(16));
+            auto v = nx::checked_cast<uint16_t>(br.readBits(16));
             std::memcpy(dst, &v, 2);
         };
         bool bad_index = false;

@@ -52,7 +52,7 @@ struct E842Result
 };
 
 /** Compress @p input into an 842-class stream. */
-E842Result compress(std::span<const uint8_t> input);
+[[nodiscard]] E842Result compress(std::span<const uint8_t> input);
 
 /** Decompression outcome. */
 struct E842DecompressResult
@@ -63,7 +63,7 @@ struct E842DecompressResult
 };
 
 /** Decompress an 842-class stream. */
-E842DecompressResult decompress(std::span<const uint8_t> stream,
+[[nodiscard]] E842DecompressResult decompress(std::span<const uint8_t> stream,
                                 size_t max_output = size_t{1} << 30);
 
 } // namespace e842

@@ -9,6 +9,7 @@
 #include "util/adler32.h"
 #include "util/bitstream.h"
 #include "util/crc32.h"
+#include "util/checked.h"
 
 namespace nx {
 
@@ -33,9 +34,9 @@ encodeStored(std::span<const uint8_t> data, const NxConfig &cfg)
         bw.writeBits(final ? 1 : 0, 1);
         bw.writeBits(0, 2);
         bw.alignToByte();
-        auto len = static_cast<uint16_t>(n);
+        auto len = nx::checked_cast<uint16_t>(n);
         bw.writeU16le(len);
-        bw.writeU16le(static_cast<uint16_t>(~len));
+        bw.writeU16le(nx::truncate_cast<uint16_t>(~len));
         bw.writeBytes(data.subspan(off, n));
         off += n;
     } while (off < data.size());

@@ -87,7 +87,7 @@ class CompressEngine
      * @param dht_mode  table strategy for CompressDht requests
      * @param dht_sample_bytes  sample-size override (0 = config)
      */
-    CompressJobResult run(const Crb &crb,
+    [[nodiscard]] CompressJobResult run(const Crb &crb,
                           std::span<const uint8_t> source,
                           DhtMode dht_mode = DhtMode::Sampled,
                           uint64_t dht_sample_bytes = 0);
@@ -99,7 +99,7 @@ class CompressEngine
      * scatters the framed result across the target DDE list. Each
      * additional DDE entry costs extra DMA setup cycles.
      */
-    CompressJobResult runDma(const Crb &crb, class MemoryImage &mem,
+    [[nodiscard]] CompressJobResult runDma(const Crb &crb, class MemoryImage &mem,
                              DhtMode dht_mode = DhtMode::Sampled,
                              uint64_t dht_sample_bytes = 0);
 

@@ -104,7 +104,7 @@ struct Csb
 };
 
 /** Validate a CRB the way the hardware's front-end decoder would. */
-CondCode validateCrb(const Crb &crb);
+[[nodiscard]] CondCode validateCrb(const Crb &crb);
 
 } // namespace nx
 

@@ -69,11 +69,11 @@ class DecompressEngine
      *               the parser)
      * @param source the compressed bytes the source DDEs describe
      */
-    DecompressJobResult run(const Crb &crb,
+    [[nodiscard]] DecompressJobResult run(const Crb &crb,
                             std::span<const uint8_t> source);
 
     /** Scatter/gather variant of run(); see CompressEngine::runDma. */
-    DecompressJobResult runDma(const Crb &crb, class MemoryImage &mem);
+    [[nodiscard]] DecompressJobResult runDma(const Crb &crb, class MemoryImage &mem);
 
     const NxConfig &config() const { return cfg_; }
     const util::StatSet &stats() const { return stats_; }

@@ -64,7 +64,7 @@ class DhtGenerator
      * @param mode     Sampled or TwoPass
      * @param sample_bytes  sample size override (0 = config default)
      */
-    DhtResult generate(std::span<const deflate::Token> tokens,
+    [[nodiscard]] DhtResult generate(std::span<const deflate::Token> tokens,
                        uint64_t input_bytes, DhtMode mode,
                        uint64_t sample_bytes = 0) const;
 

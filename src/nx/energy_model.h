@@ -42,11 +42,11 @@ struct EnergyResult
 };
 
 /** Energy for the accelerator path at @p bytes_per_sec. */
-EnergyResult acceleratorEnergy(const EnergyParams &p, uint64_t bytes,
+[[nodiscard]] EnergyResult acceleratorEnergy(const EnergyParams &p, uint64_t bytes,
                                double bytes_per_sec);
 
 /** Energy for the software path on one core at @p bytes_per_sec. */
-EnergyResult softwareEnergy(const EnergyParams &p, uint64_t bytes,
+[[nodiscard]] EnergyResult softwareEnergy(const EnergyParams &p, uint64_t bytes,
                             double bytes_per_sec);
 
 } // namespace nx

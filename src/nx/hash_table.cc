@@ -1,6 +1,7 @@
 #include "nx/hash_table.h"
 
 #include <algorithm>
+#include "util/checked.h"
 
 namespace nx {
 
@@ -42,7 +43,7 @@ BankedHashTable::insert(uint32_t set, uint32_t pos)
     uint32_t *base = entries_.data() +
         static_cast<size_t>(set) * static_cast<size_t>(cfg_.ways);
     base[head_[set]] = pos;
-    head_[set] = static_cast<uint8_t>((head_[set] + 1) % cfg_.ways);
+    head_[set] = nx::checked_cast<uint8_t>((head_[set] + 1) % cfg_.ways);
     if (fill_[set] < cfg_.ways)
         ++fill_[set];
 }
@@ -55,7 +56,7 @@ BankedHashTable::sramBits() const
     // bit; per-set FIFO pointer is log2(ways) bits.
     uint64_t entry_bits = 17;
     uint64_t ptr_bits = 1;
-    while ((1u << ptr_bits) < static_cast<unsigned>(cfg_.ways))
+    while ((1u << ptr_bits) < nx::checked_cast<unsigned>(cfg_.ways))
         ++ptr_bits;
     return sets * (static_cast<uint64_t>(cfg_.ways) * entry_bits +
                    ptr_bits);

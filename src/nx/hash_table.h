@@ -22,6 +22,7 @@
 
 #include "nx/nx_config.h"
 #include "util/stats.h"
+#include "util/checked.h"
 
 namespace nx {
 
@@ -38,11 +39,11 @@ class BankedHashTable
     uint32_t
     hashAt(const uint8_t *p) const
     {
-        uint32_t v = static_cast<uint32_t>(p[0]) |
-            (static_cast<uint32_t>(p[1]) << 8) |
-            (static_cast<uint32_t>(p[2]) << 16);
+        uint32_t v = nx::checked_cast<uint32_t>(p[0]) |
+            (nx::checked_cast<uint32_t>(p[1]) << 8) |
+            (nx::checked_cast<uint32_t>(p[2]) << 16);
         if (cfg_.minMatch >= 4)
-            v ^= static_cast<uint32_t>(p[3]) << 20;
+            v ^= nx::checked_cast<uint32_t>(p[3]) << 20;
         return (v * 0x9e3779b1u) >> (32 - cfg_.indexBits);
     }
 
@@ -50,7 +51,7 @@ class BankedHashTable
     int
     bankOf(uint32_t set) const
     {
-        return static_cast<int>(set & (static_cast<uint32_t>(
+        return nx::checked_cast<int>(set & (nx::checked_cast<uint32_t>(
             cfg_.banks) - 1));
     }
 

@@ -1,6 +1,7 @@
 #include "nx/huffman_stage.h"
 
 #include "util/bitstream.h"
+#include "util/checked.h"
 
 namespace nx {
 
@@ -13,7 +14,7 @@ HuffmanStage::encodeFixed(std::span<const deflate::Token> tokens) const
     EncodeResult res;
     util::BitWriter bw;
     bw.writeBits(1, 1);    // BFINAL: the engine emits one block per CRB
-    bw.writeBits(static_cast<uint32_t>(BlockType::FixedHuffman), 2);
+    bw.writeBits(nx::checked_cast<uint32_t>(BlockType::FixedHuffman), 2);
     deflate::emitTokens(bw, tokens, HuffmanCode::fixedLitLen(),
                         HuffmanCode::fixedDist());
     res.bits = bw.bitsWritten();
@@ -29,7 +30,7 @@ HuffmanStage::encodeDynamic(std::span<const deflate::Token> tokens,
     EncodeResult res;
     util::BitWriter bw;
     bw.writeBits(1, 1);
-    bw.writeBits(static_cast<uint32_t>(BlockType::DynamicHuffman), 2);
+    bw.writeBits(nx::checked_cast<uint32_t>(BlockType::DynamicHuffman), 2);
     deflate::writeDynamicHeader(bw, codes);
     deflate::emitTokens(bw, tokens, codes.litlen, codes.dist);
     res.bits = bw.bitsWritten();

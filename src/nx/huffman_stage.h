@@ -37,10 +37,10 @@ class HuffmanStage
     explicit HuffmanStage(const NxConfig &cfg) : cfg_(cfg) {}
 
     /** Emit one final fixed-Huffman block. */
-    EncodeResult encodeFixed(std::span<const deflate::Token> tokens) const;
+    [[nodiscard]] EncodeResult encodeFixed(std::span<const deflate::Token> tokens) const;
 
     /** Emit one final dynamic-Huffman block with the given codes. */
-    EncodeResult encodeDynamic(std::span<const deflate::Token> tokens,
+    [[nodiscard]] EncodeResult encodeDynamic(std::span<const deflate::Token> tokens,
                                const deflate::BlockCodes &codes) const;
 
   private:

@@ -1,6 +1,7 @@
 #include "nx/match_pipeline.h"
 
 #include <algorithm>
+#include "util/checked.h"
 
 namespace nx {
 
@@ -35,9 +36,9 @@ MatchPipeline::bestMatch(std::span<const uint8_t> in, size_t pos,
         size_t len = 0;
         while (len < max_len && ref[len] == cur[len])
             ++len;
-        if (static_cast<int>(len) > best_len) {
-            best_len = static_cast<int>(len);
-            best_dist = static_cast<int>(pos - cand);
+        if (nx::checked_cast<int>(len) > best_len) {
+            best_len = nx::checked_cast<int>(len);
+            best_dist = nx::checked_cast<int>(pos - cand);
         }
     }
     if (best_len < cfg_.hash.minMatch)
@@ -104,7 +105,7 @@ MatchPipeline::run(std::span<const uint8_t> input)
             auto ins = [&](size_t p) {
                 if (p + static_cast<size_t>(cfg_.hash.minMatch) <= n)
                     table_.insert(table_.hashAt(input.data() + p),
-                                  static_cast<uint32_t>(p));
+                                  nx::checked_cast<uint32_t>(p));
             };
             if (len <= 8) {
                 for (size_t p = pos; p < end; ++p)
@@ -122,7 +123,7 @@ MatchPipeline::run(std::span<const uint8_t> input)
         } else {
             res.tokens.push_back(Token::lit(input[pos]));
             if (can_hash)
-                table_.insert(set, static_cast<uint32_t>(pos));
+                table_.insert(set, nx::checked_cast<uint32_t>(pos));
             ++pos;
         }
     }

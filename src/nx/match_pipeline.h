@@ -62,7 +62,7 @@ class MatchPipeline
      * @param input whole source of one CRB (window resets at entry,
      *              as the hardware resets per request)
      */
-    MatchResult run(std::span<const uint8_t> input);
+    [[nodiscard]] MatchResult run(std::span<const uint8_t> input);
 
     /** Cumulative event counters across run() calls. */
     const util::StatSet &stats() const { return stats_; }

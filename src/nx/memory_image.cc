@@ -1,7 +1,7 @@
 #include "nx/memory_image.h"
 
 #include <algorithm>
-#include <cstring>
+#include "util/checked.h"
 
 namespace nx {
 
@@ -30,8 +30,8 @@ MemoryImage::write(uint64_t addr, std::span<const uint8_t> data)
         uint64_t in_page = a % kPageBytes;
         size_t n = std::min<size_t>(data.size() - done,
                                     kPageBytes - in_page);
-        std::memcpy(pageFor(a).data() + in_page, data.data() + done,
-                    n);
+        nx::copyBytes(pageFor(a).data() + in_page, data.data() + done,
+                      n);
         done += n;
     }
 }
@@ -47,7 +47,7 @@ MemoryImage::read(uint64_t addr, uint64_t len) const
         uint64_t n = std::min<uint64_t>(len - done,
                                         kPageBytes - in_page);
         if (const Page *p = pageIfPresent(a))
-            std::memcpy(out.data() + done, p->data() + in_page, n);
+            nx::copyBytes(out.data() + done, p->data() + in_page, n);
         done += n;
     }
     return out;

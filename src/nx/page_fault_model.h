@@ -59,7 +59,7 @@ struct FaultModelResult
 };
 
 /** Run the model. */
-FaultModelResult runFaultModel(const FaultModelConfig &cfg);
+[[nodiscard]] FaultModelResult runFaultModel(const FaultModelConfig &cfg);
 
 } // namespace nx
 

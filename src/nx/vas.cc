@@ -4,6 +4,7 @@
 
 #include "util/prng.h"
 #include "util/stats.h"
+#include "util/checked.h"
 
 namespace nx {
 
@@ -72,7 +73,7 @@ class ChipSim
             int eng = -1;
             for (size_t e = 0; e < engineFreeAt_.size(); ++e) {
                 if (engineFreeAt_[e] <= eq_.now()) {
-                    eng = static_cast<int>(e);
+                    eng = nx::checked_cast<int>(e);
                     break;
                 }
             }

@@ -93,13 +93,13 @@ struct VasSimResult
 };
 
 /** Run a closed-loop multi-requester simulation of one chip. */
-VasSimResult simulateChip(const VasSimConfig &cfg);
+[[nodiscard]] VasSimResult simulateChip(const VasSimConfig &cfg);
 
 /**
  * Aggregate rate of a multi-chip system (chips are independent: VAS
  * windows bind a requester to its local chip's unit).
  */
-VasSimResult simulateSystem(const VasSimConfig &per_chip, int chips);
+[[nodiscard]] VasSimResult simulateSystem(const VasSimConfig &per_chip, int chips);
 
 } // namespace nx
 

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "sim/ticks.h"
+#include "util/checked.h"
+#include "util/contracts.h"
 
 namespace sim {
 
@@ -26,20 +28,25 @@ class EventQueue
   public:
     using Handler = std::function<void()>;
 
-    /** Schedule @p fn at absolute time @p when (>= now). */
+    /**
+     * Schedule @p fn at absolute time @p when. Scheduling in the past
+     * is a contract violation, not a silent clamp-to-now: a time-travel
+     * event means a model computed a stale tick (the VAS scaling
+     * experiments hit exactly this class of bug), and rounding it up
+     * would quietly reorder causally-dependent events.
+     */
     void
     schedule(Tick when, Handler fn)
     {
-        if (when < now_)
-            when = now_;
+        NXSIM_EXPECT(when >= now_, "event scheduled in the past");
         heap_.push(Event{when, seq_++, std::move(fn)});
     }
 
-    /** Schedule @p fn @p delta ticks from now. */
+    /** Schedule @p fn @p delta ticks from now (overflow-checked). */
     void
     scheduleIn(Tick delta, Handler fn)
     {
-        schedule(now_ + delta, std::move(fn));
+        schedule(nx::checkedAdd(now_, delta), std::move(fn));
     }
 
     /** Current simulated time. */

@@ -1,6 +1,6 @@
 #include "util/bitstream.h"
 
-#include <cassert>
+#include "util/contracts.h"
 #include <cstring>
 
 namespace util {
@@ -8,21 +8,21 @@ namespace util {
 void
 BitWriter::writeByte(uint8_t b)
 {
-    assert(aligned());
+    NXSIM_EXPECT(aligned(), "requires byte alignment");
     bytes_.push_back(b);
 }
 
 void
 BitWriter::writeBytes(std::span<const uint8_t> data)
 {
-    assert(aligned());
+    NXSIM_EXPECT(aligned(), "requires byte alignment");
     bytes_.insert(bytes_.end(), data.begin(), data.end());
 }
 
 void
 BitWriter::writeU16le(uint16_t v)
 {
-    assert(aligned());
+    NXSIM_EXPECT(aligned(), "requires byte alignment");
     bytes_.push_back(static_cast<uint8_t>(v & 0xff));
     bytes_.push_back(static_cast<uint8_t>(v >> 8));
 }
@@ -30,7 +30,7 @@ BitWriter::writeU16le(uint16_t v)
 void
 BitWriter::writeU32le(uint32_t v)
 {
-    assert(aligned());
+    NXSIM_EXPECT(aligned(), "requires byte alignment");
     for (int i = 0; i < 4; ++i)
         bytes_.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
 }

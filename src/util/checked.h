@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Checked conversions and arithmetic for size/tick math.
+ *
+ * DEFLATE and the NX pipeline models shuffle values between size_t,
+ * uint32_t DDE lengths, 16-bit stored-block fields and 8-bit stream
+ * bytes; every one of those boundaries is a place the e842 SHORT_DATA
+ * bug class can hide. nxlint bans bare narrowing `static_cast`s in
+ * library code and points here instead:
+ *
+ *   nx::checked_cast<T>(v)    value-preserving narrowing; a contract
+ *                             violation if v does not fit in T
+ *   nx::truncate_cast<T>(v)   intentional truncation (low-byte
+ *                             extraction, checksum folding) — spelled
+ *                             out so a reader knows bits may drop
+ *   nx::checkedAdd / Mul      overflow-checked unsigned arithmetic
+ *   nx::copyBytes             null-safe memcpy for runtime-sized copies
+ *
+ * checked_cast compiles to a compare-and-branch under the default and
+ * sanitizer presets and to a plain cast with -DNXSIM_CONTRACTS=OFF.
+ */
+
+#ifndef NXSIM_UTIL_CHECKED_H
+#define NXSIM_UTIL_CHECKED_H
+
+// nxlint: allow(narrow-cast): this header implements the checked-cast
+// vocabulary; the raw casts below are the single audited location.
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace nx {
+
+/**
+ * Narrow @p v to @p To, aborting (under contracts) on value change.
+ * Enum sources convert through their underlying type, so
+ * `checked_cast<uint32_t>(BlockType::Stored)` reads naturally.
+ */
+template <typename To, typename From>
+constexpr To
+checked_cast(From v)
+{
+    if constexpr (std::is_enum_v<From>) {
+        return checked_cast<To>(
+            static_cast<std::underlying_type_t<From>>(v));
+    } else {
+        static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                      "checked_cast is for integral conversions");
+        NXSIM_EXPECT(std::in_range<To>(v), "narrowing changed the value");
+        return static_cast<To>(v);
+    }
+}
+
+/** Truncate @p v to @p To on purpose; the name is the documentation. */
+template <typename To, typename From>
+constexpr To
+truncate_cast(From v)
+{
+    if constexpr (std::is_enum_v<From>) {
+        return truncate_cast<To>(
+            static_cast<std::underlying_type_t<From>>(v));
+    } else {
+        static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                      "truncate_cast is for integral conversions");
+        return static_cast<To>(v);
+    }
+}
+
+/** a + b with an overflow contract (unsigned only). */
+template <typename T>
+constexpr T
+checkedAdd(T a, T b)
+{
+    static_assert(std::is_unsigned_v<T>, "checkedAdd is unsigned-only");
+    T out{};
+    NXSIM_EXPECT(!__builtin_add_overflow(a, b, &out), "add overflow");
+    return out;
+}
+
+/** a * b with an overflow contract (unsigned only). */
+template <typename T>
+constexpr T
+checkedMul(T a, T b)
+{
+    static_assert(std::is_unsigned_v<T>, "checkedMul is unsigned-only");
+    T out{};
+    NXSIM_EXPECT(!__builtin_mul_overflow(a, b, &out), "mul overflow");
+    return out;
+}
+
+/**
+ * memcpy for runtime-sized copies: n == 0 is a no-op (so null spans are
+ * fine), and non-zero copies contract-check the pointers instead of
+ * handing nullptr UB to memcpy — the BitReader bug class.
+ */
+inline void
+copyBytes(void *dst, const void *src, size_t n)
+{
+    if (n == 0)
+        return;
+    NXSIM_EXPECT(dst != nullptr && src != nullptr, "copyBytes(nullptr)");
+    std::memcpy(dst, src, n);
+}
+
+} // namespace nx
+
+#endif // NXSIM_UTIL_CHECKED_H

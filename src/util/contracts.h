@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Runtime contracts for the simulator: the vocabulary nxlint enforces.
+ *
+ * The hardware modelled by this repo gets its size/alignment invariants
+ * right by construction; the software model has to state them. Three
+ * macros cover the three positions a contract can occupy:
+ *
+ *   NXSIM_EXPECT(cond, ...)   precondition at an API boundary
+ *   NXSIM_ENSURE(cond, ...)   postcondition / result invariant
+ *   NXSIM_ASSERT(cond, ...)   internal invariant inside an algorithm
+ *
+ * All three behave identically at runtime; the distinction is for the
+ * reader. With NXSIM_CONTRACTS_ENABLED (the default, and forced by the
+ * debug/sanitizer presets) a violated contract prints
+ * `file:line: NXSIM_<KIND> failed: <expr> [msg]` and aborts — so fuzz
+ * targets and death tests see a crash, not a silent clamp. With
+ * contracts compiled out (-DNXSIM_CONTRACTS=OFF, the max-performance
+ * release configuration) the condition becomes an optimizer assumption.
+ *
+ * The optional trailing argument is a string literal appended to the
+ * diagnostic: NXSIM_EXPECT(when >= now_, "scheduling in the past").
+ */
+
+#ifndef NXSIM_UTIL_CONTRACTS_H
+#define NXSIM_UTIL_CONTRACTS_H
+
+// nxlint: allow(banned-call): this header implements the contract
+// machinery itself; std::abort/fprintf are the mechanism, not a bypass.
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef NXSIM_CONTRACTS_ENABLED
+#define NXSIM_CONTRACTS_ENABLED 1
+#endif
+
+namespace nx {
+
+/** Abort with a source location; the single funnel for all contracts. */
+[[noreturn]] inline void
+contractFail(const char *kind, const char *expr, const char *file, int line,
+             const char *msg)
+{
+    std::fprintf(stderr, "%s:%d: %s failed: %s%s%s\n", file, line, kind,
+                 expr, msg[0] != '\0' ? " — " : "", msg);
+    std::abort();
+}
+
+} // namespace nx
+
+#if NXSIM_CONTRACTS_ENABLED
+
+// `"" __VA_ARGS__` concatenates an optional message literal (and keeps
+// a zero-argument tail well-formed).
+#define NXSIM_CONTRACT_(kind, cond, ...)                                    \
+    do {                                                                    \
+        if (!(cond)) [[unlikely]]                                           \
+            ::nx::contractFail(kind, #cond, __FILE__, __LINE__,             \
+                               "" __VA_ARGS__);                             \
+    } while (0)
+
+#else // contracts compiled out: feed the condition to the optimizer.
+
+#if defined(__clang__)
+#define NXSIM_CONTRACT_(kind, cond, ...)                                    \
+    __builtin_assume(static_cast<bool>(cond))
+#elif defined(__GNUC__)
+#define NXSIM_CONTRACT_(kind, cond, ...)                                    \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            __builtin_unreachable();                                        \
+    } while (0)
+#else
+#define NXSIM_CONTRACT_(kind, cond, ...) ((void)0)
+#endif
+
+#endif // NXSIM_CONTRACTS_ENABLED
+
+#define NXSIM_EXPECT(cond, ...)                                             \
+    NXSIM_CONTRACT_("NXSIM_EXPECT", cond, __VA_ARGS__)
+#define NXSIM_ENSURE(cond, ...)                                             \
+    NXSIM_CONTRACT_("NXSIM_ENSURE", cond, __VA_ARGS__)
+#define NXSIM_ASSERT(cond, ...)                                             \
+    NXSIM_CONTRACT_("NXSIM_ASSERT", cond, __VA_ARGS__)
+
+/** An unconditionally-fatal "can't happen" branch (switch defaults). */
+#define NXSIM_UNREACHABLE(...)                                              \
+    ::nx::contractFail("NXSIM_UNREACHABLE", "reached", __FILE__, __LINE__,  \
+                       "" __VA_ARGS__)
+
+#endif // NXSIM_UTIL_CONTRACTS_H

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/prng.h"
+#include "util/checked.h"
 
 namespace workloads {
 
@@ -82,20 +83,20 @@ makeLog(size_t bytes, uint64_t seed)
         char head[64];
         std::snprintf(head, sizeof(head),
                       "2024-11-%02u %02u:%02u:%02u.%03u ",
-                      static_cast<unsigned>(1 + ts % 28),
-                      static_cast<unsigned>(ts / 3600 % 24),
-                      static_cast<unsigned>(ts / 60 % 60),
-                      static_cast<unsigned>(ts % 60),
-                      static_cast<unsigned>(rng.below(1000)));
+                      nx::checked_cast<unsigned>(1 + ts % 28),
+                      nx::checked_cast<unsigned>(ts / 3600 % 24),
+                      nx::checked_cast<unsigned>(ts / 60 % 60),
+                      nx::checked_cast<unsigned>(ts % 60),
+                      nx::checked_cast<unsigned>(rng.below(1000)));
         put(v, head);
         put(v, rng.chance(0.9) ? "INFO " : "WARN ");
         put(v, kLogTemplates[rng.zipf(kLogTemplates.size(), 1.1)]);
         char tail[64];
         std::snprintf(tail, sizeof(tail), " 10.%u.%u.%u:%u id=%llu\n",
-                      static_cast<unsigned>(rng.below(4)),
-                      static_cast<unsigned>(rng.below(256)),
-                      static_cast<unsigned>(rng.below(256)),
-                      static_cast<unsigned>(1024 + rng.below(60000)),
+                      nx::checked_cast<unsigned>(rng.below(4)),
+                      nx::checked_cast<unsigned>(rng.below(256)),
+                      nx::checked_cast<unsigned>(rng.below(256)),
+                      nx::checked_cast<unsigned>(1024 + rng.below(60000)),
                       static_cast<unsigned long long>(rng.below(
                           100000)));
         put(v, tail);
@@ -121,8 +122,8 @@ makeJson(size_t bytes, uint64_t seed)
             static_cast<unsigned long long>(id++),
             static_cast<unsigned long long>(rng.zipf(5000, 1.2)),
             rng.chance(0.8) ? "true" : "false",
-            static_cast<unsigned>(rng.below(100)),
-            static_cast<unsigned>(rng.below(100)),
+            nx::checked_cast<unsigned>(rng.below(100)),
+            nx::checked_cast<unsigned>(rng.below(100)),
             kWords[rng.zipf(kWords.size(), 1.3)],
             kWords[rng.zipf(kWords.size(), 1.3)],
             rng.chance(0.6) ? "us-east" : "eu-west");
@@ -146,12 +147,12 @@ makeCsv(size_t bytes, uint64_t seed)
             "%llu,%llu,SKU-%04u,%u,%u.%02u,2024-%02u-%02u,%s\n",
             static_cast<unsigned long long>(order++),
             static_cast<unsigned long long>(rng.zipf(20000, 1.1)),
-            static_cast<unsigned>(rng.zipf(3000, 1.2)),
-            static_cast<unsigned>(1 + rng.below(9)),
-            static_cast<unsigned>(1 + rng.below(500)),
-            static_cast<unsigned>(rng.below(100)),
-            static_cast<unsigned>(1 + rng.below(12)),
-            static_cast<unsigned>(1 + rng.below(28)),
+            nx::checked_cast<unsigned>(rng.zipf(3000, 1.2)),
+            nx::checked_cast<unsigned>(1 + rng.below(9)),
+            nx::checked_cast<unsigned>(1 + rng.below(500)),
+            nx::checked_cast<unsigned>(rng.below(100)),
+            nx::checked_cast<unsigned>(1 + rng.below(12)),
+            nx::checked_cast<unsigned>(1 + rng.below(28)),
             rng.chance(0.85) ? "shipped" : "pending");
         put(v, buf);
     }
@@ -197,7 +198,7 @@ makeHtml(size_t bytes, uint64_t seed)
         put(v, "</span><span class=\"value\">");
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%u",
-                      static_cast<unsigned>(rng.below(100000)));
+                      nx::checked_cast<unsigned>(rng.below(100000)));
         put(v, buf);
         put(v, "</span></div>\n");
     }
@@ -221,17 +222,17 @@ makeBinary(size_t bytes, uint64_t seed)
         ts += rng.below(1000);
         auto put64 = [&](uint64_t x) {
             for (int i = 0; i < 8; ++i)
-                v.push_back(static_cast<uint8_t>(x >> (8 * i)));
+                v.push_back(nx::truncate_cast<uint8_t>(x >> (8 * i)));
         };
         put64(id);
         put64(ts);
-        v.push_back(static_cast<uint8_t>(rng.below(4)));
-        v.push_back(static_cast<uint8_t>(rng.below(2)));
+        v.push_back(nx::checked_cast<uint8_t>(rng.below(4)));
+        v.push_back(nx::checked_cast<uint8_t>(rng.below(2)));
         v.push_back(0);
         v.push_back(0);
-        uint32_t val = static_cast<uint32_t>(rng.below(1 << 16));
+        uint32_t val = nx::checked_cast<uint32_t>(rng.below(1 << 16));
         for (int i = 0; i < 4; ++i)
-            v.push_back(static_cast<uint8_t>(val >> (8 * i)));
+            v.push_back(nx::truncate_cast<uint8_t>(val >> (8 * i)));
         for (int i = 0; i < 8; ++i)
             v.push_back(0);
     }
@@ -245,7 +246,7 @@ makeRandom(size_t bytes, uint64_t seed)
     util::Xoshiro256 rng(seed);
     std::vector<uint8_t> v(bytes);
     for (auto &b : v)
-        b = static_cast<uint8_t>(rng.next());
+        b = nx::truncate_cast<uint8_t>(rng.next());
     return v;
 }
 

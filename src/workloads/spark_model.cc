@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/prng.h"
+#include "util/checked.h"
 
 namespace workloads {
 
@@ -16,7 +17,7 @@ makeTpcdsQueries(int n, uint64_t seed, double scale_gb)
     for (int q = 0; q < n; ++q) {
         QueryPlan plan;
         plan.name = "q" + std::to_string(q + 1);
-        int nstages = 3 + static_cast<int>(rng.below(5));
+        int nstages = 3 + nx::checked_cast<int>(rng.below(5));
 
         // Query "size": how much of the fact data it scans.
         double scan_frac = 0.05 + rng.uniform() * 0.45;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/prng.h"
+#include "util/checked.h"
 
 namespace workloads {
 
@@ -21,9 +22,9 @@ makeStoreSales(size_t bytes, const TpcdsConfig &cfg)
         uint64_t item = 1 + rng.zipf(cfg.items, 1.1);
         uint64_t cust = 1 + rng.zipf(cfg.customers, 1.05);
         uint64_t store = 1 + rng.zipf(cfg.stores, 1.2);
-        unsigned qty = static_cast<unsigned>(1 + rng.below(100));
-        unsigned price_c = static_cast<unsigned>(50 + rng.below(29950));
-        int profit_c = static_cast<int>(rng.below(8000)) - 2000;
+        unsigned qty = nx::checked_cast<unsigned>(1 + rng.below(100));
+        unsigned price_c = nx::checked_cast<unsigned>(50 + rng.below(29950));
+        int profit_c = nx::checked_cast<int>(rng.below(8000)) - 2000;
         char buf[160];
         std::snprintf(buf, sizeof(buf),
                       "%llu|%llu|%llu|%llu|%llu|%u|%u.%02u|%d.%02u|\n",
@@ -34,7 +35,7 @@ makeStoreSales(size_t bytes, const TpcdsConfig &cfg)
                       static_cast<unsigned long long>(ticket++),
                       qty, price_c / 100, price_c % 100,
                       profit_c / 100,
-                      static_cast<unsigned>(std::abs(profit_c) % 100));
+                      nx::checked_cast<unsigned>(std::abs(profit_c) % 100));
         v.insert(v.end(), buf, buf + std::strlen(buf));
     }
     v.resize(bytes);
@@ -52,9 +53,9 @@ makeShufflePartition(size_t bytes, const TpcdsConfig &cfg)
     while (v.size() < bytes) {
         uint64_t item = 1 + rng.zipf(cfg.items, 1.3);
         uint64_t store = 1 + rng.zipf(cfg.stores, 1.3);
-        unsigned year = 1998 + static_cast<unsigned>(rng.below(5));
-        unsigned cnt = static_cast<unsigned>(1 + rng.below(50));
-        unsigned sum_c = static_cast<unsigned>(rng.below(5000000));
+        unsigned year = 1998 + nx::checked_cast<unsigned>(rng.below(5));
+        unsigned cnt = nx::checked_cast<unsigned>(1 + rng.below(50));
+        unsigned sum_c = nx::checked_cast<unsigned>(rng.below(5000000));
         char buf[128];
         std::snprintf(buf, sizeof(buf),
                       "(%llu,%llu,%u)\t{count:%u,sum:%u.%02u}\n",

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Death tests for the contracts layer (src/util/contracts.h) and
+ * value tests for the checked conversions (src/util/checked.h). The
+ * death tests only exist when contracts are compiled in; the tier-1
+ * build keeps NXSIM_CONTRACTS=ON exactly so these stay live.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/checked.h"
+#include "util/contracts.h"
+
+namespace {
+
+TEST(Contracts, PassingContractsAreSilent)
+{
+    NXSIM_EXPECT(1 + 1 == 2);
+    NXSIM_ASSERT(true, "never printed");
+    NXSIM_ENSURE(42 > 0);
+    SUCCEED();
+}
+
+#if NXSIM_CONTRACTS_ENABLED
+
+TEST(ContractsDeathTest, AssertAbortsWithLocation)
+{
+    EXPECT_DEATH(NXSIM_ASSERT(false, "boom"),
+                 "NXSIM_ASSERT failed: false — boom");
+}
+
+TEST(ContractsDeathTest, ExpectAbortsWithExpression)
+{
+    int x = 3;
+    EXPECT_DEATH(NXSIM_EXPECT(x == 4), "NXSIM_EXPECT failed: x == 4");
+}
+
+TEST(ContractsDeathTest, EnsureAborts)
+{
+    EXPECT_DEATH(NXSIM_ENSURE(false), "NXSIM_ENSURE failed");
+}
+
+TEST(ContractsDeathTest, UnreachableAborts)
+{
+    EXPECT_DEATH(NXSIM_UNREACHABLE("bad switch arm"),
+                 "NXSIM_UNREACHABLE");
+}
+
+#endif // NXSIM_CONTRACTS_ENABLED
+
+TEST(CheckedCast, ValuePreservingConversionsPass)
+{
+    EXPECT_EQ(nx::checked_cast<uint8_t>(255), 255);
+    EXPECT_EQ(nx::checked_cast<uint16_t>(size_t{65535}), 65535);
+    EXPECT_EQ(nx::checked_cast<int>(uint64_t{1} << 30), 1 << 30);
+    EXPECT_EQ(nx::checked_cast<uint32_t>(int64_t{0}), 0u);
+    // Signed -> unsigned of a non-negative value is fine.
+    EXPECT_EQ(nx::checked_cast<unsigned>(123), 123u);
+}
+
+TEST(CheckedCast, EnumSourcesConvertThroughUnderlyingType)
+{
+    enum class Kind : uint8_t { A = 2, B = 7 };
+    EXPECT_EQ(nx::checked_cast<uint32_t>(Kind::B), 7u);
+    EXPECT_EQ(nx::truncate_cast<uint8_t>(Kind::A), 2u);
+}
+
+#if NXSIM_CONTRACTS_ENABLED
+
+TEST(CheckedCastDeathTest, OverflowingNarrowingAborts)
+{
+    EXPECT_DEATH((void)nx::checked_cast<uint8_t>(256),
+                 "narrowing changed the value");
+    EXPECT_DEATH((void)nx::checked_cast<uint16_t>(size_t{1} << 16),
+                 "narrowing changed the value");
+}
+
+TEST(CheckedCastDeathTest, NegativeToUnsignedAborts)
+{
+    EXPECT_DEATH((void)nx::checked_cast<uint32_t>(-1),
+                 "narrowing changed the value");
+}
+
+TEST(CheckedArithmeticDeathTest, AddOverflowAborts)
+{
+    uint64_t big = ~uint64_t{0};
+    EXPECT_DEATH((void)nx::checkedAdd(big, uint64_t{1}), "add overflow");
+    uint32_t big32 = ~uint32_t{0};
+    EXPECT_DEATH((void)nx::checkedAdd(big32, uint32_t{1}),
+                 "add overflow");
+}
+
+TEST(CheckedArithmeticDeathTest, MulOverflowAborts)
+{
+    uint64_t big = uint64_t{1} << 33;
+    EXPECT_DEATH((void)nx::checkedMul(big, big), "mul overflow");
+}
+
+TEST(CopyBytesDeathTest, NullWithNonzeroSizeAborts)
+{
+    uint8_t buf[4] = {0};
+    EXPECT_DEATH(nx::copyBytes(buf, nullptr, 4), "copyBytes");
+    EXPECT_DEATH(nx::copyBytes(nullptr, buf, 4), "copyBytes");
+}
+
+#endif // NXSIM_CONTRACTS_ENABLED
+
+TEST(TruncateCast, DropsBitsOnPurpose)
+{
+    EXPECT_EQ(nx::truncate_cast<uint8_t>(0x1ff), 0xff);
+    EXPECT_EQ(nx::truncate_cast<uint16_t>(~0), 0xffff);
+    EXPECT_EQ(nx::truncate_cast<uint8_t>(uint64_t{0xa5a5a5a5a5a5a5a5}),
+              0xa5);
+}
+
+TEST(CheckedArithmetic, InRangeResultsAreExact)
+{
+    EXPECT_EQ(nx::checkedAdd(uint32_t{3}, uint32_t{4}), 7u);
+    EXPECT_EQ(nx::checkedMul(uint64_t{1} << 20, uint64_t{1} << 20),
+              uint64_t{1} << 40);
+}
+
+TEST(CopyBytes, ZeroLengthIsANoOpEvenWithNull)
+{
+    nx::copyBytes(nullptr, nullptr, 0);    // the BitReader regression
+    SUCCEED();
+}
+
+TEST(CopyBytes, CopiesData)
+{
+    std::vector<uint8_t> src = {1, 2, 3, 4, 5};
+    std::vector<uint8_t> dst(5, 0);
+    nx::copyBytes(dst.data(), src.data(), src.size());
+    EXPECT_EQ(dst, src);
+}
+
+} // namespace

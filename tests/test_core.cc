@@ -82,8 +82,8 @@ TEST(NxDevice, RoundRobinAcrossEngines)
     NxDevice dev(cfg);
     ASSERT_GE(dev.compressEngineCount(), 2);
     auto input = workloads::makeText(10000, 74);
-    dev.compress(input);
-    dev.compress(input);
+    (void)dev.compress(input);
+    (void)dev.compress(input);
     EXPECT_EQ(dev.compressEngine(0).stats().get("jobs"), 1u);
     EXPECT_EQ(dev.compressEngine(1).stats().get("jobs"), 1u);
 }

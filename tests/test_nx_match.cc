@@ -221,9 +221,9 @@ TEST_F(MatchPipelineTest, StatsAccumulateAcrossRuns)
 {
     auto input = workloads::makeText(64 * 1024, 31);
     MatchPipeline pipe(cfg_);
-    pipe.run(input);
+    (void)pipe.run(input);
     uint64_t after1 = pipe.stats().get("cycles");
-    pipe.run(input);
+    (void)pipe.run(input);
     EXPECT_EQ(pipe.stats().get("runs"), 2u);
     EXPECT_GT(pipe.stats().get("cycles"), after1);
 }

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Drives nxlint (tools/nxlint) on small in-memory fixtures: one
+ * positive (rule fires) and one negative (clean) case per rule, plus
+ * the suppression machinery and the lexer's comment/string blindness.
+ * The real-tree invocation is the separate `nxlint` ctest.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nxlint/nxlint.h"
+
+namespace {
+
+using nxlint::Finding;
+using nxlint::lintFile;
+
+std::vector<std::string>
+rulesOf(const std::vector<Finding> &fs)
+{
+    std::vector<std::string> out;
+    for (const Finding &f : fs)
+        out.push_back(f.rule);
+    return out;
+}
+
+bool
+fired(const std::vector<Finding> &fs, std::string_view rule)
+{
+    return std::any_of(fs.begin(), fs.end(), [&](const Finding &f) {
+        return f.rule == rule;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// include-guard
+// ---------------------------------------------------------------------------
+
+TEST(NxlintIncludeGuard, WrongGuardNameFires)
+{
+    auto fs = lintFile("src/nx/crb.h",
+                       "#ifndef WRONG_GUARD\n#define WRONG_GUARD\n"
+                       "#endif\n");
+    ASSERT_TRUE(fired(fs, "include-guard"));
+    EXPECT_NE(fs[0].message.find("NXSIM_NX_CRB_H"), std::string::npos);
+}
+
+TEST(NxlintIncludeGuard, MissingGuardFires)
+{
+    auto fs = lintFile("src/nx/crb.h", "int x;\n");
+    EXPECT_TRUE(fired(fs, "include-guard"));
+}
+
+TEST(NxlintIncludeGuard, MismatchedDefineFires)
+{
+    auto fs = lintFile("src/nx/crb.h",
+                       "#ifndef NXSIM_NX_CRB_H\n#define OTHER\n#endif\n");
+    EXPECT_TRUE(fired(fs, "include-guard"));
+}
+
+TEST(NxlintIncludeGuard, CorrectGuardIsClean)
+{
+    auto fs = lintFile("src/nx/crb.h",
+                       "// doc comment first is fine\n"
+                       "#ifndef NXSIM_NX_CRB_H\n"
+                       "#define NXSIM_NX_CRB_H\n"
+                       "int x;\n"
+                       "#endif\n");
+    EXPECT_FALSE(fired(fs, "include-guard")) << nxlint::format(fs[0]);
+}
+
+TEST(NxlintIncludeGuard, DoesNotApplyToSourceFiles)
+{
+    EXPECT_FALSE(fired(lintFile("src/nx/crb.cc", "int x;\n"),
+                       "include-guard"));
+}
+
+// ---------------------------------------------------------------------------
+// using-namespace-header
+// ---------------------------------------------------------------------------
+
+TEST(NxlintUsingNamespace, FiresInHeader)
+{
+    auto fs = lintFile("src/nx/a.h",
+                       "#ifndef NXSIM_NX_A_H\n#define NXSIM_NX_A_H\n"
+                       "using namespace std;\n#endif\n");
+    EXPECT_TRUE(fired(fs, "using-namespace-header"));
+}
+
+TEST(NxlintUsingNamespace, AllowedInSourceFiles)
+{
+    EXPECT_FALSE(fired(lintFile("src/nx/a.cc", "using namespace std;\n"),
+                       "using-namespace-header"));
+}
+
+TEST(NxlintUsingNamespace, UsingDeclarationIsClean)
+{
+    auto fs = lintFile("src/nx/a.h",
+                       "#ifndef NXSIM_NX_A_H\n#define NXSIM_NX_A_H\n"
+                       "using std::vector;\n#endif\n");
+    EXPECT_FALSE(fired(fs, "using-namespace-header"));
+}
+
+// ---------------------------------------------------------------------------
+// banned-call / banned-include
+// ---------------------------------------------------------------------------
+
+TEST(NxlintBannedCall, AssertFiresInLibraryCode)
+{
+    auto fs = lintFile("src/deflate/x.cc", "void f() { assert(ok()); }\n");
+    ASSERT_TRUE(fired(fs, "banned-call"));
+    EXPECT_NE(fs[0].message.find("NXSIM_ASSERT"), std::string::npos);
+}
+
+TEST(NxlintBannedCall, SprintfAndAtoiFire)
+{
+    auto fs = lintFile("src/core/x.cc",
+                       "void f(char *b) { sprintf(b, \"x\"); "
+                       "int v = atoi(b); (void)v; }\n");
+    auto rs = rulesOf(fs);
+    EXPECT_EQ(std::count(rs.begin(), rs.end(), std::string("banned-call")),
+              2);
+}
+
+TEST(NxlintBannedCall, MemberNamedAssertIsClean)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "void f(T &t) { t.assert(1); t->abort(2); }\n");
+    EXPECT_FALSE(fired(fs, "banned-call"));
+}
+
+TEST(NxlintBannedCall, InsideStringOrCommentIsClean)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "// abort(x) in prose\n"
+                       "const char *s = \"assert(true)\";\n");
+    EXPECT_FALSE(fired(fs, "banned-call"));
+}
+
+TEST(NxlintBannedCall, ToolsAndFuzzAreOutOfScope)
+{
+    EXPECT_FALSE(fired(lintFile("fuzz/harness.cc",
+                                "void f() { abort(); }\n"),
+                       "banned-call"));
+}
+
+TEST(NxlintBannedInclude, CassertFires)
+{
+    auto fs = lintFile("src/nx/x.cc", "#include <cassert>\nint x;\n");
+    EXPECT_TRUE(fired(fs, "banned-include"));
+}
+
+TEST(NxlintBannedInclude, ContractsHeaderIsClean)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "#include \"util/contracts.h\"\nint x;\n");
+    EXPECT_FALSE(fired(fs, "banned-include"));
+}
+
+// ---------------------------------------------------------------------------
+// raw-memcpy
+// ---------------------------------------------------------------------------
+
+TEST(NxlintRawMemcpy, RuntimeSizeFires)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "void f(void *d, void *s, size_t n) "
+                       "{ std::memcpy(d, s, n); }\n");
+    ASSERT_TRUE(fired(fs, "raw-memcpy"));
+    EXPECT_NE(fs[0].message.find("copyBytes"), std::string::npos);
+}
+
+TEST(NxlintRawMemcpy, LiteralAndSizeofSizesAreClean)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "void f(void *d, void *s) {\n"
+                       "  std::memcpy(d, s, 8);\n"
+                       "  std::memcpy(d, s, sizeof(uint64_t));\n"
+                       "}\n");
+    EXPECT_FALSE(fired(fs, "raw-memcpy"));
+}
+
+TEST(NxlintRawMemcpy, UtilIsWhitelisted)
+{
+    auto fs = lintFile("src/util/bitstream.cc",
+                       "void f(void *d, void *s, size_t n) "
+                       "{ std::memcpy(d, s, n); }\n");
+    EXPECT_FALSE(fired(fs, "raw-memcpy"));
+}
+
+// ---------------------------------------------------------------------------
+// narrow-cast
+// ---------------------------------------------------------------------------
+
+TEST(NxlintNarrowCast, NarrowTargetsFire)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "uint8_t f(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n");
+    ASSERT_TRUE(fired(fs, "narrow-cast"));
+    EXPECT_NE(fs[0].message.find("checked_cast"), std::string::npos);
+}
+
+TEST(NxlintNarrowCast, QualifiedAndMultiwordTypesFire)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "void f(long v) {\n"
+                       "  auto a = static_cast<std::uint16_t>(v);\n"
+                       "  auto b = static_cast<unsigned int>(v);\n"
+                       "  (void)a; (void)b;\n"
+                       "}\n");
+    auto rs = rulesOf(fs);
+    EXPECT_EQ(std::count(rs.begin(), rs.end(), std::string("narrow-cast")),
+              2);
+}
+
+TEST(NxlintNarrowCast, WideAndPointerCastsAreClean)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "void f(int v, void *p) {\n"
+                       "  auto a = static_cast<uint64_t>(v);\n"
+                       "  auto b = static_cast<size_t>(v);\n"
+                       "  auto c = static_cast<uint8_t *>(p);\n"
+                       "  auto d = static_cast<double>(v);\n"
+                       "  (void)a; (void)b; (void)c; (void)d;\n"
+                       "}\n");
+    EXPECT_FALSE(fired(fs, "narrow-cast"));
+}
+
+TEST(NxlintNarrowCast, CheckedCastHelpersAreClean)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "uint8_t f(size_t n) "
+                       "{ return nx::checked_cast<uint8_t>(n); }\n");
+    EXPECT_FALSE(fired(fs, "narrow-cast"));
+}
+
+// ---------------------------------------------------------------------------
+// nodiscard-status
+// ---------------------------------------------------------------------------
+
+TEST(NxlintNodiscard, StatusReturnWithoutAttributeFires)
+{
+    auto fs = lintFile("src/nx/a.h",
+                       "#ifndef NXSIM_NX_A_H\n#define NXSIM_NX_A_H\n"
+                       "CondCode validate(const Crb &c);\n"
+                       "JobResult run();\n"
+                       "EngineStatus poll();\n"
+                       "#endif\n");
+    auto rs = rulesOf(fs);
+    EXPECT_EQ(std::count(rs.begin(), rs.end(),
+                         std::string("nodiscard-status")),
+              3);
+}
+
+TEST(NxlintNodiscard, AttributedDeclarationsAreClean)
+{
+    auto fs = lintFile("src/nx/a.h",
+                       "#ifndef NXSIM_NX_A_H\n#define NXSIM_NX_A_H\n"
+                       "[[nodiscard]] CondCode validate(const Crb &c);\n"
+                       "[[nodiscard]] inline JobResult run();\n"
+                       "#endif\n");
+    EXPECT_FALSE(fired(fs, "nodiscard-status"));
+}
+
+TEST(NxlintNodiscard, ParametersAndSourceFilesAreClean)
+{
+    auto header = lintFile("src/nx/a.h",
+                           "#ifndef NXSIM_NX_A_H\n#define NXSIM_NX_A_H\n"
+                           "const char *toString(CondCode cc);\n"
+                           "void log(CondCode cc, int n);\n"
+                           "#endif\n");
+    EXPECT_FALSE(fired(header, "nodiscard-status"));
+    auto source = lintFile("src/nx/a.cc", "CondCode validate() {}\n");
+    EXPECT_FALSE(fired(source, "nodiscard-status"));
+}
+
+// ---------------------------------------------------------------------------
+// todo-tag
+// ---------------------------------------------------------------------------
+
+TEST(NxlintTodoTag, UntaggedTodoAndFixmeFire)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "// TODO: make this faster\n"
+                       "int a;\n"
+                       "/* FIXME handle z15 */\n"
+                       "int b;\n");
+    auto rs = rulesOf(fs);
+    EXPECT_EQ(std::count(rs.begin(), rs.end(), std::string("todo-tag")),
+              2);
+    EXPECT_EQ(fs[0].line, 1);
+    EXPECT_EQ(fs[1].line, 3);
+}
+
+TEST(NxlintTodoTag, TaggedTodoIsClean)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "// TODO(#42): make this faster\n"
+                       "// FIXME(#7): off-by-one near EOF\n"
+                       "int a;\n");
+    EXPECT_FALSE(fired(fs, "todo-tag"));
+}
+
+TEST(NxlintTodoTag, ProseContainingTodoWordIsClean)
+{
+    auto fs = lintFile("src/nx/x.cc", "// TODOs are tracked upstream\n");
+    EXPECT_FALSE(fired(fs, "todo-tag"));
+}
+
+// ---------------------------------------------------------------------------
+// suppressions
+// ---------------------------------------------------------------------------
+
+TEST(NxlintSuppression, JustifiedAllowSuppressesSameLine)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "uint8_t f(size_t n) { return "
+                       "static_cast<uint8_t>(n); } "
+                       "// nxlint: allow(narrow-cast): measured hot path\n");
+    EXPECT_FALSE(fired(fs, "narrow-cast"));
+}
+
+TEST(NxlintSuppression, JustifiedAllowSuppressesNextLine)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "int before;\n"
+                       "// nxlint: allow(narrow-cast): lookup table index\n"
+                       "uint8_t f(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n");
+    EXPECT_FALSE(fired(fs, "narrow-cast"));
+}
+
+TEST(NxlintSuppression, AllowDoesNotLeakPastItsLine)
+{
+    // The leading declaration keeps the allow comment out of the
+    // file-scope region, so it only covers the line below it.
+    auto fs = lintFile("src/deflate/x.cc",
+                       "int before;\n"
+                       "// nxlint: allow(narrow-cast): first cast only\n"
+                       "uint8_t f(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n"
+                       "uint8_t g(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n");
+    ASSERT_TRUE(fired(fs, "narrow-cast"));
+    EXPECT_EQ(fs[0].line, 4);
+}
+
+TEST(NxlintSuppression, BareAllowWithoutReasonIsAFinding)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "uint8_t f(size_t n) { return "
+                       "static_cast<uint8_t>(n); } "
+                       "// nxlint: allow(narrow-cast)\n");
+    // The suppression is rejected, so BOTH rules fire.
+    EXPECT_TRUE(fired(fs, "bare-allow"));
+    EXPECT_TRUE(fired(fs, "narrow-cast"));
+}
+
+TEST(NxlintSuppression, UnknownRuleInAllowIsAFinding)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "int a; // nxlint: allow(no-such-rule): why\n");
+    ASSERT_TRUE(fired(fs, "bare-allow"));
+    EXPECT_NE(fs[0].message.find("no-such-rule"), std::string::npos);
+}
+
+TEST(NxlintSuppression, FileScopeAllowBeforeAnyCode)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "// nxlint: allow(narrow-cast): generated table\n"
+                       "#include \"a.h\"\n"
+                       "uint8_t f(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n"
+                       "uint8_t g(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n");
+    EXPECT_FALSE(fired(fs, "narrow-cast"));
+}
+
+TEST(NxlintSuppression, MentionInProseDoesNotSuppress)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "/* docs: write `// nxlint: allow(narrow-cast): "
+                       "why` to suppress */\n"
+                       "uint8_t f(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n");
+    EXPECT_TRUE(fired(fs, "narrow-cast"));
+}
+
+// ---------------------------------------------------------------------------
+// plumbing
+// ---------------------------------------------------------------------------
+
+TEST(NxlintFormat, MatchesFileLineRuleMessage)
+{
+    Finding f{"src/nx/crb.h", 12, "narrow-cast", "msg"};
+    EXPECT_EQ(nxlint::format(f), "src/nx/crb.h:12: narrow-cast: msg");
+}
+
+TEST(NxlintRules, TableIsPopulatedAndUnique)
+{
+    const auto &rs = nxlint::rules();
+    EXPECT_GE(rs.size(), 9u);
+    for (size_t i = 0; i < rs.size(); ++i)
+        for (size_t j = i + 1; j < rs.size(); ++j)
+            EXPECT_NE(rs[i].id, rs[j].id);
+}
+
+TEST(NxlintScratchFile, UnrecognizedPathGetsStrictestScope)
+{
+    auto fs = lintFile("scratch.cc",
+                       "void f() { assert(1); }\n"
+                       "uint8_t g(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n");
+    EXPECT_TRUE(fired(fs, "banned-call"));
+    EXPECT_TRUE(fired(fs, "narrow-cast"));
+}
+
+TEST(NxlintFindings, AreSortedByLine)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "void f() { abort(); }\n"
+                       "// TODO: later\n"
+                       "uint8_t g(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n");
+    ASSERT_EQ(fs.size(), 3u);
+    EXPECT_LE(fs[0].line, fs[1].line);
+    EXPECT_LE(fs[1].line, fs[2].line);
+}
+
+} // namespace

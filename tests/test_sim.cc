@@ -97,15 +97,47 @@ TEST(EventQueue, HorizonStopsExecution)
     EXPECT_EQ(eq.pending(), 1u);
 }
 
-TEST(EventQueue, PastSchedulingClampsToNow)
+#if NXSIM_CONTRACTS_ENABLED
+
+// Scheduling in the past used to silently clamp to now(), which hid
+// stale-tick bugs in the dispatch models. It is now a contract
+// violation — see EventQueue::schedule.
+TEST(EventQueueDeathTest, PastSchedulingAborts)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue eq;
+            eq.schedule(100, [&] {
+                eq.schedule(5, [] {});    // in the past
+            });
+            eq.run();
+        },
+        "event scheduled in the past");
+}
+
+TEST(EventQueueDeathTest, ScheduleInOverflowAborts)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue eq;
+            eq.schedule(100, [&] { eq.scheduleIn(~Tick{0}, [] {}); });
+            eq.run();
+        },
+        "add overflow");
+}
+
+#endif // NXSIM_CONTRACTS_ENABLED
+
+TEST(EventQueue, SchedulingAtNowIsAllowed)
 {
     EventQueue eq;
-    Tick seen = 0;
+    int fired = 0;
     eq.schedule(100, [&] {
-        eq.schedule(5, [&] { seen = eq.now(); });    // in the past
+        eq.schedule(eq.now(), [&] { ++fired; });    // same tick: legal
     });
     eq.run();
-    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
 }
 
 TEST(DmaPort, ZeroBytesIsFree)

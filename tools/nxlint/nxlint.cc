@@ -1,0 +1,1039 @@
+/**
+ * @file
+ * nxlint implementation: a hand-rolled C++ lexer plus token-pattern
+ * rules. The lexer understands comments, string/char literals (raw
+ * strings included), numbers and preprocessor lines — enough that a
+ * banned identifier inside a string or comment never fires, and a
+ * suppression comment is visible next to the code it excuses.
+ */
+
+#include "nxlint/nxlint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace nxlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok
+{
+    Ident,
+    Number,
+    Punct,
+    Str,
+    Chr,
+    Comment,
+    Pp,         // one whole preprocessor directive (continuations joined)
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int line = 0;        // 1-based start line
+    int endLine = 0;     // last physical line the token touches
+    bool firstOnLine = false;
+};
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string_view s) : s_(s) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> out;
+        while (i_ < s_.size()) {
+            char c = s_[i_];
+            if (c == '\n') {
+                ++line_;
+                atLineStart_ = true;
+                ++i_;
+                continue;
+            }
+            if (std::isspace(static_cast<unsigned char>(c))) {
+                ++i_;
+                continue;
+            }
+            Token t;
+            t.line = line_;
+            t.firstOnLine = atLineStart_;
+            atLineStart_ = false;
+            if (c == '#') {
+                t.kind = Tok::Pp;
+                t.text = readPpLine();
+            } else if (c == '/' && peek(1) == '/') {
+                t.kind = Tok::Comment;
+                t.text = readLineComment();
+            } else if (c == '/' && peek(1) == '*') {
+                t.kind = Tok::Comment;
+                t.text = readBlockComment();
+            } else if (c == '"') {
+                t.kind = Tok::Str;
+                t.text = readString();
+            } else if (c == '\'') {
+                t.kind = Tok::Chr;
+                t.text = readChar();
+            } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                       (c == '.' &&
+                        std::isdigit(static_cast<unsigned char>(peek(1))))) {
+                t.kind = Tok::Number;
+                t.text = readNumber();
+            } else if (identStart(c)) {
+                t.kind = Tok::Ident;
+                t.text = readIdent();
+                // String/char literal prefixes: u8R"(... , L"...", etc.
+                if ((i_ < s_.size()) &&
+                    (s_[i_] == '"' || s_[i_] == '\'') &&
+                    isLiteralPrefix(t.text)) {
+                    if (s_[i_] == '\'') {
+                        t.kind = Tok::Chr;
+                        t.text += readChar();
+                    } else if (t.text.back() == 'R') {
+                        t.kind = Tok::Str;
+                        t.text += readRawString();
+                    } else {
+                        t.kind = Tok::Str;
+                        t.text += readString();
+                    }
+                }
+            } else {
+                t.kind = Tok::Punct;
+                t.text = std::string(1, c);
+                ++i_;
+            }
+            t.endLine = line_;
+            out.push_back(std::move(t));
+        }
+        return out;
+    }
+
+  private:
+    char
+    peek(size_t ahead) const
+    {
+        return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+    }
+
+    static bool
+    isLiteralPrefix(const std::string &id)
+    {
+        return id == "u8" || id == "u" || id == "U" || id == "L" ||
+               id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
+               id == "LR";
+    }
+
+    std::string
+    readPpLine()
+    {
+        std::string text;
+        while (i_ < s_.size()) {
+            char c = s_[i_];
+            if (c == '\\' && peek(1) == '\n') {
+                text += ' ';
+                i_ += 2;
+                ++line_;
+                continue;
+            }
+            if (c == '\n')
+                break;
+            text += c;
+            ++i_;
+        }
+        return text;
+    }
+
+    std::string
+    readLineComment()
+    {
+        size_t start = i_;
+        while (i_ < s_.size() && s_[i_] != '\n')
+            ++i_;
+        return std::string(s_.substr(start, i_ - start));
+    }
+
+    std::string
+    readBlockComment()
+    {
+        size_t start = i_;
+        i_ += 2;
+        while (i_ < s_.size()) {
+            if (s_[i_] == '\n')
+                ++line_;
+            if (s_[i_] == '*' && peek(1) == '/') {
+                i_ += 2;
+                break;
+            }
+            ++i_;
+        }
+        return std::string(s_.substr(start, i_ - start));
+    }
+
+    std::string
+    readString()
+    {
+        size_t start = i_;
+        ++i_;
+        while (i_ < s_.size() && s_[i_] != '"') {
+            if (s_[i_] == '\\' && i_ + 1 < s_.size())
+                ++i_;
+            if (s_[i_] == '\n')
+                ++line_;    // ill-formed C++, but keep line counts sane
+            ++i_;
+        }
+        if (i_ < s_.size())
+            ++i_;
+        return std::string(s_.substr(start, i_ - start));
+    }
+
+    std::string
+    readRawString()
+    {
+        size_t start = i_;
+        ++i_;    // opening quote
+        std::string delim;
+        while (i_ < s_.size() && s_[i_] != '(')
+            delim += s_[i_++];
+        std::string close = ")" + delim + "\"";
+        size_t end = s_.find(close, i_);
+        if (end == std::string_view::npos) {
+            i_ = s_.size();
+        } else {
+            for (size_t k = i_; k < end; ++k)
+                if (s_[k] == '\n')
+                    ++line_;
+            i_ = end + close.size();
+        }
+        return std::string(s_.substr(start, i_ - start));
+    }
+
+    std::string
+    readChar()
+    {
+        size_t start = i_;
+        ++i_;
+        while (i_ < s_.size() && s_[i_] != '\'') {
+            if (s_[i_] == '\\' && i_ + 1 < s_.size())
+                ++i_;
+            ++i_;
+        }
+        if (i_ < s_.size())
+            ++i_;
+        return std::string(s_.substr(start, i_ - start));
+    }
+
+    std::string
+    readNumber()
+    {
+        size_t start = i_;
+        while (i_ < s_.size()) {
+            char c = s_[i_];
+            if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                c == '\'') {
+                ++i_;
+                continue;
+            }
+            if ((c == '+' || c == '-') && i_ > start) {
+                char p = s_[i_ - 1];
+                if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
+                    ++i_;
+                    continue;
+                }
+            }
+            break;
+        }
+        return std::string(s_.substr(start, i_ - start));
+    }
+
+    std::string
+    readIdent()
+    {
+        size_t start = i_;
+        while (i_ < s_.size() && identChar(s_[i_]))
+            ++i_;
+        return std::string(s_.substr(start, i_ - start));
+    }
+
+    std::string_view s_;
+    size_t i_ = 0;
+    int line_ = 1;
+    bool atLineStart_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+struct Scope
+{
+    std::string rel;       // path from the tree root ("src/nx/crb.h")
+    bool isHeader = false;
+    bool isSrc = false;    // library code: src/ (or an unrecognized path)
+    bool isUtil = false;   // src/util/: the whitelisted helper layer
+};
+
+std::string
+relFromTree(std::string_view path)
+{
+    for (std::string_view root : {"src/", "tools/", "fuzz/", "bench/",
+                                  "tests/", "examples/"}) {
+        if (path.substr(0, root.size()) == root)
+            return std::string(path);
+        std::string probe = "/" + std::string(root);
+        size_t pos = path.rfind(probe);
+        if (pos != std::string_view::npos)
+            return std::string(path.substr(pos + 1));
+    }
+    return {};
+}
+
+Scope
+scopeFor(std::string_view path)
+{
+    Scope sc;
+    sc.rel = relFromTree(path);
+    std::string_view name = sc.rel.empty() ? path : sc.rel;
+    sc.isHeader = name.size() > 2 && (name.ends_with(".h") ||
+                                      name.ends_with(".hpp"));
+    if (sc.rel.empty()) {
+        // Scratch file: lint at the strictest scope, as library code.
+        sc.isSrc = true;
+    } else {
+        sc.isSrc = sc.rel.rfind("src/", 0) == 0;
+        sc.isUtil = sc.rel.rfind("src/util/", 0) == 0;
+    }
+    return sc;
+}
+
+std::string
+expectedGuard(std::string_view path)
+{
+    // NXSIM_<PARENT-DIR>_<STEM>_H, non-alphanumerics folded to '_'.
+    std::filesystem::path p{std::string(path)};
+    std::string dir = p.parent_path().filename().string();
+    std::string stem = p.stem().string();
+    std::string out = "NXSIM_";
+    auto append = [&out](const std::string &part) {
+        for (char c : part)
+            out += std::isalnum(static_cast<unsigned char>(c))
+                       ? static_cast<char>(
+                             std::toupper(static_cast<unsigned char>(c)))
+                       : '_';
+    };
+    if (!dir.empty() && dir != ".") {
+        append(dir);
+        out += '_';
+    }
+    append(stem);
+    out += "_H";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"include-guard",
+     "headers carry an #ifndef/#define guard named NXSIM_<DIR>_<FILE>_H"},
+    {"using-namespace-header",
+     "no `using namespace` at any scope in a header"},
+    {"banned-call",
+     "assert/abort/sprintf/atoi-family calls are banned in src/; "
+     "use the contracts layer (src/util/contracts.h)"},
+    {"banned-include",
+     "<cassert>/<assert.h> are banned in src/; include util/contracts.h"},
+    {"raw-memcpy",
+     "memcpy with a runtime-computed size is banned in src/ outside "
+     "src/util/; use nx::copyBytes (src/util/checked.h)"},
+    {"narrow-cast",
+     "bare static_cast to a narrow integer is banned in src/ outside "
+     "src/util/; use nx::checked_cast or nx::truncate_cast"},
+    {"nodiscard-status",
+     "header functions returning a status type (CondCode, Csb, *Status, "
+     "*Result) must be [[nodiscard]]"},
+    {"todo-tag",
+     "TODO/FIXME comments must carry an issue tag: TODO(#123)"},
+    {"bare-allow",
+     "nxlint suppressions must name a known rule and justify it: "
+     "// nxlint: allow(<rule>): <why>"},
+    {"io-error", "file could not be read"},
+};
+
+bool
+knownRule(std::string_view id)
+{
+    return std::any_of(kRules.begin(), kRules.end(),
+                       [&](const RuleInfo &r) { return r.id == id; });
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct Suppressions
+{
+    // rule -> lines it is allowed on; empty set means file-scope allow.
+    std::map<std::string, std::set<int>, std::less<>> byRule;
+    std::set<std::string, std::less<>> fileScope;
+
+    bool
+    allows(const std::string &rule, int line) const
+    {
+        if (fileScope.count(rule) != 0)
+            return true;
+        auto it = byRule.find(rule);
+        return it != byRule.end() && it->second.count(line) != 0;
+    }
+};
+
+std::string_view
+trim(std::string_view v)
+{
+    while (!v.empty() &&
+           std::isspace(static_cast<unsigned char>(v.front())))
+        v.remove_prefix(1);
+    while (!v.empty() && std::isspace(static_cast<unsigned char>(v.back())))
+        v.remove_suffix(1);
+    return v;
+}
+
+/**
+ * Parse every `nxlint: allow(rule): why` occurrence in comment tokens.
+ * An allow covers the comment's own lines plus the next line when the
+ * comment starts its line; before any code it covers the whole file.
+ */
+Suppressions
+collectSuppressions(const std::vector<Token> &toks,
+                    std::vector<Finding> &findings, std::string_view file)
+{
+    Suppressions sup;
+    bool sawCode = false;
+    for (const Token &t : toks) {
+        if (t.kind != Tok::Comment) {
+            // Preprocessor lines (guards, includes) don't end the
+            // file-level comment region; real code does.
+            if (t.kind != Tok::Pp)
+                sawCode = true;
+            continue;
+        }
+        // A suppression must BE the comment, not be quoted inside one:
+        // only `// nxlint: ...` line comments count, anchored at the
+        // start. Prose that mentions the syntax never suppresses.
+        std::string_view body{t.text};
+        if (body.rfind("//", 0) != 0)
+            continue;
+        body.remove_prefix(2);
+        body = trim(body);
+        if (body.rfind("nxlint:", 0) != 0)
+            continue;
+        body.remove_prefix(7);
+        size_t pos = 0;
+        while ((pos = body.find("allow(", pos)) != std::string::npos) {
+            std::string_view rest = body.substr(pos);
+            pos += 6;
+            if (rest.rfind("allow(", 0) != 0)
+                continue;
+            rest.remove_prefix(6);
+            size_t close = rest.find(')');
+            if (close == std::string_view::npos)
+                continue;
+            std::string rule{trim(rest.substr(0, close))};
+            std::string_view tail = trim(rest.substr(close + 1));
+            if (!knownRule(rule) || rule == "bare-allow") {
+                findings.push_back({std::string(file), t.line,
+                                    "bare-allow",
+                                    "allow() names unknown rule '" + rule +
+                                        "'"});
+                continue;
+            }
+            if (tail.empty() || tail.front() != ':' ||
+                trim(tail.substr(1)).empty()) {
+                findings.push_back(
+                    {std::string(file), t.line, "bare-allow",
+                     "allow(" + rule +
+                         ") needs a justification: allow(" + rule +
+                         "): <why>"});
+                continue;
+            }
+            if (!sawCode) {
+                sup.fileScope.insert(rule);
+                continue;
+            }
+            auto &lines = sup.byRule[rule];
+            for (int l = t.line; l <= t.endLine; ++l)
+                lines.insert(l);
+            if (t.firstOnLine)
+                lines.insert(t.endLine + 1);
+        }
+    }
+    return sup;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+/// Index of the previous non-comment token, or npos.
+size_t
+prevSig(const std::vector<Token> &toks, size_t i)
+{
+    while (i > 0) {
+        --i;
+        if (toks[i].kind != Tok::Comment)
+            return i;
+    }
+    return static_cast<size_t>(-1);
+}
+
+/// Index of the next non-comment token, or npos.
+size_t
+nextSig(const std::vector<Token> &toks, size_t i)
+{
+    for (++i; i < toks.size(); ++i)
+        if (toks[i].kind != Tok::Comment)
+            return i;
+    return static_cast<size_t>(-1);
+}
+
+bool
+isPunct(const std::vector<Token> &toks, size_t i, char c)
+{
+    return i < toks.size() && toks[i].kind == Tok::Punct &&
+           toks[i].text.size() == 1 && toks[i].text[0] == c;
+}
+
+bool
+isIdent(const std::vector<Token> &toks, size_t i, std::string_view name)
+{
+    return i < toks.size() && toks[i].kind == Tok::Ident &&
+           toks[i].text == name;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct PpDirective
+{
+    std::string keyword;
+    std::string rest;
+};
+
+PpDirective
+parsePp(const std::string &text)
+{
+    PpDirective d;
+    size_t i = 0;
+    while (i < text.size() &&
+           (text[i] == '#' ||
+            std::isspace(static_cast<unsigned char>(text[i]))))
+        ++i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+        d.keyword += text[i++];
+    d.rest = std::string(trim(std::string_view(text).substr(i)));
+    return d;
+}
+
+void
+checkIncludeGuard(const std::vector<Token> &toks, const Scope &sc,
+                  std::string_view file, std::vector<Finding> &out)
+{
+    if (!sc.isHeader || toks.empty())
+        return;
+    std::string want = expectedGuard(sc.rel.empty() ? file : sc.rel);
+    size_t first = static_cast<size_t>(-1);
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Comment) {
+            first = i;
+            break;
+        }
+    }
+    if (first == static_cast<size_t>(-1))
+        return;    // comment-only header
+    const Token &t = toks[first];
+    if (t.kind != Tok::Pp) {
+        out.push_back({std::string(file), t.line, "include-guard",
+                       "header must open with #ifndef " + want});
+        return;
+    }
+    PpDirective open = parsePp(t.text);
+    if (open.keyword != "ifndef") {
+        out.push_back({std::string(file), t.line, "include-guard",
+                       "header must open with #ifndef " + want +
+                           " (found #" + open.keyword + ")"});
+        return;
+    }
+    std::string got{trim(open.rest)};
+    if (got != want) {
+        out.push_back({std::string(file), t.line, "include-guard",
+                       "guard is " + got + ", expected " + want});
+        return;
+    }
+    size_t next = nextSig(toks, first);
+    PpDirective def = next != static_cast<size_t>(-1) &&
+                              toks[next].kind == Tok::Pp
+                          ? parsePp(toks[next].text)
+                          : PpDirective{};
+    if (def.keyword != "define" || std::string(trim(def.rest)) != want) {
+        out.push_back({std::string(file), t.line, "include-guard",
+                       "#ifndef " + want +
+                           " must be followed by #define " + want});
+        return;
+    }
+    for (size_t i = toks.size(); i-- > next;) {
+        if (toks[i].kind == Tok::Pp &&
+            parsePp(toks[i].text).keyword == "endif")
+            return;
+    }
+    out.push_back({std::string(file), toks.back().line, "include-guard",
+                   "guard #endif is missing"});
+}
+
+void
+checkUsingNamespace(const std::vector<Token> &toks, const Scope &sc,
+                    std::string_view file, std::vector<Finding> &out)
+{
+    if (!sc.isHeader)
+        return;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (isIdent(toks, i, "using") &&
+            isIdent(toks, nextSig(toks, i), "namespace")) {
+            out.push_back({std::string(file), toks[i].line,
+                           "using-namespace-header",
+                           "`using namespace` leaks into every includer; "
+                           "qualify names instead"});
+        }
+    }
+}
+
+const std::map<std::string_view, std::string_view> kBannedCalls = {
+    {"assert", "NXSIM_ASSERT / NXSIM_EXPECT (util/contracts.h)"},
+    {"abort", "NXSIM_UNREACHABLE or a contract (util/contracts.h)"},
+    {"sprintf", "snprintf"},
+    {"vsprintf", "vsnprintf"},
+    {"atoi", "std::from_chars with a range check"},
+    {"atol", "std::from_chars with a range check"},
+    {"atoll", "std::from_chars with a range check"},
+    {"gets", "fgets"},
+    {"strcpy", "nx::copyBytes with an explicit size"},
+    {"strcat", "std::string"},
+    {"alloca", "a fixed buffer or std::vector"},
+};
+
+void
+checkBannedCalls(const std::vector<Token> &toks, const Scope &sc,
+                 std::string_view file, std::vector<Finding> &out)
+{
+    if (!sc.isSrc)
+        return;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Ident)
+            continue;
+        auto it = kBannedCalls.find(toks[i].text);
+        if (it == kBannedCalls.end())
+            continue;
+        if (!isPunct(toks, nextSig(toks, i), '('))
+            continue;
+        size_t p = prevSig(toks, i);
+        if (isPunct(toks, p, '.'))
+            continue;    // member access, a different function entirely
+        if (isPunct(toks, p, '>') &&
+            isPunct(toks, prevSig(toks, p), '-'))
+            continue;    // `->` member access
+        out.push_back({std::string(file), toks[i].line, "banned-call",
+                       "`" + toks[i].text +
+                           "` is banned in library code; use " +
+                           std::string(it->second)});
+    }
+}
+
+void
+checkBannedIncludes(const std::vector<Token> &toks, const Scope &sc,
+                    std::string_view file, std::vector<Finding> &out)
+{
+    if (!sc.isSrc)
+        return;
+    for (const Token &t : toks) {
+        if (t.kind != Tok::Pp)
+            continue;
+        PpDirective d = parsePp(t.text);
+        if (d.keyword != "include")
+            continue;
+        if (d.rest.find("cassert") != std::string::npos ||
+            d.rest.find("assert.h") != std::string::npos) {
+            out.push_back({std::string(file), t.line, "banned-include",
+                           "include util/contracts.h instead of " +
+                               d.rest});
+        }
+    }
+}
+
+/// Top-level argument ranges [begin, end) of a call starting at `open`
+/// (the '(' token). Returns the index one past the closing ')'.
+size_t
+splitArgs(const std::vector<Token> &toks, size_t open,
+          std::vector<std::pair<size_t, size_t>> &args)
+{
+    int depth = 0;
+    size_t argStart = open + 1;
+    size_t i = open;
+    for (; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Tok::Punct)
+            continue;
+        char c = t.text[0];
+        if (c == '(' || c == '[' || c == '{') {
+            ++depth;
+        } else if (c == ')' || c == ']' || c == '}') {
+            --depth;
+            if (depth == 0) {
+                if (i > argStart)
+                    args.emplace_back(argStart, i);
+                return i + 1;
+            }
+        } else if (c == ',' && depth == 1) {
+            args.emplace_back(argStart, i);
+            argStart = i + 1;
+        }
+    }
+    return i;
+}
+
+void
+checkRawMemcpy(const std::vector<Token> &toks, const Scope &sc,
+               std::string_view file, std::vector<Finding> &out)
+{
+    if (!sc.isSrc || sc.isUtil)
+        return;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks, i, "memcpy") && !isIdent(toks, i, "memmove") &&
+            !isIdent(toks, i, "memset"))
+            continue;
+        size_t open = nextSig(toks, i);
+        if (!isPunct(toks, open, '('))
+            continue;
+        std::vector<std::pair<size_t, size_t>> args;
+        splitArgs(toks, open, args);
+        if (args.size() < 3)
+            continue;
+        auto [b, e] = args.back();
+        // A compile-time-constant size is fine: a single integer
+        // literal, or a sizeof expression.
+        bool constantSize =
+            (e - b == 1 && toks[b].kind == Tok::Number) ||
+            isIdent(toks, b, "sizeof");
+        if (!constantSize) {
+            out.push_back({std::string(file), toks[i].line, "raw-memcpy",
+                           "`" + toks[i].text +
+                               "` with a runtime size; use nx::copyBytes "
+                               "(util/checked.h) so null/overlap "
+                               "contracts apply"});
+        }
+    }
+}
+
+const std::set<std::string, std::less<>> kNarrowTypes = {
+    "int8_t", "uint8_t", "int16_t", "uint16_t", "int32_t", "uint32_t",
+    "int", "unsigned", "unsigned int", "short", "short int",
+    "unsigned short", "unsigned short int", "char", "signed char",
+    "unsigned char", "char8_t",
+};
+
+void
+checkNarrowCast(const std::vector<Token> &toks, const Scope &sc,
+                std::string_view file, std::vector<Finding> &out)
+{
+    if (!sc.isSrc || sc.isUtil)
+        return;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks, i, "static_cast"))
+            continue;
+        size_t lt = nextSig(toks, i);
+        if (!isPunct(toks, lt, '<'))
+            continue;
+        // Collect the type tokens to the matching '>'.
+        int depth = 0;
+        bool pointerish = false;
+        std::vector<std::string> words;
+        size_t j = lt;
+        for (; j < toks.size(); ++j) {
+            if (isPunct(toks, j, '<')) {
+                ++depth;
+            } else if (isPunct(toks, j, '>')) {
+                if (--depth == 0)
+                    break;
+            } else if (isPunct(toks, j, '*') || isPunct(toks, j, '&')) {
+                pointerish = true;
+            } else if (toks[j].kind == Tok::Ident && toks[j].text != "std" &&
+                       toks[j].text != "const" &&
+                       toks[j].text != "volatile") {
+                words.push_back(toks[j].text);
+            }
+        }
+        if (pointerish || words.empty())
+            continue;
+        std::string type = words[0];
+        for (size_t w = 1; w < words.size(); ++w)
+            type += " " + words[w];
+        if (kNarrowTypes.count(type) == 0)
+            continue;
+        out.push_back(
+            {std::string(file), toks[i].line, "narrow-cast",
+             "bare static_cast<" + type +
+                 "> may drop bits; use nx::checked_cast<" + type +
+                 "> (value-preserving) or nx::truncate_cast<" + type +
+                 "> (intentional truncation)"});
+    }
+}
+
+bool
+isStatusType(const std::string &name)
+{
+    if (name == "CondCode" || name == "Csb")
+        return true;
+    auto endsWith = [&name](std::string_view suf) {
+        return name.size() > suf.size() && name.ends_with(suf);
+    };
+    return endsWith("Status") || endsWith("Result");
+}
+
+const std::set<std::string, std::less<>> kDeclPrefix = {
+    "inline", "static", "constexpr", "virtual", "explicit", "friend",
+    "extern", "const",
+};
+
+void
+checkNodiscard(const std::vector<Token> &toks, const Scope &sc,
+               std::string_view file, std::vector<Finding> &out)
+{
+    if (!sc.isHeader)
+        return;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Ident || !isStatusType(toks[i].text))
+            continue;
+        size_t name = nextSig(toks, i);
+        if (name == static_cast<size_t>(-1) ||
+            toks[name].kind != Tok::Ident)
+            continue;
+        if (!isPunct(toks, nextSig(toks, name), '('))
+            continue;
+        // Scan the declaration prefix backwards for [[nodiscard]].
+        bool nodiscard = false;
+        bool declaration = true;
+        size_t p = prevSig(toks, i);
+        while (p != static_cast<size_t>(-1)) {
+            const Token &t = toks[p];
+            if (t.kind == Tok::Pp) {
+                break;    // start of a declaration after a directive
+            } else if (t.kind == Tok::Ident) {
+                if (t.text == "nodiscard") {
+                    nodiscard = true;
+                } else if (kDeclPrefix.count(t.text) == 0) {
+                    declaration = false;    // `struct X`, `return x`, ...
+                    break;
+                }
+            } else if (t.kind == Tok::Punct) {
+                char c = t.text[0];
+                if (c == ';' || c == '{' || c == '}' || c == ':')
+                    break;    // clean declaration start
+                if (c == '[' || c == ']')
+                    ;    // attribute brackets; keep scanning
+                else {
+                    declaration = false;    // parameter or expression
+                    break;
+                }
+            } else {
+                declaration = false;
+                break;
+            }
+            p = prevSig(toks, p);
+        }
+        if (declaration && !nodiscard) {
+            out.push_back({std::string(file), toks[i].line,
+                           "nodiscard-status",
+                           "function returning " + toks[i].text +
+                               " must be [[nodiscard]] — dropping a "
+                               "status is how output-cap bugs hide"});
+        }
+    }
+}
+
+void
+checkTodoTags(const std::vector<Token> &toks, std::string_view file,
+              std::vector<Finding> &out)
+{
+    for (const Token &t : toks) {
+        if (t.kind != Tok::Comment)
+            continue;
+        const std::string &s = t.text;
+        for (std::string_view word : {"TODO", "FIXME"}) {
+            size_t pos = 0;
+            while ((pos = s.find(word, pos)) != std::string::npos) {
+                size_t end = pos + word.size();
+                bool boundedLeft =
+                    pos == 0 || !identChar(s[pos - 1]);
+                bool boundedRight = end >= s.size() || !identChar(s[end]);
+                pos = end;
+                if (!boundedLeft || !boundedRight)
+                    continue;
+                // Require an immediate issue tag: TODO(#123).
+                bool tagged = false;
+                if (end + 2 < s.size() && s[end] == '(' &&
+                    s[end + 1] == '#') {
+                    size_t d = end + 2;
+                    while (d < s.size() &&
+                           std::isdigit(static_cast<unsigned char>(s[d])))
+                        ++d;
+                    tagged = d > end + 2 && d < s.size() && s[d] == ')';
+                }
+                if (!tagged) {
+                    int line = t.line +
+                        static_cast<int>(std::count(s.begin(),
+                                                    s.begin() +
+                                                        static_cast<long>(
+                                                            end),
+                                                    '\n'));
+                    out.push_back({std::string(file), line, "todo-tag",
+                                   std::string(word) +
+                                       " needs an issue tag: " +
+                                       std::string(word) + "(#123)"});
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+rules()
+{
+    return kRules;
+}
+
+std::vector<Finding>
+lintFile(std::string_view path, std::string_view content)
+{
+    Scope sc = scopeFor(path);
+    std::vector<Token> toks = Lexer(content).run();
+
+    std::vector<Finding> raw;
+    Suppressions sup = collectSuppressions(toks, raw, path);
+
+    checkIncludeGuard(toks, sc, path, raw);
+    checkUsingNamespace(toks, sc, path, raw);
+    checkBannedCalls(toks, sc, path, raw);
+    checkBannedIncludes(toks, sc, path, raw);
+    checkRawMemcpy(toks, sc, path, raw);
+    checkNarrowCast(toks, sc, path, raw);
+    checkNodiscard(toks, sc, path, raw);
+    checkTodoTags(toks, path, raw);
+
+    std::vector<Finding> out;
+    for (Finding &f : raw) {
+        if (f.rule != "bare-allow" && sup.allows(f.rule, f.line))
+            continue;
+        out.push_back(std::move(f));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return out;
+}
+
+std::vector<Finding>
+lintTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<Finding> out;
+    std::vector<fs::path> files;
+
+    auto collect = [&files](const fs::path &dir) {
+        std::error_code ec;
+        for (fs::recursive_directory_iterator
+                 it(dir, fs::directory_options::skip_permission_denied,
+                    ec),
+             end;
+             it != end && !ec; it.increment(ec)) {
+            if (!it->is_regular_file(ec))
+                continue;
+            std::string ext = it->path().extension().string();
+            if (ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+                ext == ".cpp")
+                files.push_back(it->path());
+        }
+    };
+
+    bool sawTree = false;
+    for (const char *sub : {"src", "tools", "fuzz", "bench"}) {
+        fs::path dir = fs::path(root) / sub;
+        std::error_code ec;
+        if (fs::is_directory(dir, ec)) {
+            sawTree = true;
+            collect(dir);
+        }
+    }
+    if (!sawTree)
+        collect(root);
+
+    std::sort(files.begin(), files.end());
+    for (const fs::path &p : files) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in) {
+            out.push_back({p.string(), 0, "io-error", "cannot read file"});
+            continue;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::string content = ss.str();
+        // Lint with a tree-relative label so scoping is stable no
+        // matter where the tool is invoked from.
+        std::error_code ec;
+        fs::path rel = fs::relative(p, root, ec);
+        std::string label = ec ? p.string() : rel.generic_string();
+        for (Finding &f : lintFile(label, content))
+            out.push_back(std::move(f));
+    }
+    return out;
+}
+
+std::string
+format(const Finding &f)
+{
+    return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+           f.message;
+}
+
+} // namespace nxlint

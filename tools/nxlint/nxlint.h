@@ -1,0 +1,75 @@
+/**
+ * @file
+ * nxlint — the project-specific static-analysis pass.
+ *
+ * Stock clang-tidy catches generic C++ smells; nxlint encodes the
+ * *domain* contracts this simulator lives by (see DESIGN.md "Static
+ * analysis stack"): no silent size narrowing outside the checked-cast
+ * helpers, no raw assert/abort outside the contracts header, include
+ * guards derived from the file path, status types that must not be
+ * dropped on the floor. It is a tokenizer-level checker — deliberately
+ * not a compiler plugin — so it runs in milliseconds on every ctest
+ * invocation and has zero toolchain dependencies.
+ *
+ * Findings print as `file:line: rule-id: message`. A finding can be
+ * suppressed where it fires with
+ *
+ *     // nxlint: allow(rule-id): why this instance is fine
+ *
+ * on the same line, on a comment-only line directly above, or at file
+ * scope in a file-level comment before any code. The justification
+ * after the colon is mandatory; a bare allow() is itself a finding
+ * (rule `bare-allow`).
+ */
+
+#ifndef NXSIM_NXLINT_NXLINT_H
+#define NXSIM_NXLINT_NXLINT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nxlint {
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string file;       ///< path as given to the linter
+    int line = 0;           ///< 1-based
+    std::string rule;       ///< rule id, e.g. "narrow-cast"
+    std::string message;
+};
+
+/** Rule metadata for --list-rules and the docs. */
+struct RuleInfo
+{
+    std::string_view id;
+    std::string_view summary;
+};
+
+/** All rules, in the order they are checked. */
+const std::vector<RuleInfo> &rules();
+
+/**
+ * Lint one file given as an in-memory buffer. @p path scopes the rules:
+ * library-code rules (banned-call, banned-include, raw-memcpy,
+ * narrow-cast) fire for paths under src/; header rules for *.h. A path
+ * with no recognizable tree prefix (a scratch file) is linted at the
+ * strictest scope, as library code.
+ */
+std::vector<Finding> lintFile(std::string_view path,
+                              std::string_view content);
+
+/**
+ * Walk @p root's src/, tools/, fuzz/ and bench/ trees (or @p root
+ * itself when it is a bare directory of sources) and lint every
+ * *.h / *.cc file. Unreadable files produce an "io-error" finding.
+ */
+std::vector<Finding> lintTree(const std::string &root);
+
+/** Render a finding as `file:line: rule-id: message`. */
+std::string format(const Finding &f);
+
+} // namespace nxlint
+
+#endif // NXSIM_NXLINT_NXLINT_H

@@ -20,6 +20,7 @@
 
 #include "core/nxzip.h"
 #include "core/topology.h"
+#include "util/checked.h"
 #include "util/table.h"
 
 namespace {
@@ -37,8 +38,10 @@ bool
 writeFile(const std::string &path, const std::vector<uint8_t> &data)
 {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    // size_t -> streamsize is a sign change; make it checked rather
+    // than hoping no one ever writes a >2^63-byte result.
     out.write(reinterpret_cast<const char *>(data.data()),
-              static_cast<std::streamsize>(data.size()));
+              nx::checked_cast<std::streamsize>(data.size()));
     return static_cast<bool>(out);
 }
 
@@ -90,8 +93,13 @@ main(int argc, char **argv)
         return 1;
     }
 
-    core::ChipTopology topo = chip == "z15" ? core::z15Chip()
-                                            : core::power9Chip();
+    core::ChipTopology topo;
+    if (chip == "z15")
+        topo = core::z15Chip();
+    else if (chip == "power9")
+        topo = core::power9Chip();
+    else
+        return usage();    // an unknown chip must not silently model POWER9
     nxzip::Options opts;
     opts.framing = nx::Framing::Gzip;
     opts.softwareLevel = level;
