@@ -6,38 +6,45 @@
 #                      (tools/nxlint; also registered as a ctest, the
 #                      explicit stage gives findings on stdout)
 #   3. asan-ubsan      full ctest under ASan+UBSan (no recover)
-#   4. lint            clang-tidy over files changed vs origin/main
+#   4. tsan            ThreadSanitizer build; runs the `concurrency`
+#                      ctest label (the core::JobServer dispatch suite)
+#   5. lint            clang-tidy over files changed vs origin/main
 #                      (skipped with a notice when clang-tidy absent)
-#   5. fuzz smoke      30 s of each fuzz target on the seeded corpus
+#   6. fuzz smoke      30 s of each fuzz target on the seeded corpus
 #                      (libFuzzer with Clang; the standalone driver
 #                      otherwise — see fuzz/standalone_main.cc)
 #
-# Usage: ./ci.sh [--quick]   --quick skips stages 4 and 5.
+# Usage: ./ci.sh [--quick]   --quick skips stages 5 and 6.
 set -eu
 
 cd "$(dirname "$0")"
 jobs=$(nproc 2>/dev/null || echo 4)
 quick=${1:-}
 
-echo "=== [1/5] ci preset (warnings-as-errors) ==="
+echo "=== [1/6] ci preset (warnings-as-errors) ==="
 cmake --preset ci
 cmake --build build-ci -j "$jobs"
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-echo "=== [2/5] nxlint (project static analysis) ==="
+echo "=== [2/6] nxlint (project static analysis) ==="
 ./build-ci/tools/nxlint/nxlint .
 
-echo "=== [3/5] asan-ubsan preset ==="
+echo "=== [3/6] asan-ubsan preset ==="
 cmake --preset asan-ubsan
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "=== [4/6] tsan preset (concurrency label) ==="
+cmake --preset tsan
+cmake --build build-tsan -j "$jobs"
+ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$jobs"
 
 if [ "$quick" = "--quick" ]; then
     echo "=== --quick: skipping lint and fuzz smoke ==="
     exit 0
 fi
 
-echo "=== [4/5] clang-tidy on changed files ==="
+echo "=== [5/6] clang-tidy on changed files ==="
 if git rev-parse --verify origin/main >/dev/null 2>&1; then
     changed=$(git diff --name-only origin/main -- 'src/*.cc' || true)
 else
@@ -50,7 +57,7 @@ else
     echo "no changed src/*.cc files; skipping clang-tidy"
 fi
 
-echo "=== [5/5] fuzz smoke (30 s per target) ==="
+echo "=== [6/6] fuzz smoke (30 s per target) ==="
 cmake --preset fuzz
 cmake --build build-fuzz -j "$jobs"
 for t in fuzz_inflate fuzz_gzip fuzz_e842 fuzz_roundtrip; do

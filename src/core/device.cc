@@ -24,12 +24,13 @@ NxDevice::NxDevice(const nx::NxConfig &cfg) : cfg_(cfg)
 }
 
 JobResult
-NxDevice::compress(std::span<const uint8_t> source, nx::Framing framing,
-                   Mode mode)
+runCompressJob(nx::CompressEngine &eng, const nx::NxConfig &cfg,
+               std::span<const uint8_t> source, nx::Framing framing,
+               Mode mode, uint64_t seq)
 {
     Mode effective = mode;
     if (mode == Mode::Auto) {
-        effective = source.size() < autoFhtThreshold()
+        effective = source.size() < NxDevice::autoFhtThreshold()
             ? Mode::Fht : Mode::DhtSampled;
     }
 
@@ -45,26 +46,25 @@ NxDevice::compress(std::span<const uint8_t> source, nx::Framing framing,
     // mode, so the target must cover the full bound.
     crb.target = nx::DdeList::direct(0x2000000, nx::checked_cast<uint32_t>(
         source.size() + source.size() / 7 + 1024));
-    crb.seq = seq_++;
+    crb.seq = seq;
 
     nx::DhtMode dmode = effective == Mode::DhtTwoPass
         ? nx::DhtMode::TwoPass : nx::DhtMode::Sampled;
 
-    auto &eng = *comp_[nextComp_];
-    nextComp_ = (nextComp_ + 1) % comp_.size();
     auto res = eng.run(crb, source, dmode);
 
     JobResult out;
     out.csb = res.csb;
     out.data = std::move(res.output);
     out.engineCycles = res.timing.total();
-    out.seconds = cfg_.clock.toSeconds(out.engineCycles);
+    out.seconds = cfg.clock.toSeconds(out.engineCycles);
     return out;
 }
 
 JobResult
-NxDevice::decompress(std::span<const uint8_t> stream, nx::Framing framing,
-                     uint64_t max_output)
+runDecompressJob(nx::DecompressEngine &eng, const nx::NxConfig &cfg,
+                 std::span<const uint8_t> stream, nx::Framing framing,
+                 uint64_t max_output, uint64_t seq)
 {
     nx::Crb crb;
     crb.func = nx::FuncCode::Decompress;
@@ -73,18 +73,35 @@ NxDevice::decompress(std::span<const uint8_t> stream, nx::Framing framing,
         stream.size()));
     crb.target = nx::DdeList::direct(0x2000000, nx::checked_cast<uint32_t>(
         max_output));
-    crb.seq = seq_++;
+    crb.seq = seq;
 
-    auto &eng = *decomp_[nextDecomp_];
-    nextDecomp_ = (nextDecomp_ + 1) % decomp_.size();
     auto res = eng.run(crb, stream);
 
     JobResult out;
     out.csb = res.csb;
     out.data = std::move(res.output);
     out.engineCycles = res.timing.total();
-    out.seconds = cfg_.clock.toSeconds(out.engineCycles);
+    out.seconds = cfg.clock.toSeconds(out.engineCycles);
     return out;
+}
+
+JobResult
+NxDevice::compress(std::span<const uint8_t> source, nx::Framing framing,
+                   Mode mode)
+{
+    auto &eng = *comp_[nextComp_];
+    nextComp_ = (nextComp_ + 1) % comp_.size();
+    return runCompressJob(eng, cfg_, source, framing, mode, seq_++);
+}
+
+JobResult
+NxDevice::decompress(std::span<const uint8_t> stream, nx::Framing framing,
+                     uint64_t max_output)
+{
+    auto &eng = *decomp_[nextDecomp_];
+    nextDecomp_ = (nextDecomp_ + 1) % decomp_.size();
+    return runDecompressJob(eng, cfg_, stream, framing, max_output,
+                            seq_++);
 }
 
 JobResult

@@ -53,6 +53,29 @@ struct JobResult
     }
 };
 
+/**
+ * Build and execute one compress CRB on @p eng. This is the single
+ * code path shared by the synchronous NxDevice API and the
+ * core::JobServer workers, which is what keeps async outputs
+ * bit-identical to the sync path (the property suite enforces it).
+ *
+ * @param seq  CRB sequence number (debug/tracing; never affects the
+ *             produced stream)
+ */
+[[nodiscard]] JobResult runCompressJob(nx::CompressEngine &eng,
+                                       const nx::NxConfig &cfg,
+                                       std::span<const uint8_t> source,
+                                       nx::Framing framing, Mode mode,
+                                       uint64_t seq);
+
+/** Build and execute one decompress CRB on @p eng (see runCompressJob). */
+[[nodiscard]] JobResult runDecompressJob(nx::DecompressEngine &eng,
+                                         const nx::NxConfig &cfg,
+                                         std::span<const uint8_t> stream,
+                                         nx::Framing framing,
+                                         uint64_t max_output,
+                                         uint64_t seq);
+
 /** A per-chip accelerator device handle. */
 class NxDevice
 {

@@ -1,0 +1,297 @@
+#include "core/job_server.h"
+
+#include <algorithm>
+
+#include "util/checked.h"
+#include "util/contracts.h"
+
+namespace core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+JobServer::JobServer(const nx::NxConfig &cfg, const JobServerConfig &jcfg)
+    : cfg_(cfg), jcfg_(jcfg)
+{
+    NXSIM_EXPECT(jcfg_.windows > 0, "job server needs >= 1 window");
+    int workers = jcfg_.workers;
+    if (workers <= 0) {
+        workers = std::max(cfg.compressEnginesPerUnit,
+                           cfg.decompressEnginesPerUnit) *
+            cfg.unitsPerChip;
+        workers = std::max(workers, 1);
+    }
+    jcfg_.workers = workers;
+
+    size_t nw = nx::checked_cast<size_t>(workers);
+    comp_.reserve(nw);
+    decomp_.reserve(nw);
+    for (size_t i = 0; i < nw; ++i) {
+        comp_.push_back(std::make_unique<nx::CompressEngine>(cfg_));
+        decomp_.push_back(std::make_unique<nx::DecompressEngine>(cfg_));
+    }
+    workerCycles_.assign(nw, 0);
+    fifo_.resize(nx::checked_cast<size_t>(jcfg_.windows));
+    windowPastes_.assign(fifo_.size(), 0);
+    paused_ = jcfg_.startPaused;
+
+    workers_.reserve(nw);
+    for (int w = 0; w < workers; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+JobServer::~JobServer()
+{
+    drainAndStop();
+}
+
+SubmitResult
+JobServer::submitAsync(const JobSpec &spec, int window)
+{
+    SubmitResult out;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        NXSIM_EXPECT(window >= 0 && window < jcfg_.windows,
+                     "paste into a window that does not exist");
+        if (draining_ || stopping_) {
+            out.status = nx::PasteStatus::Closed;
+            return out;
+        }
+        size_t w = nx::checked_cast<size_t>(window);
+        if (jcfg_.window.bounded() &&
+            fifo_[w].size() >=
+                nx::checked_cast<size_t>(jcfg_.window.fifoDepth)) {
+            ++busyRejects_;
+            out.status = nx::PasteStatus::Busy;
+            return out;
+        }
+        Pending p;
+        p.ticket = nextTicket_++;
+        p.window = window;
+        p.windowSeq = windowPastes_[w]++;
+        p.spec = spec;    // payload copied only on acceptance
+        p.pasteTime = Clock::now();
+        fifo_[w].push_back(std::move(p));
+        ++queuedTotal_;
+        ++accepted_;
+        queueDepth_.add(static_cast<double>(queuedTotal_));
+        out.status = nx::PasteStatus::Accepted;
+        out.ticket = nextTicket_ - 1;
+    }
+    workCv_.notify_one();
+    return out;
+}
+
+SubmitResult
+JobServer::submitWithRetry(const JobSpec &spec, int window,
+                           const BackoffPolicy &policy)
+{
+    NXSIM_EXPECT(policy.maxAttempts > 0, "retry policy needs >= 1 attempt");
+    auto delay = policy.initialDelay;
+    SubmitResult res;
+    for (int attempt = 1; attempt <= policy.maxAttempts; ++attempt) {
+        res = submitAsync(spec, window);
+        res.attempts = attempt;
+        if (res.status != nx::PasteStatus::Busy)
+            return res;
+        if (attempt == policy.maxAttempts)
+            break;
+        std::this_thread::sleep_for(delay);
+        delay = std::min(delay * 2, policy.maxDelay);
+    }
+    return res;    // still Busy after maxAttempts
+}
+
+void
+JobServer::workerLoop(int w)
+{
+    size_t wi = nx::checked_cast<size_t>(w);
+    for (;;) {
+        Pending p;
+        uint64_t dispatch = 0;
+        uint64_t crbSeq = 0;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [this] {
+                return stopping_ || (!paused_ && queuedTotal_ > 0);
+            });
+            if (queuedTotal_ == 0)
+                return;    // stopping_ and nothing left to run
+            // Round-robin window scan so no window starves.
+            size_t nw = fifo_.size();
+            size_t picked = nw;
+            for (size_t k = 0; k < nw; ++k) {
+                size_t idx = (rrWindow_ + k) % nw;
+                if (!fifo_[idx].empty()) {
+                    picked = idx;
+                    break;
+                }
+            }
+            NXSIM_ASSERT(picked < nw, "queuedTotal_ out of sync");
+            p = std::move(fifo_[picked].front());
+            fifo_[picked].pop_front();
+            rrWindow_ = (picked + 1) % nw;
+            --queuedTotal_;
+            ++inFlight_;
+            dispatch = dispatchSeq_++;
+            crbSeq = crbSeq_++;
+        }
+
+        JobResult r = p.spec.kind == JobKind::Compress
+            ? runCompressJob(*comp_[wi], cfg_, p.spec.payload,
+                             p.spec.framing, p.spec.mode, crbSeq)
+            : runDecompressJob(*decomp_[wi], cfg_, p.spec.payload,
+                               p.spec.framing, p.spec.maxOutput, crbSeq);
+
+        double waited = secondsSince(p.pasteTime);
+        waitLatency_.record(waited);
+        serviceCycles_.record(static_cast<double>(r.engineCycles));
+
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            workerCycles_[wi] += r.engineCycles;
+            bytesIn_ += p.spec.payload.size();
+            bytesOut_ += r.data.size();
+            --inFlight_;
+            ++completed_;
+
+            AsyncJob done;
+            done.ticket = p.ticket;
+            done.window = p.window;
+            done.windowSeq = p.windowSeq;
+            done.dispatchSeq = dispatch;
+            done.worker = w;
+            done.waitSeconds = waited;
+            done.result = std::move(r);
+            done_.emplace(p.ticket, std::move(done));
+        }
+        doneCv_.notify_all();
+    }
+}
+
+AsyncJob
+JobServer::claimLocked(Ticket t)
+{
+    auto it = done_.find(t);
+    NXSIM_ASSERT(it != done_.end(), "claim of a ticket not completed");
+    AsyncJob out = std::move(it->second);
+    done_.erase(it);
+    claimed_.insert(t);
+    return out;
+}
+
+bool
+JobServer::poll(Ticket t, AsyncJob *out)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    NXSIM_EXPECT(t != 0 && t < nextTicket_, "poll of an unknown ticket");
+    NXSIM_EXPECT(claimed_.count(t) == 0, "ticket already claimed");
+    if (done_.count(t) == 0)
+        return false;
+    AsyncJob job = claimLocked(t);
+    if (out != nullptr)
+        *out = std::move(job);
+    return true;
+}
+
+AsyncJob
+JobServer::wait(Ticket t)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    NXSIM_EXPECT(t != 0 && t < nextTicket_, "wait on an unknown ticket");
+    NXSIM_EXPECT(claimed_.count(t) == 0, "ticket already claimed");
+    doneCv_.wait(lk, [this, t] { return done_.count(t) != 0; });
+    return claimLocked(t);
+}
+
+std::vector<AsyncJob>
+JobServer::drain()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    doneCv_.wait(lk, [this] { return completed_ == accepted_; });
+    std::vector<AsyncJob> out;
+    out.reserve(done_.size());
+    for (auto &kv : done_) {
+        claimed_.insert(kv.first);
+        out.push_back(std::move(kv.second));
+    }
+    done_.clear();
+    return out;    // std::map iteration order: sorted by ticket
+}
+
+void
+JobServer::drainAndStop()
+{
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        draining_ = true;
+        if (paused_) {
+            paused_ = false;    // gated engines must run to drain
+            workCv_.notify_all();
+        }
+        doneCv_.wait(lk, [this] { return completed_ == accepted_; });
+        stopping_ = true;
+        if (joined_)
+            return;
+        joined_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &t : workers_)
+        if (t.joinable())
+            t.join();
+}
+
+void
+JobServer::resume()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        paused_ = false;
+    }
+    workCv_.notify_all();
+}
+
+JobServerStats
+JobServer::stats() const
+{
+    JobServerStats s;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        s.submitted = accepted_;
+        s.completed = completed_;
+        s.busyRejects = busyRejects_;
+        s.bytesIn = bytesIn_;
+        s.bytesOut = bytesOut_;
+        for (sim::Tick c : workerCycles_) {
+            s.engineCyclesSum += c;
+            s.engineCyclesMax = std::max(s.engineCyclesMax, c);
+        }
+        s.meanQueueDepth = queueDepth_.mean();
+    }
+    s.wait = waitLatency_.snapshot();
+    s.service = serviceCycles_.snapshot();
+    return s;
+}
+
+int
+JobServer::workerCount() const
+{
+    return jcfg_.workers;
+}
+
+int
+JobServer::windowCount() const
+{
+    return jcfg_.windows;
+}
+
+} // namespace core

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * core::JobServer — the real multithreaded asynchronous dispatch layer
+ * in front of the accelerator engines.
+ *
+ * The paper's scaling story is many requester threads pasting CRBs
+ * into VAS windows with no syscall on the submit path, free engines
+ * popping a shared receive FIFO in order, and busy-reject/re-paste as
+ * the only backpressure mechanism. NxDevice models the per-job
+ * functional/timing contract synchronously; this class adds the
+ * concurrent half:
+ *
+ *   client threads --paste--> per-window bounded FIFOs --pop--> engine
+ *   workers (one modelled engine each) --CSB--> completion table
+ *
+ * - submitAsync() is non-blocking: a full window FIFO returns
+ *   PasteStatus::Busy (never blocks, never queues elsewhere), exactly
+ *   the hardware's paste RC. submitWithRetry() is the client-side
+ *   helper that re-pastes with capped exponential backoff.
+ * - Workers execute the *actual* compress/decompress through the same
+ *   runCompressJob/runDecompressJob helpers as the synchronous device,
+ *   so async outputs are bit-identical to NxDevice::compress/
+ *   decompress for the same job list — while charging the modelled
+ *   engine cycles to their worker, so aggregate modelled throughput
+ *   can be cross-checked against the analytic nx::VasModel / vas.h
+ *   queueing predictions (E6/A6).
+ * - Per-window FIFO order is a hard guarantee: jobs pasted into one
+ *   window are dispatched to engines in paste order (completions may
+ *   reorder across windows/engines, as on hardware).
+ *
+ * Thread-safety: every public method may be called from any thread.
+ * Shutdown (drainAndStop or destruction) completes every accepted job
+ * — a saturated server drains cleanly with no lost or double-completed
+ * tickets.
+ */
+
+#ifndef NXSIM_CORE_JOB_SERVER_H
+#define NXSIM_CORE_JOB_SERVER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/device.h"
+#include "nx/window.h"
+#include "sim/ticks.h"
+#include "util/latency_recorder.h"
+
+namespace core {
+
+/** What a job asks the engine pool to do. */
+enum class JobKind
+{
+    Compress,
+    Decompress,
+};
+
+/** One asynchronous request as pasted into a window FIFO. */
+struct JobSpec
+{
+    JobKind kind = JobKind::Compress;
+    Mode mode = Mode::Auto;               ///< compress-only
+    nx::Framing framing = nx::Framing::Gzip;
+    uint64_t maxOutput = uint64_t{1} << 30;  ///< decompress-only cap
+    std::vector<uint8_t> payload;         ///< source or framed stream
+};
+
+/** Completion handle returned by an accepted paste. Never 0. */
+using Ticket = uint64_t;
+
+/** Outcome of one paste attempt. */
+struct SubmitResult
+{
+    nx::PasteStatus status = nx::PasteStatus::Busy;
+    Ticket ticket = 0;                    ///< valid iff accepted()
+    int attempts = 1;                     ///< pastes issued (retry helper)
+
+    bool accepted() const
+    {
+        return status == nx::PasteStatus::Accepted;
+    }
+};
+
+/** One completed job with its dispatch provenance. */
+struct AsyncJob
+{
+    Ticket ticket = 0;
+    int window = 0;
+    uint64_t windowSeq = 0;     ///< paste order within the window
+    uint64_t dispatchSeq = 0;   ///< global engine-pop order
+    int worker = -1;            ///< engine that executed the job
+    double waitSeconds = 0.0;   ///< wall paste-to-completion time
+    JobResult result;
+};
+
+/** Client-side re-paste policy for busy-rejected submissions. */
+struct BackoffPolicy
+{
+    int maxAttempts = 16;
+    std::chrono::microseconds initialDelay{50};
+    std::chrono::microseconds maxDelay{2000};   ///< exponential cap
+};
+
+/** Pool geometry. */
+struct JobServerConfig
+{
+    /**
+     * Engine workers (each owns one modelled compress + decompress
+     * engine). 0 derives the count from the chip config:
+     * max(compress, decompress engines) x unitsPerChip.
+     */
+    int workers = 0;
+
+    /** VAS windows (independent bounded FIFOs) clients paste into. */
+    int windows = 4;
+
+    /** Receive-FIFO depth and retry model per window. */
+    nx::WindowConfig window;
+
+    /**
+     * Start with the engine pool gated (no job is popped until
+     * resume()). Deterministic backpressure tests and benches use this
+     * to fill FIFOs without racing the workers; it models engines
+     * held in reset.
+     */
+    bool startPaused = false;
+};
+
+/** Aggregate view of the server's thread-safe stats block. */
+struct JobServerStats
+{
+    uint64_t submitted = 0;       ///< accepted pastes
+    uint64_t completed = 0;
+    uint64_t busyRejects = 0;     ///< pastes bounced off a full FIFO
+    uint64_t bytesIn = 0;
+    uint64_t bytesOut = 0;
+    sim::Tick engineCyclesSum = 0;   ///< total modelled engine occupancy
+    sim::Tick engineCyclesMax = 0;   ///< busiest worker (parallel makespan)
+    double meanQueueDepth = 0.0;     ///< sampled at each accepted paste
+    util::LatencyRecorder::Snapshot wait;      ///< wall seconds, paste->CSB
+    util::LatencyRecorder::Snapshot service;   ///< modelled cycles per job
+
+    /** Modelled wall time of the run assuming engines ran in parallel. */
+    double
+    modelledSeconds(const nx::NxConfig &cfg) const
+    {
+        return cfg.clock.toSeconds(engineCyclesMax);
+    }
+};
+
+/** The dispatch layer. Non-copyable; owns its worker threads. */
+class JobServer
+{
+  public:
+    explicit JobServer(const nx::NxConfig &cfg,
+                       const JobServerConfig &jcfg = {});
+    ~JobServer();
+
+    JobServer(const JobServer &) = delete;
+    JobServer &operator=(const JobServer &) = delete;
+
+    /**
+     * Paste one job into @p window. Non-blocking: returns Busy when
+     * the window FIFO is at capacity and Closed once draining began.
+     * The payload is copied only on acceptance.
+     */
+    [[nodiscard]] SubmitResult submitAsync(const JobSpec &spec,
+                                           int window = 0);
+
+    /**
+     * Paste with the paper's RC-busy loop: on Busy, back off
+     * (exponential, capped at policy.maxDelay) and re-paste, up to
+     * policy.maxAttempts total attempts.
+     */
+    [[nodiscard]] SubmitResult submitWithRetry(
+        const JobSpec &spec, int window = 0,
+        const BackoffPolicy &policy = {});
+
+    /**
+     * Non-blocking completion check. Returns true once @p t has
+     * completed, moving the record into @p out (when non-null); each
+     * ticket can be claimed exactly once across poll/wait/drain.
+     */
+    [[nodiscard]] bool poll(Ticket t, AsyncJob *out = nullptr);
+
+    /** Block until @p t completes and claim its record. */
+    [[nodiscard]] AsyncJob wait(Ticket t);
+
+    /**
+     * Batch drain: block until every accepted job has completed, then
+     * claim all still-unclaimed records, sorted by ticket.
+     */
+    std::vector<AsyncJob> drain();
+
+    /**
+     * Stop accepting work (subsequent pastes return Closed), finish
+     * every queued/in-flight job, and join the workers. Completed
+     * records stay claimable via poll/drain. Idempotent; the
+     * destructor calls it.
+     */
+    void drainAndStop();
+
+    /** Release the engine pool when constructed with startPaused. */
+    void resume();
+
+    /** Snapshot of the thread-safe stats block. */
+    JobServerStats stats() const;
+
+    int workerCount() const;
+    int windowCount() const;
+    const nx::NxConfig &config() const { return cfg_; }
+
+  private:
+    struct Pending
+    {
+        Ticket ticket = 0;
+        int window = 0;
+        uint64_t windowSeq = 0;
+        JobSpec spec;
+        std::chrono::steady_clock::time_point pasteTime;
+    };
+
+    void workerLoop(int w);
+    [[nodiscard]] AsyncJob claimLocked(Ticket t);
+
+    nx::NxConfig cfg_;
+    JobServerConfig jcfg_;
+
+    // One modelled engine pair per worker (engine k <-> worker k).
+    std::vector<std::unique_ptr<nx::CompressEngine>> comp_;
+    std::vector<std::unique_ptr<nx::DecompressEngine>> decomp_;
+    std::vector<std::thread> workers_;
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_;   ///< work arrived / stop
+    std::condition_variable doneCv_;   ///< a job completed
+
+    std::vector<std::deque<Pending>> fifo_;     ///< per-window FIFOs
+    std::vector<uint64_t> windowPastes_;        ///< paste seq per window
+    std::map<Ticket, AsyncJob> done_;           ///< unclaimed completions
+    std::set<Ticket> claimed_;
+
+    Ticket nextTicket_ = 1;
+    uint64_t dispatchSeq_ = 0;
+    uint64_t crbSeq_ = 0;
+    size_t queuedTotal_ = 0;
+    size_t inFlight_ = 0;
+    size_t rrWindow_ = 0;       ///< round-robin pop fairness cursor
+    bool paused_ = false;
+    bool draining_ = false;
+    bool stopping_ = false;
+    bool joined_ = false;
+
+    // Stats (counters under mu_; recorders internally locked).
+    uint64_t accepted_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t busyRejects_ = 0;
+    uint64_t bytesIn_ = 0;
+    uint64_t bytesOut_ = 0;
+    std::vector<sim::Tick> workerCycles_;
+    util::RunningStat queueDepth_;
+    util::LatencyRecorder waitLatency_;
+    util::LatencyRecorder serviceCycles_;
+};
+
+} // namespace core
+
+#endif // NXSIM_CORE_JOB_SERVER_H

@@ -1,5 +1,6 @@
 #include "nx/vas.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "util/prng.h"
@@ -59,6 +60,18 @@ class ChipSim
     void
     submit(int requester)
     {
+        // Bounded window: a full receive FIFO busy-rejects the paste
+        // and the requester re-pastes after a back-off, exactly the
+        // RC-busy loop the threaded core::JobServer clients run.
+        if (cfg_.window.bounded() &&
+            queue_.size() >=
+                static_cast<size_t>(cfg_.window.fifoDepth)) {
+            ++busyRejects_;
+            eq_.scheduleIn(std::max<sim::Tick>(cfg_.window.retryCycles,
+                                               1),
+                           [this, requester] { submit(requester); });
+            return;
+        }
         Job job{eq_.now(), cfg_.jobBytes, requester};
         queue_.push_back(job);
         queueSamples_.add(static_cast<double>(queue_.size()));
@@ -131,6 +144,7 @@ class ChipSim
         result_.meanLatencyCycles = latency_.mean();
         result_.p99LatencyCycles = latencyPct_.percentile(99);
         result_.jobsCompleted = completed_;
+        result_.busyRejects = busyRejects_;
     }
 
     VasSimConfig cfg_;
@@ -143,6 +157,7 @@ class ChipSim
     uint64_t completed_ = 0;
     uint64_t bytesDone_ = 0;
     uint64_t busyCycles_ = 0;
+    uint64_t busyRejects_ = 0;
     util::RunningStat latency_;
     util::Percentiles latencyPct_;
     util::RunningStat queueSamples_;
@@ -167,6 +182,7 @@ simulateSystem(const VasSimConfig &per_chip, int chips)
     VasSimResult sys = one;
     sys.aggregateBps = one.aggregateBps * chips;
     sys.jobsCompleted = one.jobsCompleted * static_cast<uint64_t>(chips);
+    sys.busyRejects = one.busyRejects * static_cast<uint64_t>(chips);
     return sys;
 }
 

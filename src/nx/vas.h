@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "nx/nx_config.h"
+#include "nx/window.h"
 #include "sim/event_queue.h"
 #include "sim/ticks.h"
 #include "util/stats.h"
@@ -59,6 +60,13 @@ struct ServiceModel
     }
 };
 
+/**
+ * Alias under the name the benches and docs use: the analytic VAS/
+ * engine model that measured JobServer percentiles are cross-checked
+ * against (E6, A6).
+ */
+using VasModel = ServiceModel;
+
 /** Configuration of one scaling simulation. */
 struct VasSimConfig
 {
@@ -79,6 +87,15 @@ struct VasSimConfig
     bool openArrival = false;
     double arrivalsPerSec = 0.0;
     uint64_t seed = 1;
+
+    /**
+     * Receive-FIFO model. The default (fifoDepth 0, unbounded) keeps
+     * the legacy analytic behaviour; a bounded window busy-rejects
+     * pastes when full and the requester retries after
+     * window.retryCycles — the same contract core::JobServer enforces
+     * with real threads.
+     */
+    WindowConfig window{.fifoDepth = 0};
 };
 
 /** Results of one scaling simulation. */
@@ -90,6 +107,7 @@ struct VasSimResult
     double meanLatencyCycles = 0.0;  ///< paste-to-CSB mean
     double p99LatencyCycles = 0.0;
     uint64_t jobsCompleted = 0;
+    uint64_t busyRejects = 0;        ///< pastes bounced off a full FIFO
 };
 
 /** Run a closed-loop multi-requester simulation of one chip. */

@@ -1,0 +1,37 @@
+#include "util/latency_recorder.h"
+
+namespace util {
+
+void
+LatencyRecorder::record(double x)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    stat_.add(x);
+    pct_.add(x);
+}
+
+LatencyRecorder::Snapshot
+LatencyRecorder::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    Snapshot s;
+    s.count = stat_.count();
+    s.mean = stat_.mean();
+    s.min = stat_.min();
+    s.max = stat_.max();
+    if (!pct_.empty()) {
+        s.p50 = pct_.percentile(50);
+        s.p90 = pct_.percentile(90);
+        s.p99 = pct_.percentile(99);
+    }
+    return s;
+}
+
+uint64_t
+LatencyRecorder::count() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stat_.count();
+}
+
+} // namespace util

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Thread-safe sample recorder for the concurrent dispatch layer.
+ *
+ * util::RunningStat and util::Percentiles (util/stats.h) are
+ * deliberately lock-free single-threaded helpers for the benches; the
+ * JobServer's workers and clients record from many threads at once, so
+ * this wraps the pair behind one mutex and hands out consistent
+ * snapshots. Recording is a short critical section (a few arithmetic
+ * ops plus one push_back); snapshotting sorts the reservoir and is
+ * meant for end-of-run reporting, not per-job paths.
+ */
+
+#ifndef NXSIM_UTIL_LATENCY_RECORDER_H
+#define NXSIM_UTIL_LATENCY_RECORDER_H
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/stats.h"
+
+namespace util {
+
+/** Mutex-guarded running stat + exact percentiles. */
+class LatencyRecorder
+{
+  public:
+    explicit LatencyRecorder(size_t reservoir_cap = 1u << 20)
+        : pct_(reservoir_cap)
+    {
+    }
+
+    /** Fold one sample in (any thread). */
+    void record(double x);
+
+    /** Consistent view of everything recorded so far. */
+    struct Snapshot
+    {
+        uint64_t count = 0;
+        double mean = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+    };
+
+    /** Take a snapshot (any thread; locks out recorders briefly). */
+    Snapshot snapshot() const;
+
+    /** Total samples recorded. */
+    uint64_t count() const;
+
+  private:
+    mutable std::mutex mu_;
+    RunningStat stat_;
+    Percentiles pct_;
+};
+
+} // namespace util
+
+#endif // NXSIM_UTIL_LATENCY_RECORDER_H

@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "core/device.h"
+#include "core/job_server.h"
 #include "core/topology.h"
 #include "deflate/gzip_stream.h"
 #include "util/crc32.h"
@@ -155,6 +156,99 @@ TEST_P(EngineTiming, CyclesMonotonicInSize)
 }
 
 INSTANTIATE_TEST_SUITE_P(Gens, EngineTiming,
+    ::testing::Values(Gen::P9, Gen::Z15),
+    [](const ::testing::TestParamInfo<Gen> &pinfo) {
+        return std::string(genName(pinfo.param));
+    });
+
+/**
+ * Async/sync equivalence: for the same job list, results coming back
+ * through the multithreaded core::JobServer must be bit-identical to
+ * NxDevice's synchronous path — same stream bytes, same checksum, same
+ * modelled engine cycles — across all four core::Mode values, per
+ * generation. This is the contract that lets the dispatch layer sit in
+ * front of the engines without changing any functional behaviour.
+ */
+class AsyncSyncEquivalence : public ::testing::TestWithParam<Gen>
+{
+};
+
+TEST_P(AsyncSyncEquivalence, JobServerMatchesDeviceBitForBit)
+{
+    auto cfg = GetParam() == Gen::P9 ? nx::NxConfig::power9()
+                                     : nx::NxConfig::z15();
+
+    // A job list crossing every mode with payloads that straddle the
+    // Auto FHT/DHT threshold and mix data shapes.
+    struct Job
+    {
+        core::Mode mode;
+        std::vector<uint8_t> payload;
+    };
+    std::vector<Job> jobList;
+    size_t below = core::NxDevice::autoFhtThreshold() / 2;
+    size_t above = core::NxDevice::autoFhtThreshold() * 2;
+    uint64_t seed = 0x5eed;
+    for (core::Mode mode : {core::Mode::Fht, core::Mode::DhtSampled,
+                            core::Mode::DhtTwoPass, core::Mode::Auto}) {
+        jobList.push_back({mode, workloads::makeText(below, seed++)});
+        jobList.push_back({mode, workloads::makeMixed(above, seed++)});
+        jobList.push_back({mode, workloads::makeRandom(4096, seed++)});
+        jobList.push_back({mode, {}});    // empty payload edge
+    }
+
+    // Synchronous reference.
+    core::NxDevice dev(cfg);
+    std::vector<core::JobResult> sync;
+    for (const Job &j : jobList)
+        sync.push_back(dev.compress(j.payload, nx::Framing::Gzip,
+                                    j.mode));
+
+    // Same list through the threaded dispatch layer.
+    core::JobServerConfig jcfg;
+    jcfg.workers = 3;
+    jcfg.windows = 2;
+    core::JobServer srv(cfg, jcfg);
+    std::vector<core::Ticket> tickets;
+    for (size_t i = 0; i < jobList.size(); ++i) {
+        core::JobSpec spec;
+        spec.kind = core::JobKind::Compress;
+        spec.mode = jobList[i].mode;
+        spec.payload = jobList[i].payload;
+        auto r = srv.submitWithRetry(spec,
+                                     static_cast<int>(i) %
+                                         srv.windowCount());
+        ASSERT_TRUE(r.accepted());
+        tickets.push_back(r.ticket);
+    }
+
+    for (size_t i = 0; i < tickets.size(); ++i) {
+        auto async = srv.wait(tickets[i]);
+        ASSERT_TRUE(async.result.ok()) << "job " << i;
+        ASSERT_TRUE(sync[i].ok()) << "job " << i;
+        EXPECT_EQ(async.result.data, sync[i].data) << "job " << i;
+        EXPECT_EQ(async.result.csb.checksum, sync[i].csb.checksum);
+        EXPECT_EQ(async.result.engineCycles, sync[i].engineCycles);
+
+        // Decompress equivalence on the non-empty streams.
+        if (jobList[i].payload.empty())
+            continue;
+        auto dSync = dev.decompress(sync[i].data, nx::Framing::Gzip);
+        core::JobSpec dSpec;
+        dSpec.kind = core::JobKind::Decompress;
+        dSpec.payload = async.result.data;
+        auto dTicket = srv.submitWithRetry(dSpec);
+        ASSERT_TRUE(dTicket.accepted());
+        auto dAsync = srv.wait(dTicket.ticket);
+        ASSERT_TRUE(dAsync.result.ok());
+        ASSERT_TRUE(dSync.ok());
+        EXPECT_EQ(dAsync.result.data, dSync.data);
+        EXPECT_EQ(dAsync.result.data, jobList[i].payload);
+        EXPECT_EQ(dAsync.result.engineCycles, dSync.engineCycles);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Gens, AsyncSyncEquivalence,
     ::testing::Values(Gen::P9, Gen::Z15),
     [](const ::testing::TestParamInfo<Gen> &pinfo) {
         return std::string(genName(pinfo.param));

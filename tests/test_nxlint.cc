@@ -313,6 +313,68 @@ TEST(NxlintTodoTag, ProseContainingTodoWordIsClean)
 }
 
 // ---------------------------------------------------------------------------
+// raw-thread
+// ---------------------------------------------------------------------------
+
+TEST(NxlintRawThread, StdThreadFiresInLibraryCode)
+{
+    auto fs = lintFile("src/nx/x.cc",
+                       "void f() { std::thread t([] {}); t.join(); }\n");
+    ASSERT_TRUE(fired(fs, "raw-thread"));
+    EXPECT_NE(fs[0].message.find("JobServer"), std::string::npos);
+}
+
+TEST(NxlintRawThread, JthreadAndAsyncFire)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "void f() {\n"
+                       "  std::jthread t([] {});\n"
+                       "  auto fut = std::async([] { return 1; });\n"
+                       "  (void)fut;\n"
+                       "}\n");
+    auto rs = rulesOf(fs);
+    EXPECT_EQ(std::count(rs.begin(), rs.end(), std::string("raw-thread")),
+              2);
+}
+
+TEST(NxlintRawThread, DetachFiresEvenInWhitelistedFiles)
+{
+    auto fs = lintFile("src/core/job_server.cc",
+                       "void f(std::thread &t) { t.detach(); }\n");
+    ASSERT_TRUE(fired(fs, "raw-thread"));
+    EXPECT_NE(fs[0].message.find("detach"), std::string::npos);
+
+    auto arrow = lintFile("src/nx/x.cc",
+                          "void f(std::thread *t) { t->detach(); }\n");
+    EXPECT_TRUE(fired(arrow, "raw-thread"));
+}
+
+TEST(NxlintRawThread, JobServerAndUtilAreWhitelisted)
+{
+    const char *body = "void f() { std::thread t([] {}); t.join(); }\n";
+    EXPECT_FALSE(fired(lintFile("src/core/job_server.cc", body),
+                       "raw-thread"));
+    EXPECT_FALSE(fired(lintFile("src/util/pool.cc", body), "raw-thread"));
+}
+
+TEST(NxlintRawThread, TestsToolsAndFreeDetachAreClean)
+{
+    // Outside src/ the rule does not apply: tests and benches spawn
+    // producer threads directly by design.
+    const char *body = "void f() { std::thread t([] {}); t.detach(); }\n";
+    EXPECT_FALSE(fired(lintFile("tests/x.cc", body), "raw-thread"));
+    EXPECT_FALSE(fired(lintFile("bench/x.cc", body), "raw-thread"));
+    // A free function named detach (no member access) is a different
+    // thing entirely.
+    auto fs = lintFile("src/nx/x.cc", "void g() { detach(); }\n");
+    EXPECT_FALSE(fired(fs, "raw-thread"));
+    // std::mutex and condition_variable stay allowed everywhere.
+    auto sync = lintFile("src/nx/x.cc",
+                         "std::mutex m;\nstd::condition_variable cv;\n");
+    EXPECT_FALSE(fired(sync, "raw-thread"));
+}
+
+// ---------------------------------------------------------------------------
 // suppressions
 // ---------------------------------------------------------------------------
 
@@ -404,7 +466,7 @@ TEST(NxlintFormat, MatchesFileLineRuleMessage)
 TEST(NxlintRules, TableIsPopulatedAndUnique)
 {
     const auto &rs = nxlint::rules();
-    EXPECT_GE(rs.size(), 9u);
+    EXPECT_GE(rs.size(), 11u);
     for (size_t i = 0; i < rs.size(); ++i)
         for (size_t j = i + 1; j < rs.size(); ++j)
             EXPECT_NE(rs[i].id, rs[j].id);

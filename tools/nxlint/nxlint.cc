@@ -375,6 +375,10 @@ const std::vector<RuleInfo> kRules = {
     {"nodiscard-status",
      "header functions returning a status type (CondCode, Csb, *Status, "
      "*Result) must be [[nodiscard]]"},
+    {"raw-thread",
+     "std::thread/jthread/async is banned in src/ outside "
+     "src/core/job_server.* and src/util/ — route work through "
+     "core::JobServer; detach() is banned everywhere in src/"},
     {"todo-tag",
      "TODO/FIXME comments must carry an issue tag: TODO(#123)"},
     {"bare-allow",
@@ -883,6 +887,62 @@ checkNodiscard(const std::vector<Token> &toks, const Scope &sc,
     }
 }
 
+/**
+ * Concurrency primitives stay behind the dispatch layer. Spawning a
+ * raw std::thread (or jthread/async) anywhere else in src/ forks the
+ * threading model: such a thread is invisible to core::JobServer's
+ * drain/stats machinery and to the TSan-gated concurrency suite.
+ * detach() is worse — an orphaned thread can outlive shutdown — so it
+ * is banned even inside the whitelisted files.
+ */
+void
+checkRawThread(const std::vector<Token> &toks, const Scope &sc,
+               std::string_view file, std::vector<Finding> &out)
+{
+    if (!sc.isSrc)
+        return;
+    bool whitelisted = sc.isUtil ||
+                       sc.rel == "src/core/job_server.cc" ||
+                       sc.rel == "src/core/job_server.h";
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (isIdent(toks, i, "detach")) {
+            size_t p = prevSig(toks, i);
+            bool member = isPunct(toks, p, '.') ||
+                          (isPunct(toks, p, '>') &&
+                           isPunct(toks, prevSig(toks, p), '-'));
+            if (member && isPunct(toks, nextSig(toks, i), '(')) {
+                out.push_back(
+                    {std::string(file), toks[i].line, "raw-thread",
+                     "`detach()` orphans a thread past shutdown; keep "
+                     "threads joinable (core::JobServer drains on stop)"});
+                continue;
+            }
+        }
+        if (whitelisted)
+            continue;
+        if (!isIdent(toks, i, "std"))
+            continue;
+        size_t c1 = nextSig(toks, i);
+        if (!isPunct(toks, c1, ':'))
+            continue;
+        size_t c2 = nextSig(toks, c1);
+        if (!isPunct(toks, c2, ':'))
+            continue;
+        size_t name = nextSig(toks, c2);
+        if (name == static_cast<size_t>(-1) ||
+            toks[name].kind != Tok::Ident)
+            continue;
+        const std::string &id = toks[name].text;
+        if (id != "thread" && id != "jthread" && id != "async")
+            continue;
+        out.push_back(
+            {std::string(file), toks[name].line, "raw-thread",
+             "direct std::" + id + " in library code; route "
+             "concurrency through core::JobServer "
+             "(src/core/job_server.h)"});
+    }
+}
+
 void
 checkTodoTags(const std::vector<Token> &toks, std::string_view file,
               std::vector<Finding> &out)
@@ -956,6 +1016,7 @@ lintFile(std::string_view path, std::string_view content)
     checkRawMemcpy(toks, sc, path, raw);
     checkNarrowCast(toks, sc, path, raw);
     checkNodiscard(toks, sc, path, raw);
+    checkRawThread(toks, sc, path, raw);
     checkTodoTags(toks, path, raw);
 
     std::vector<Finding> out;
