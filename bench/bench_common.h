@@ -18,7 +18,7 @@
 #include "core/device.h"
 #include "core/nxzip.h"
 #include "core/topology.h"
-#include "sim/host_cal.h"
+#include "deflate/host_cal.h"
 #include "util/checked.h"
 #include "util/contracts.h"
 #include "util/table.h"

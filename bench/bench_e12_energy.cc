@@ -23,7 +23,7 @@ main()
     auto data = workloads::makeMixed(8 << 20, 1201);
 
     std::vector<int> levels = {1, 6};
-    auto sw = sim::measureSoftwareRates(data, levels, 0.25);
+    auto sw = deflate::measureSoftwareRates(data, levels, 0.25);
     auto accel = bench::measureAccel(core::power9Chip().accel, data,
                                      core::Mode::DhtSampled);
 

@@ -28,7 +28,7 @@ main()
 
     // Software baseline, measured on this host.
     std::vector<int> levels = {1, 6, 9};
-    auto sw = sim::measureSoftwareRates(data, levels, 0.3);
+    auto sw = deflate::measureSoftwareRates(data, levels, 0.3);
 
     // Accelerator, modelled.
     auto chip = core::power9Chip();

@@ -21,7 +21,7 @@ main()
     auto data = workloads::makeMixed(corpus_bytes, 2002);
 
     std::vector<int> levels = {1, 3, 6, 9};
-    auto sw = sim::measureSoftwareRates(data, levels, 0.25);
+    auto sw = deflate::measureSoftwareRates(data, levels, 0.25);
 
     auto cfg = core::power9Chip().accel;
     auto fht = bench::measureAccel(cfg, data, core::Mode::Fht);

@@ -29,7 +29,7 @@ main()
     // Codec characteristics on representative shuffle bytes.
     auto shuffle = workloads::makeShufflePartition(6 << 20);
     std::vector<int> levels = {1, 6};
-    auto sw = sim::measureSoftwareRates(shuffle, levels, 0.3);
+    auto sw = deflate::measureSoftwareRates(shuffle, levels, 0.3);
     auto accel = bench::measureAccel(core::power9Chip().accel, shuffle,
                                      core::Mode::DhtSampled);
 

@@ -146,7 +146,7 @@ class NxDevice
  * SoftwareCodec — the zlib-equivalent path, with the same JobResult
  * shape so benches can treat both sides uniformly. `seconds` is wall
  * time measured on the host (the baseline-core stand-in; see
- * sim/host_cal.h).
+ * deflate/host_cal.h).
  */
 class SoftwareCodec
 {

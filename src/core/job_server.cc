@@ -59,7 +59,7 @@ JobServer::submitAsync(const JobSpec &spec, int window)
 {
     SubmitResult out;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        nx::MutexLock lk(mu_);
         NXSIM_EXPECT(window >= 0 && window < jcfg_.windows,
                      "paste into a window that does not exist");
         if (draining_ || stopping_) {
@@ -87,7 +87,7 @@ JobServer::submitAsync(const JobSpec &spec, int window)
         out.status = nx::PasteStatus::Accepted;
         out.ticket = nextTicket_ - 1;
     }
-    workCv_.notify_one();
+    workCv_.notifyOne();
     return out;
 }
 
@@ -120,10 +120,11 @@ JobServer::workerLoop(int w)
         uint64_t dispatch = 0;
         uint64_t crbSeq = 0;
         {
-            std::unique_lock<std::mutex> lk(mu_);
-            workCv_.wait(lk, [this] {
-                return stopping_ || (!paused_ && queuedTotal_ > 0);
-            });
+            nx::MutexLock lk(mu_);
+            // Explicit predicate loop: the guarded reads stay in this
+            // function, where the analysis can see the lock is held.
+            while (!stopping_ && (paused_ || queuedTotal_ == 0))
+                workCv_.wait(mu_);
             if (queuedTotal_ == 0)
                 return;    // stopping_ and nothing left to run
             // Round-robin window scan so no window starves.
@@ -157,7 +158,7 @@ JobServer::workerLoop(int w)
         serviceCycles_.record(static_cast<double>(r.engineCycles));
 
         {
-            std::lock_guard<std::mutex> lk(mu_);
+            nx::MutexLock lk(mu_);
             workerCycles_[wi] += r.engineCycles;
             bytesIn_ += p.spec.payload.size();
             bytesOut_ += r.data.size();
@@ -174,7 +175,7 @@ JobServer::workerLoop(int w)
             done.result = std::move(r);
             done_.emplace(p.ticket, std::move(done));
         }
-        doneCv_.notify_all();
+        doneCv_.notifyAll();
     }
 }
 
@@ -192,7 +193,7 @@ JobServer::claimLocked(Ticket t)
 bool
 JobServer::poll(Ticket t, AsyncJob *out)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    nx::MutexLock lk(mu_);
     NXSIM_EXPECT(t != 0 && t < nextTicket_, "poll of an unknown ticket");
     NXSIM_EXPECT(claimed_.count(t) == 0, "ticket already claimed");
     if (done_.count(t) == 0)
@@ -206,18 +207,20 @@ JobServer::poll(Ticket t, AsyncJob *out)
 AsyncJob
 JobServer::wait(Ticket t)
 {
-    std::unique_lock<std::mutex> lk(mu_);
+    nx::MutexLock lk(mu_);
     NXSIM_EXPECT(t != 0 && t < nextTicket_, "wait on an unknown ticket");
     NXSIM_EXPECT(claimed_.count(t) == 0, "ticket already claimed");
-    doneCv_.wait(lk, [this, t] { return done_.count(t) != 0; });
+    while (done_.count(t) == 0)
+        doneCv_.wait(mu_);
     return claimLocked(t);
 }
 
 std::vector<AsyncJob>
 JobServer::drain()
 {
-    std::unique_lock<std::mutex> lk(mu_);
-    doneCv_.wait(lk, [this] { return completed_ == accepted_; });
+    nx::MutexLock lk(mu_);
+    while (completed_ != accepted_)
+        doneCv_.wait(mu_);
     std::vector<AsyncJob> out;
     out.reserve(done_.size());
     for (auto &kv : done_) {
@@ -232,19 +235,20 @@ void
 JobServer::drainAndStop()
 {
     {
-        std::unique_lock<std::mutex> lk(mu_);
+        nx::MutexLock lk(mu_);
         draining_ = true;
         if (paused_) {
             paused_ = false;    // gated engines must run to drain
-            workCv_.notify_all();
+            workCv_.notifyAll();
         }
-        doneCv_.wait(lk, [this] { return completed_ == accepted_; });
+        while (completed_ != accepted_)
+            doneCv_.wait(mu_);
         stopping_ = true;
         if (joined_)
             return;
         joined_ = true;
     }
-    workCv_.notify_all();
+    workCv_.notifyAll();
     for (auto &t : workers_)
         if (t.joinable())
             t.join();
@@ -254,10 +258,10 @@ void
 JobServer::resume()
 {
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        nx::MutexLock lk(mu_);
         paused_ = false;
     }
-    workCv_.notify_all();
+    workCv_.notifyAll();
 }
 
 JobServerStats
@@ -265,7 +269,7 @@ JobServer::stats() const
 {
     JobServerStats s;
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        nx::MutexLock lk(mu_);
         s.submitted = accepted_;
         s.completed = completed_;
         s.busyRejects = busyRejects_;

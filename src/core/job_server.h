@@ -32,18 +32,23 @@
  * Shutdown (drainAndStop or destruction) completes every accepted job
  * — a saturated server drains cleanly with no lost or double-completed
  * tickets.
+ *
+ * The lock discipline is stated in the types (util/thread_annotations.h)
+ * and machine-checked by the `clang-tsa` preset: everything mu_
+ * protects is NXSIM_GUARDED_BY(mu_), lock-assuming helpers are
+ * NXSIM_REQUIRES(mu_), and public entry points are NXSIM_EXCLUDES(mu_)
+ * so calling one with the lock held is a compile error, not a deadlock
+ * found in production.
  */
 
 #ifndef NXSIM_CORE_JOB_SERVER_H
 #define NXSIM_CORE_JOB_SERVER_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -52,6 +57,7 @@
 #include "nx/window.h"
 #include "sim/ticks.h"
 #include "util/latency_recorder.h"
+#include "util/thread_annotations.h"
 
 namespace core {
 
@@ -172,7 +178,8 @@ class JobServer
      * The payload is copied only on acceptance.
      */
     [[nodiscard]] SubmitResult submitAsync(const JobSpec &spec,
-                                           int window = 0);
+                                           int window = 0)
+        NXSIM_EXCLUDES(mu_);
 
     /**
      * Paste with the paper's RC-busy loop: on Busy, back off
@@ -181,23 +188,24 @@ class JobServer
      */
     [[nodiscard]] SubmitResult submitWithRetry(
         const JobSpec &spec, int window = 0,
-        const BackoffPolicy &policy = {});
+        const BackoffPolicy &policy = {}) NXSIM_EXCLUDES(mu_);
 
     /**
      * Non-blocking completion check. Returns true once @p t has
      * completed, moving the record into @p out (when non-null); each
      * ticket can be claimed exactly once across poll/wait/drain.
      */
-    [[nodiscard]] bool poll(Ticket t, AsyncJob *out = nullptr);
+    [[nodiscard]] bool poll(Ticket t, AsyncJob *out = nullptr)
+        NXSIM_EXCLUDES(mu_);
 
     /** Block until @p t completes and claim its record. */
-    [[nodiscard]] AsyncJob wait(Ticket t);
+    [[nodiscard]] AsyncJob wait(Ticket t) NXSIM_EXCLUDES(mu_);
 
     /**
      * Batch drain: block until every accepted job has completed, then
      * claim all still-unclaimed records, sorted by ticket.
      */
-    std::vector<AsyncJob> drain();
+    std::vector<AsyncJob> drain() NXSIM_EXCLUDES(mu_);
 
     /**
      * Stop accepting work (subsequent pastes return Closed), finish
@@ -205,13 +213,13 @@ class JobServer
      * records stay claimable via poll/drain. Idempotent; the
      * destructor calls it.
      */
-    void drainAndStop();
+    void drainAndStop() NXSIM_EXCLUDES(mu_);
 
     /** Release the engine pool when constructed with startPaused. */
-    void resume();
+    void resume() NXSIM_EXCLUDES(mu_);
 
     /** Snapshot of the thread-safe stats block. */
-    JobServerStats stats() const;
+    JobServerStats stats() const NXSIM_EXCLUDES(mu_);
 
     int workerCount() const;
     int windowCount() const;
@@ -227,45 +235,53 @@ class JobServer
         std::chrono::steady_clock::time_point pasteTime;
     };
 
-    void workerLoop(int w);
-    [[nodiscard]] AsyncJob claimLocked(Ticket t);
+    void workerLoop(int w) NXSIM_EXCLUDES(mu_);
+    [[nodiscard]] AsyncJob claimLocked(Ticket t) NXSIM_REQUIRES(mu_);
 
+    // Immutable after construction (workers are spawned last, so every
+    // thread observes the finished setup): safe to read without mu_.
     nx::NxConfig cfg_;
     JobServerConfig jcfg_;
 
-    // One modelled engine pair per worker (engine k <-> worker k).
+    // One modelled engine pair per worker (engine k <-> worker k). The
+    // vectors never change shape after construction and engine k is
+    // touched only by worker thread k, so the pool needs no lock.
     std::vector<std::unique_ptr<nx::CompressEngine>> comp_;
     std::vector<std::unique_ptr<nx::DecompressEngine>> decomp_;
     std::vector<std::thread> workers_;
 
-    mutable std::mutex mu_;
-    std::condition_variable workCv_;   ///< work arrived / stop
-    std::condition_variable doneCv_;   ///< a job completed
+    mutable nx::Mutex mu_;
+    nx::CondVar workCv_;   ///< work arrived / stop
+    nx::CondVar doneCv_;   ///< a job completed
 
-    std::vector<std::deque<Pending>> fifo_;     ///< per-window FIFOs
-    std::vector<uint64_t> windowPastes_;        ///< paste seq per window
-    std::map<Ticket, AsyncJob> done_;           ///< unclaimed completions
-    std::set<Ticket> claimed_;
+    std::vector<std::deque<Pending>> fifo_
+        NXSIM_GUARDED_BY(mu_);                  ///< per-window FIFOs
+    std::vector<uint64_t> windowPastes_
+        NXSIM_GUARDED_BY(mu_);                  ///< paste seq per window
+    std::map<Ticket, AsyncJob> done_
+        NXSIM_GUARDED_BY(mu_);                  ///< unclaimed completions
+    std::set<Ticket> claimed_ NXSIM_GUARDED_BY(mu_);
 
-    Ticket nextTicket_ = 1;
-    uint64_t dispatchSeq_ = 0;
-    uint64_t crbSeq_ = 0;
-    size_t queuedTotal_ = 0;
-    size_t inFlight_ = 0;
-    size_t rrWindow_ = 0;       ///< round-robin pop fairness cursor
-    bool paused_ = false;
-    bool draining_ = false;
-    bool stopping_ = false;
-    bool joined_ = false;
+    Ticket nextTicket_ NXSIM_GUARDED_BY(mu_) = 1;
+    uint64_t dispatchSeq_ NXSIM_GUARDED_BY(mu_) = 0;
+    uint64_t crbSeq_ NXSIM_GUARDED_BY(mu_) = 0;
+    size_t queuedTotal_ NXSIM_GUARDED_BY(mu_) = 0;
+    size_t inFlight_ NXSIM_GUARDED_BY(mu_) = 0;
+    /// Round-robin pop fairness cursor.
+    size_t rrWindow_ NXSIM_GUARDED_BY(mu_) = 0;
+    bool paused_ NXSIM_GUARDED_BY(mu_) = false;
+    bool draining_ NXSIM_GUARDED_BY(mu_) = false;
+    bool stopping_ NXSIM_GUARDED_BY(mu_) = false;
+    bool joined_ NXSIM_GUARDED_BY(mu_) = false;
 
     // Stats (counters under mu_; recorders internally locked).
-    uint64_t accepted_ = 0;
-    uint64_t completed_ = 0;
-    uint64_t busyRejects_ = 0;
-    uint64_t bytesIn_ = 0;
-    uint64_t bytesOut_ = 0;
-    std::vector<sim::Tick> workerCycles_;
-    util::RunningStat queueDepth_;
+    uint64_t accepted_ NXSIM_GUARDED_BY(mu_) = 0;
+    uint64_t completed_ NXSIM_GUARDED_BY(mu_) = 0;
+    uint64_t busyRejects_ NXSIM_GUARDED_BY(mu_) = 0;
+    uint64_t bytesIn_ NXSIM_GUARDED_BY(mu_) = 0;
+    uint64_t bytesOut_ NXSIM_GUARDED_BY(mu_) = 0;
+    std::vector<sim::Tick> workerCycles_ NXSIM_GUARDED_BY(mu_);
+    util::RunningStat queueDepth_ NXSIM_GUARDED_BY(mu_);
     util::LatencyRecorder waitLatency_;
     util::LatencyRecorder serviceCycles_;
 };

@@ -1,11 +1,11 @@
-#include "sim/host_cal.h"
+#include "deflate/host_cal.h"
 
 #include <chrono>
 
 #include "deflate/deflate_encoder.h"
 #include "deflate/inflate_decoder.h"
 
-namespace sim {
+namespace deflate {
 
 namespace {
 
@@ -62,4 +62,4 @@ measureSoftwareRates(std::span<const uint8_t> sample,
     return rates;
 }
 
-} // namespace sim
+} // namespace deflate

@@ -9,17 +9,22 @@
  * as a stand-in for the POWER9 core. DESIGN.md documents this
  * substitution; the shape of the result (hundreds-of-x single core,
  * ~13x whole chip) is insensitive to the exact core chosen.
+ *
+ * This lives in deflate/ (not sim/): it times the deflate module's own
+ * encoder/decoder, and the declared layer order (see tools/nxdeps)
+ * puts sim below deflate — a sim file including deflate headers would
+ * be a layering inversion nxdeps rejects.
  */
 
-#ifndef NXSIM_SIM_HOST_CAL_H
-#define NXSIM_SIM_HOST_CAL_H
+#ifndef NXSIM_DEFLATE_HOST_CAL_H
+#define NXSIM_DEFLATE_HOST_CAL_H
 
 #include <cstdint>
 #include <map>
 #include <span>
 #include <vector>
 
-namespace sim {
+namespace deflate {
 
 /** Measured software codec rates on this host. */
 struct SwCodecRates
@@ -43,6 +48,6 @@ SwCodecRates measureSoftwareRates(std::span<const uint8_t> sample,
                                   std::span<const int> levels,
                                   double min_seconds = 0.1);
 
-} // namespace sim
+} // namespace deflate
 
-#endif // NXSIM_SIM_HOST_CAL_H
+#endif // NXSIM_DEFLATE_HOST_CAL_H

@@ -5,7 +5,7 @@ namespace util {
 void
 LatencyRecorder::record(double x)
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    nx::MutexLock lk(mu_);
     stat_.add(x);
     pct_.add(x);
 }
@@ -13,7 +13,7 @@ LatencyRecorder::record(double x)
 LatencyRecorder::Snapshot
 LatencyRecorder::snapshot() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    nx::MutexLock lk(mu_);
     Snapshot s;
     s.count = stat_.count();
     s.mean = stat_.mean();
@@ -30,7 +30,7 @@ LatencyRecorder::snapshot() const
 uint64_t
 LatencyRecorder::count() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
+    nx::MutexLock lk(mu_);
     return stat_.count();
 }
 

@@ -15,9 +15,9 @@
 #define NXSIM_UTIL_LATENCY_RECORDER_H
 
 #include <cstdint>
-#include <mutex>
 
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 
 namespace util {
 
@@ -52,9 +52,9 @@ class LatencyRecorder
     uint64_t count() const;
 
   private:
-    mutable std::mutex mu_;
-    RunningStat stat_;
-    Percentiles pct_;
+    mutable nx::Mutex mu_;
+    RunningStat stat_ NXSIM_GUARDED_BY(mu_);
+    Percentiles pct_ NXSIM_GUARDED_BY(mu_);
 };
 
 } // namespace util

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Drives nxdeps (tools/nxdeps) on in-memory fixture trees — one
+ * violating and one clean case per rule, the suppression grammar, and
+ * the DOT emitter — then runs it over the real tree (NXSIM_SOURCE_DIR)
+ * and requires a clean report, so a layering regression anywhere in
+ * the repo fails this binary as well as the `nxdeps` ctest.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nxdeps/nxdeps.h"
+
+namespace {
+
+using nxdeps::Analysis;
+using nxdeps::analyzeFiles;
+using nxdeps::Finding;
+using nxdeps::SourceFile;
+
+bool
+fired(const Analysis &an, std::string_view rule)
+{
+    return std::any_of(an.findings.begin(), an.findings.end(),
+                       [&](const Finding &f) { return f.rule == rule; });
+}
+
+std::string
+dump(const Analysis &an)
+{
+    std::string out;
+    for (const Finding &f : an.findings)
+        out += nxdeps::format(f) + "\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// moduleOf / layers
+// ---------------------------------------------------------------------------
+
+TEST(NxdepsModuleOf, SrcDirsAndTopLevelTrees)
+{
+    EXPECT_EQ(nxdeps::moduleOf("src/nx/crb.h"), "nx");
+    EXPECT_EQ(nxdeps::moduleOf("src/util/checked.h"), "util");
+    EXPECT_EQ(nxdeps::moduleOf("tools/nxlint/nxlint.cc"), "tools");
+    EXPECT_EQ(nxdeps::moduleOf("tests/test_crb.cc"), "tests");
+    EXPECT_EQ(nxdeps::moduleOf("fuzz/harness.h"), "fuzz");
+    EXPECT_EQ(nxdeps::moduleOf("README.md"), "");
+}
+
+TEST(NxdepsLayers, DeclaredOrderIsMonotone)
+{
+    const auto &ls = nxdeps::layers();
+    ASSERT_FALSE(ls.empty());
+    EXPECT_EQ(ls.front().module, "util");
+    EXPECT_EQ(ls.front().rank, 0);
+    int prev = -1;
+    for (const auto &l : ls) {
+        EXPECT_GE(l.rank, prev);
+        prev = l.rank;
+    }
+    EXPECT_EQ(ls.back().module, "tests");
+}
+
+// ---------------------------------------------------------------------------
+// layer-order
+// ---------------------------------------------------------------------------
+
+TEST(NxdepsLayerOrder, UpwardIncludeFires)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/helper.h", "#include \"core/device.h\"\n"},
+        {"src/core/device.h", "int d;\n"},
+    });
+    ASSERT_TRUE(fired(an, "layer-order")) << dump(an);
+    EXPECT_EQ(an.findings[0].file, "src/util/helper.h");
+    EXPECT_EQ(an.findings[0].line, 1);
+}
+
+TEST(NxdepsLayerOrder, PeerCrossIncludeFires)
+{
+    // deflate and e842 sit on the same layer: codecs stay independent.
+    Analysis an = analyzeFiles({
+        {"src/deflate/x.h", "#include \"e842/y.h\"\n"},
+        {"src/e842/y.h", "int y;\n"},
+    });
+    ASSERT_TRUE(fired(an, "layer-order")) << dump(an);
+    EXPECT_NE(an.findings[0].message.find("peers"), std::string::npos);
+}
+
+TEST(NxdepsLayerOrder, DownwardIncludesAreClean)
+{
+    Analysis an = analyzeFiles({
+        {"src/core/device.h", "#include \"nx/crb.h\"\n"
+                              "#include \"util/checked.h\"\n"},
+        {"src/nx/crb.h", "#include \"util/checked.h\"\n"},
+        {"src/util/checked.h", "int c;\n"},
+        {"tests/test_device.cc", "#include \"core/device.h\"\n"},
+    });
+    EXPECT_TRUE(an.findings.empty()) << dump(an);
+}
+
+TEST(NxdepsLayerOrder, SameModuleIsNeverALayerViolation)
+{
+    Analysis an = analyzeFiles({
+        {"src/nx/a.h", "#include \"nx/b.h\"\n"},
+        {"src/nx/b.h", "int b;\n"},
+    });
+    EXPECT_FALSE(fired(an, "layer-order")) << dump(an);
+}
+
+TEST(NxdepsLayerOrder, SystemIncludesAreIgnored)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.h", "#include <vector>\n"
+                         "#include \"third_party/zlib.h\"\n"},
+    });
+    EXPECT_TRUE(an.findings.empty()) << dump(an);
+}
+
+// ---------------------------------------------------------------------------
+// cycles
+// ---------------------------------------------------------------------------
+
+TEST(NxdepsCycles, FileIncludeCycleFires)
+{
+    Analysis an = analyzeFiles({
+        {"src/nx/a.h", "#include \"nx/b.h\"\n"},
+        {"src/nx/b.h", "#include \"nx/a.h\"\n"},
+    });
+    ASSERT_TRUE(fired(an, "include-cycle")) << dump(an);
+}
+
+TEST(NxdepsCycles, ModuleCycleWithoutFileCycleFires)
+{
+    // No file-level cycle: a -> b and c -> a are distinct files. The
+    // condensed module graph still has alpha <-> beta.
+    Analysis an = analyzeFiles({
+        {"src/nx/a.h", "#include \"core/b.h\"\n"},
+        {"src/core/b.h", "int b;\n"},
+        {"src/core/c.h", "#include \"nx/a.h\"\n"},
+        {"src/nx/d.h", "int d;\n"},
+    });
+    EXPECT_FALSE(fired(an, "include-cycle")) << dump(an);
+    EXPECT_TRUE(fired(an, "module-cycle")) << dump(an);
+}
+
+TEST(NxdepsCycles, SelfIncludeIsACycle)
+{
+    Analysis an = analyzeFiles({
+        {"src/nx/a.h", "#include \"nx/a.h\"\n"},
+    });
+    EXPECT_TRUE(fired(an, "include-cycle")) << dump(an);
+}
+
+// ---------------------------------------------------------------------------
+// cc-include / private-include
+// ---------------------------------------------------------------------------
+
+TEST(NxdepsCcInclude, IncludingATranslationUnitFires)
+{
+    Analysis an = analyzeFiles({
+        {"src/nx/a.cc", "#include \"nx/b.cc\"\n"},
+        {"src/nx/b.cc", "int b;\n"},
+    });
+    ASSERT_TRUE(fired(an, "cc-include")) << dump(an);
+}
+
+TEST(NxdepsPrivateInclude, CrossModuleInternalHeaderFires)
+{
+    Analysis an = analyzeFiles({
+        {"src/core/a.h", "#include \"nx/internal/tables.h\"\n"
+                         "#include \"nx/crb_internal.h\"\n"},
+        {"src/nx/internal/tables.h", "int t;\n"},
+        {"src/nx/crb_internal.h", "int c;\n"},
+    });
+    EXPECT_EQ(std::count_if(an.findings.begin(), an.findings.end(),
+                            [](const Finding &f) {
+                                return f.rule == "private-include";
+                            }),
+              2)
+        << dump(an);
+}
+
+TEST(NxdepsPrivateInclude, OwnModuleInternalsAreClean)
+{
+    Analysis an = analyzeFiles({
+        {"src/nx/a.cc", "#include \"nx/internal/tables.h\"\n"},
+        {"src/nx/internal/tables.h", "int t;\n"},
+    });
+    EXPECT_FALSE(fired(an, "private-include")) << dump(an);
+}
+
+// ---------------------------------------------------------------------------
+// scanner details
+// ---------------------------------------------------------------------------
+
+TEST(NxdepsScanner, CommentedAndQuotedIncludesAreIgnored)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.cc",
+         "// #include \"core/device.h\"\n"
+         "/* #include \"core/device.h\" */\n"
+         "const char *s = \"#include \\\"core/device.h\\\"\";\n"},
+        {"src/core/device.h", "int d;\n"},
+    });
+    EXPECT_TRUE(an.findings.empty()) << dump(an);
+}
+
+TEST(NxdepsScanner, IncluderRelativeResolutionWorks)
+{
+    // bench files include siblings without a path prefix.
+    Analysis an = analyzeFiles({
+        {"bench/bench_a.cc", "#include \"bench_common.h\"\n"},
+        {"bench/bench_common.h", "int b;\n"},
+    });
+    EXPECT_TRUE(an.findings.empty()) << dump(an);
+}
+
+// ---------------------------------------------------------------------------
+// suppressions
+// ---------------------------------------------------------------------------
+
+TEST(NxdepsSuppression, JustifiedAllowSuppressesSameLine)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "#include \"core/device.h\" "
+         "// nxdeps: allow(layer-order): transitional, tracked in #42\n"},
+        {"src/core/device.h", "int d;\n"},
+    });
+    EXPECT_FALSE(fired(an, "layer-order")) << dump(an);
+    EXPECT_FALSE(fired(an, "bare-allow")) << dump(an);
+}
+
+TEST(NxdepsSuppression, JustifiedAllowSuppressesNextLine)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "int before;\n"
+         "// nxdeps: allow(layer-order): transitional, tracked in #42\n"
+         "#include \"core/device.h\"\n"},
+        {"src/core/device.h", "int d;\n"},
+    });
+    EXPECT_FALSE(fired(an, "layer-order")) << dump(an);
+}
+
+TEST(NxdepsSuppression, FileScopeAllowCoversWholeFile)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "// nxdeps: allow(layer-order): legacy shim, tracked in #42\n"
+         "#include \"core/device.h\"\n"
+         "#include \"core/job_server.h\"\n"},
+        {"src/core/device.h", "int d;\n"},
+        {"src/core/job_server.h", "int j;\n"},
+    });
+    EXPECT_FALSE(fired(an, "layer-order")) << dump(an);
+}
+
+TEST(NxdepsSuppression, BareAllowIsItselfAFinding)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "#include \"core/device.h\" // nxdeps: allow(layer-order)\n"},
+        {"src/core/device.h", "int d;\n"},
+    });
+    // Without a justification nothing is suppressed, and the bare
+    // allow() is reported on top of the violation itself.
+    EXPECT_TRUE(fired(an, "bare-allow")) << dump(an);
+    EXPECT_TRUE(fired(an, "layer-order")) << dump(an);
+}
+
+TEST(NxdepsSuppression, UnknownRuleInAllowFires)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "int y; // nxdeps: allow(no-such-rule): whatever\n"},
+    });
+    EXPECT_TRUE(fired(an, "bare-allow")) << dump(an);
+}
+
+TEST(NxdepsSuppression, ProseMentionInDocCommentDoesNotParse)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "/**\n"
+         " * Write `// nxdeps: allow(rule-id): why` to suppress.\n"
+         " */\n"
+         "int y;\n"},
+    });
+    EXPECT_TRUE(an.findings.empty()) << dump(an);
+}
+
+// ---------------------------------------------------------------------------
+// DOT output
+// ---------------------------------------------------------------------------
+
+TEST(NxdepsDot, EmitsModulesEdgesAndLayers)
+{
+    Analysis an = analyzeFiles({
+        {"src/core/device.h", "#include \"nx/crb.h\"\n"},
+        {"src/nx/crb.h", "#include \"util/checked.h\"\n"},
+        {"src/util/checked.h", "int c;\n"},
+    });
+    const std::string &dot = an.moduleDot;
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("rankdir=BT"), std::string::npos);
+    EXPECT_NE(dot.find("\"core\" -> \"nx\""), std::string::npos);
+    EXPECT_NE(dot.find("\"nx\" -> \"util\""), std::string::npos);
+    EXPECT_NE(dot.find("rank=same"), std::string::npos);
+    EXPECT_EQ(dot.find("\"util\" -> "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// the real tree
+// ---------------------------------------------------------------------------
+
+TEST(NxdepsRealTree, RepoIsClean)
+{
+    Analysis an = nxdeps::analyzeTree(NXSIM_SOURCE_DIR);
+    EXPECT_TRUE(an.findings.empty()) << dump(an);
+    // The architecture diagram in DESIGN.md is generated from this.
+    EXPECT_NE(an.moduleDot.find("\"core\" -> \"nx\""), std::string::npos);
+}
+
+} // namespace

@@ -375,6 +375,93 @@ TEST(NxlintRawThread, TestsToolsAndFreeDetachAreClean)
 }
 
 // ---------------------------------------------------------------------------
+// mutex-annotation
+// ---------------------------------------------------------------------------
+
+TEST(NxlintMutexAnnotation, UnannotatedStdMutexMemberFires)
+{
+    auto fs = lintFile("src/nx/pool.h",
+                       "class Pool {\n"
+                       "  private:\n"
+                       "    std::mutex mu_;\n"
+                       "    int count_ = 0;\n"
+                       "};\n");
+    ASSERT_TRUE(fired(fs, "mutex-annotation"));
+    for (const Finding &f : fs) {
+        if (f.rule == "mutex-annotation") {
+            EXPECT_NE(f.message.find("NXSIM_GUARDED_BY(mu_)"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(NxlintMutexAnnotation, GuardedSiblingIsClean)
+{
+    auto fs = lintFile("src/nx/pool.h",
+                       "class Pool {\n"
+                       "  private:\n"
+                       "    mutable std::mutex mu_;\n"
+                       "    int count_ NXSIM_GUARDED_BY(mu_) = 0;\n"
+                       "};\n");
+    EXPECT_FALSE(fired(fs, "mutex-annotation"));
+}
+
+TEST(NxlintMutexAnnotation, NxMutexMemberFires)
+{
+    auto fs = lintFile("src/core/pool.h",
+                       "class Pool {\n"
+                       "    mutable nx::Mutex mu_;\n"
+                       "};\n");
+    EXPECT_TRUE(fired(fs, "mutex-annotation"));
+}
+
+TEST(NxlintMutexAnnotation, GuardMustNameTheRightMutex)
+{
+    // A GUARDED_BY naming some other mutex does not cover mu_.
+    auto fs = lintFile("src/nx/pool.h",
+                       "class Pool {\n"
+                       "    std::mutex mu_;\n"
+                       "    std::mutex other_;\n"
+                       "    int n_ NXSIM_GUARDED_BY(other_) = 0;\n"
+                       "};\n");
+    EXPECT_TRUE(fired(fs, "mutex-annotation"));
+}
+
+TEST(NxlintMutexAnnotation, ReferenceMemberIsExempt)
+{
+    // A Mutex& borrows a capability owned elsewhere; there is nothing
+    // in this class for it to guard.
+    auto fs = lintFile("src/util/lock.h",
+                       "class Borrower {\n"
+                       "    nx::Mutex &mu_;\n"
+                       "};\n");
+    EXPECT_FALSE(fired(fs, "mutex-annotation"));
+}
+
+TEST(NxlintMutexAnnotation, SourceFilesAndNonSrcAreExempt)
+{
+    const char *body = "class P { std::mutex mu_; };\n";
+    EXPECT_FALSE(fired(lintFile("src/nx/pool.cc", body),
+                       "mutex-annotation"));
+    EXPECT_FALSE(fired(lintFile("tests/helper.h", body),
+                       "mutex-annotation"));
+    EXPECT_FALSE(fired(lintFile("bench/helper.h", body),
+                       "mutex-annotation"));
+}
+
+TEST(NxlintMutexAnnotation, JustifiedAllowSuppresses)
+{
+    auto fs = lintFile(
+        "src/util/wrap.h",
+        "class Wrap {\n"
+        "    // nxlint: allow(mutex-annotation): wrapper owns the raw "
+        "mutex\n"
+        "    std::mutex mu_;\n"
+        "};\n");
+    EXPECT_FALSE(fired(fs, "mutex-annotation"));
+}
+
+// ---------------------------------------------------------------------------
 // suppressions
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,674 @@
+/**
+ * @file
+ * nxdeps implementation: a line-level scanner (comments and string
+ * literals stripped, so a quoted `#include` never counts), an include
+ * resolver that mirrors the project's CMake include roots, and graph
+ * checks over the result. Zero dependencies beyond the standard
+ * library, same as nxlint, so it runs on every ctest invocation.
+ */
+
+#include "nxdeps/nxdeps.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace nxdeps {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Declared architecture — THE single place the layer order lives.
+// ---------------------------------------------------------------------------
+
+const std::vector<LayerInfo> kLayers = {
+    {"util", 0},                     // leaf helpers; includes nothing above
+    {"sim", 1},                      // ticks/events/memory timing
+    {"deflate", 2}, {"e842", 2},     // codecs — peers, mutually blind
+    {"nx", 3},                       // modelled engines
+    {"core", 4},                     // device + dispatch layer
+    {"workloads", 5},                // corpus/workload generators
+    {"tools", 6}, {"fuzz", 6},       // harnesses — peers
+    {"bench", 6}, {"examples", 6},
+    {"tests", 7},                    // may see everything below
+};
+
+const std::vector<RuleInfo> kRules = {
+    {"layer-order",
+     "a module may include only modules at or below its declared layer; "
+     "same-layer peers (deflate/e842, tools/fuzz/bench/examples) are "
+     "mutually off limits"},
+    {"include-cycle", "no cycles in the file-level include graph"},
+    {"module-cycle", "no cycles in the condensed module graph"},
+    {"cc-include", "never include a .cc/.cpp translation unit"},
+    {"private-include",
+     "another module's internal/ directory and *_internal.h headers are "
+     "off limits; go through its public headers"},
+    {"bare-allow",
+     "nxdeps suppressions must name a known rule and justify it: "
+     "// nxdeps: allow(<rule>): <why>"},
+    {"io-error", "file could not be read"},
+};
+
+bool
+knownRule(std::string_view id)
+{
+    return std::any_of(kRules.begin(), kRules.end(),
+                       [&](const RuleInfo &r) { return r.id == id; });
+}
+
+int
+rankOf(std::string_view module)
+{
+    for (const LayerInfo &l : kLayers)
+        if (l.module == module)
+            return l.rank;
+    return -1;    // unknown module: layering not declared for it
+}
+
+// ---------------------------------------------------------------------------
+// Line scanner
+// ---------------------------------------------------------------------------
+
+std::string_view
+trim(std::string_view v)
+{
+    while (!v.empty() &&
+           std::isspace(static_cast<unsigned char>(v.front())))
+        v.remove_prefix(1);
+    while (!v.empty() && std::isspace(static_cast<unsigned char>(v.back())))
+        v.remove_suffix(1);
+    return v;
+}
+
+struct ScannedLine
+{
+    std::string code;      ///< text outside comments and string literals
+    std::string comment;   ///< text of a // comment on this line, if any
+};
+
+/**
+ * Split a file into per-line code/comment streams. Tracks block
+ * comments across lines; string/char literals stay in the code stream
+ * (the include target itself is a quoted string) but are tracked so a
+ * `//` or a quote inside one never opens a comment. Directives are
+ * recognized only at line start, so a directive quoted inside code
+ * never parses as one, and only `//` comment text is kept: a
+ * suppression must BE a line comment, so grammar examples in block
+ * doc comments never suppress (or misfire as bare-allow).
+ */
+std::vector<ScannedLine>
+scanLines(std::string_view content)
+{
+    std::vector<ScannedLine> lines;
+    ScannedLine cur;
+    bool inBlock = false;
+    bool inLine = false;
+    bool inStr = false;
+    bool inChr = false;
+    for (size_t i = 0; i < content.size(); ++i) {
+        char c = content[i];
+        char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '\n') {
+            lines.push_back(std::move(cur));
+            cur = ScannedLine{};
+            inLine = false;
+            inStr = false;    // unterminated literal: keep lines sane
+            inChr = false;
+            continue;
+        }
+        if (inLine) {
+            cur.comment += c;
+        } else if (inBlock) {
+            if (c == '*' && next == '/') {
+                inBlock = false;
+                ++i;
+            }
+        } else if (inStr) {
+            cur.code += c;
+            if (c == '\\' && next != '\0') {
+                cur.code += next;
+                ++i;
+            } else if (c == '"') {
+                inStr = false;
+            }
+        } else if (inChr) {
+            cur.code += c;
+            if (c == '\\' && next != '\0') {
+                cur.code += next;
+                ++i;
+            } else if (c == '\'') {
+                inChr = false;
+            }
+        } else if (c == '/' && next == '/') {
+            inLine = true;
+            ++i;
+        } else if (c == '/' && next == '*') {
+            inBlock = true;
+            ++i;
+        } else if (c == '"') {
+            inStr = true;
+            cur.code += c;
+        } else if (c == '\'') {
+            inChr = true;
+            cur.code += c;
+        } else {
+            cur.code += c;
+        }
+    }
+    lines.push_back(std::move(cur));
+    return lines;
+}
+
+struct Include
+{
+    std::string target;   ///< the quoted path, verbatim
+    int line = 0;         ///< 1-based
+};
+
+struct Suppressions
+{
+    std::map<std::string, std::set<int>, std::less<>> byRule;
+    std::set<std::string, std::less<>> fileScope;
+
+    bool
+    allows(const std::string &rule, int line) const
+    {
+        if (fileScope.count(rule) != 0)
+            return true;
+        auto it = byRule.find(rule);
+        return it != byRule.end() && it->second.count(line) != 0;
+    }
+};
+
+struct ScannedFile
+{
+    std::vector<Include> includes;
+    Suppressions sup;
+};
+
+/**
+ * Parse one file: quoted includes (string-literal stripping above
+ * leaves the directive's own quotes in the code stream) plus every
+ * `nxdeps: allow(rule): why` in comment text. An allow covers its own
+ * line plus the next when the line is comment-only; before any code
+ * it covers the whole file.
+ */
+ScannedFile
+scanFile(std::string_view path, std::string_view content,
+         std::vector<Finding> &findings)
+{
+    ScannedFile out;
+    std::vector<ScannedLine> lines = scanLines(content);
+    bool sawCode = false;
+    for (size_t n = 0; n < lines.size(); ++n) {
+        int lineNo = static_cast<int>(n) + 1;
+        std::string_view code = trim(lines[n].code);
+
+        if (code.rfind("#", 0) == 0) {
+            std::string_view rest = trim(code.substr(1));
+            if (rest.rfind("include", 0) == 0) {
+                rest = trim(rest.substr(7));
+                if (!rest.empty() && rest.front() == '"') {
+                    size_t close = rest.find('"', 1);
+                    if (close != std::string_view::npos)
+                        out.includes.push_back(
+                            {std::string(rest.substr(1, close - 1)),
+                             lineNo});
+                }
+            }
+        }
+
+        // Allow comments. Anchored exactly like nxlint's: the line
+        // comment itself must start with `nxdeps:` — prose that merely
+        // mentions the syntax never parses as a suppression.
+        std::string_view com = trim(lines[n].comment);
+        if (com.rfind("nxdeps:", 0) == 0) {
+            std::string_view body = com.substr(7);
+            size_t pos = 0;
+            while ((pos = body.find("allow(", pos)) !=
+                   std::string_view::npos) {
+                std::string_view rest = body.substr(pos + 6);
+                pos += 6;
+                size_t close = rest.find(')');
+                if (close == std::string_view::npos)
+                    break;
+                std::string rule{trim(rest.substr(0, close))};
+                std::string_view tail = trim(rest.substr(close + 1));
+                if (!knownRule(rule) || rule == "bare-allow") {
+                    findings.push_back({std::string(path), lineNo,
+                                        "bare-allow",
+                                        "allow() names unknown rule '" +
+                                            rule + "'"});
+                } else if (tail.empty() || tail.front() != ':' ||
+                           trim(tail.substr(1)).empty()) {
+                    findings.push_back(
+                        {std::string(path), lineNo, "bare-allow",
+                         "allow(" + rule +
+                             ") needs a justification: allow(" + rule +
+                             "): <why>"});
+                } else if (!sawCode) {
+                    out.sup.fileScope.insert(rule);
+                } else {
+                    auto &ls = out.sup.byRule[rule];
+                    ls.insert(lineNo);
+                    if (code.empty())
+                        ls.insert(lineNo + 1);    // comment-only line
+                }
+            }
+        }
+
+        if (!code.empty())
+            sawCode = true;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path handling and include resolution
+// ---------------------------------------------------------------------------
+
+/** Lexically normalize a '/'-separated path ("a/./b/../c" -> "a/c"). */
+std::string
+normalize(std::string_view p)
+{
+    std::vector<std::string> parts;
+    size_t i = 0;
+    while (i <= p.size()) {
+        size_t j = p.find('/', i);
+        if (j == std::string_view::npos)
+            j = p.size();
+        std::string_view part = p.substr(i, j - i);
+        if (part == "..") {
+            if (!parts.empty())
+                parts.pop_back();
+        } else if (!part.empty() && part != ".") {
+            parts.emplace_back(part);
+        }
+        i = j + 1;
+        if (j == p.size())
+            break;
+    }
+    std::string out;
+    for (const std::string &part : parts) {
+        if (!out.empty())
+            out += '/';
+        out += part;
+    }
+    return out;
+}
+
+std::string
+dirOf(std::string_view path)
+{
+    size_t slash = path.rfind('/');
+    return slash == std::string_view::npos
+               ? std::string{}
+               : std::string(path.substr(0, slash));
+}
+
+/**
+ * Resolve a quoted include against the project include roots, in the
+ * order the build exposes them: the includer's own directory (bench
+ * and fuzz use sibling includes), then src/, then the harness roots.
+ * Returns npos for anything that is not a project file (system or
+ * third-party headers).
+ */
+size_t
+resolve(const std::map<std::string, size_t, std::less<>> &byPath,
+        std::string_view includerDir, std::string_view target)
+{
+    std::vector<std::string> candidates;
+    if (!includerDir.empty())
+        candidates.push_back(normalize(std::string(includerDir) + "/" +
+                                       std::string(target)));
+    for (std::string_view root : {"src/", "tools/", "fuzz/", "bench/"})
+        candidates.push_back(normalize(std::string(root) +
+                                       std::string(target)));
+    candidates.push_back(normalize(target));
+    for (const std::string &c : candidates) {
+        auto it = byPath.find(c);
+        if (it != byPath.end())
+            return it->second;
+    }
+    return static_cast<size_t>(-1);
+}
+
+bool
+isPrivateHeader(std::string_view path)
+{
+    if (path.find("/internal/") != std::string_view::npos)
+        return true;
+    size_t slash = path.rfind('/');
+    std::string_view name =
+        slash == std::string_view::npos ? path : path.substr(slash + 1);
+    size_t dot = name.rfind('.');
+    std::string_view stem = dot == std::string_view::npos
+                                ? name
+                                : name.substr(0, dot);
+    return stem.ends_with("_internal");
+}
+
+bool
+isTranslationUnit(std::string_view path)
+{
+    return path.ends_with(".cc") || path.ends_with(".cpp");
+}
+
+// ---------------------------------------------------------------------------
+// Cycle detection (shared by the file and module graphs)
+// ---------------------------------------------------------------------------
+
+struct Edge
+{
+    size_t to;
+    size_t fileIdx;   ///< file carrying the representative include
+    int line;
+};
+
+/**
+ * DFS three-color cycle scan. For every back edge, reports the cycle
+ * as the chain of node names from the revisited node to the top of
+ * the stack. Nodes are visited in index order, so reports are
+ * deterministic for a sorted input.
+ */
+void
+findCycles(const std::vector<std::vector<Edge>> &adj,
+           const std::vector<std::string> &names,
+           const std::vector<SourceFile> &files, std::string_view rule,
+           std::string_view what, std::vector<Finding> &out)
+{
+    enum class Color { White, Grey, Black };
+    std::vector<Color> color(adj.size(), Color::White);
+    std::vector<size_t> stack;
+
+    struct Frame
+    {
+        size_t node;
+        size_t next = 0;
+    };
+
+    for (size_t start = 0; start < adj.size(); ++start) {
+        if (color[start] != Color::White)
+            continue;
+        std::vector<Frame> frames{{start}};
+        color[start] = Color::Grey;
+        stack.push_back(start);
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            if (f.next >= adj[f.node].size()) {
+                color[f.node] = Color::Black;
+                stack.pop_back();
+                frames.pop_back();
+                continue;
+            }
+            const Edge &e = adj[f.node][f.next++];
+            if (color[e.to] == Color::Grey) {
+                // Back edge: the cycle is stack[pos..] plus this edge.
+                auto pos = std::find(stack.begin(), stack.end(), e.to);
+                std::string chain;
+                for (auto it = pos; it != stack.end(); ++it)
+                    chain += names[*it] + " -> ";
+                chain += names[e.to];
+                out.push_back(
+                    {files[e.fileIdx].path, e.line, std::string(rule),
+                     std::string(what) + " cycle: " + chain});
+            } else if (color[e.to] == Color::White) {
+                color[e.to] = Color::Grey;
+                stack.push_back(e.to);
+                frames.push_back({e.to});
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+rules()
+{
+    return kRules;
+}
+
+const std::vector<LayerInfo> &
+layers()
+{
+    return kLayers;
+}
+
+std::string
+moduleOf(std::string_view path)
+{
+    std::string norm = normalize(path);
+    size_t slash = norm.find('/');
+    if (slash == std::string::npos)
+        return {};
+    std::string first = norm.substr(0, slash);
+    if (first != "src")
+        return first;
+    size_t slash2 = norm.find('/', slash + 1);
+    if (slash2 == std::string::npos)
+        return {};
+    return norm.substr(slash + 1, slash2 - slash - 1);
+}
+
+Analysis
+analyzeFiles(const std::vector<SourceFile> &files)
+{
+    Analysis an;
+
+    // Sorted index so every downstream report is deterministic.
+    std::vector<size_t> order(files.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return files[a].path < files[b].path;
+    });
+
+    std::map<std::string, size_t, std::less<>> byPath;
+    for (size_t i : order)
+        byPath.emplace(normalize(files[i].path), i);
+
+    std::vector<ScannedFile> scanned(files.size());
+    std::vector<Finding> raw;
+    for (size_t i : order)
+        scanned[i] = scanFile(files[i].path, files[i].content, raw);
+
+    // File-level include graph plus the condensed module graph.
+    std::vector<std::vector<Edge>> fileAdj(files.size());
+    std::map<std::string, size_t, std::less<>> moduleIdx;
+    std::vector<std::string> moduleNames;
+    std::map<std::pair<size_t, size_t>, Edge> moduleEdges;
+
+    auto internModule = [&](const std::string &m) {
+        auto it = moduleIdx.find(m);
+        if (it != moduleIdx.end())
+            return it->second;
+        size_t idx = moduleNames.size();
+        moduleIdx.emplace(m, idx);
+        moduleNames.push_back(m);
+        return idx;
+    };
+
+    for (size_t i : order) {
+        const SourceFile &from = files[i];
+        std::string fromMod = moduleOf(from.path);
+        int fromRank = rankOf(fromMod);
+        std::string fromDir = dirOf(normalize(from.path));
+        for (const Include &inc : scanned[i].includes) {
+            size_t to = resolve(byPath, fromDir, inc.target);
+            if (to == static_cast<size_t>(-1))
+                continue;    // not a project file
+            const SourceFile &target = files[to];
+            std::string toMod = moduleOf(target.path);
+            int toRank = rankOf(toMod);
+
+            fileAdj[i].push_back({to, i, inc.line});
+            if (!fromMod.empty() && !toMod.empty() && fromMod != toMod) {
+                size_t a = internModule(fromMod);
+                size_t b = internModule(toMod);
+                moduleEdges.emplace(std::make_pair(a, b),
+                                    Edge{b, i, inc.line});
+            }
+
+            if (isTranslationUnit(target.path)) {
+                raw.push_back(
+                    {from.path, inc.line, "cc-include",
+                     "includes translation unit " + target.path +
+                         "; include the module's header instead"});
+            }
+            if (fromMod != toMod && isPrivateHeader(target.path)) {
+                raw.push_back(
+                    {from.path, inc.line, "private-include",
+                     target.path + " is private to module '" + toMod +
+                         "'; include its public headers instead"});
+            }
+            if (fromMod != toMod && fromRank >= 0 && toRank >= 0) {
+                if (toRank > fromRank) {
+                    raw.push_back(
+                        {from.path, inc.line, "layer-order",
+                         "module '" + fromMod + "' (layer " +
+                             std::to_string(fromRank) + ") includes " +
+                             target.path + " from module '" + toMod +
+                             "' (layer " + std::to_string(toRank) +
+                             "); the declared order puts " + fromMod +
+                             " below " + toMod});
+                } else if (toRank == fromRank) {
+                    raw.push_back(
+                        {from.path, inc.line, "layer-order",
+                         "modules '" + fromMod + "' and '" + toMod +
+                             "' are peers at layer " +
+                             std::to_string(fromRank) +
+                             "; neither may include the other"});
+                }
+            }
+        }
+    }
+
+    std::vector<std::string> fileNames(files.size());
+    for (size_t i = 0; i < files.size(); ++i)
+        fileNames[i] = files[i].path;
+    findCycles(fileAdj, fileNames, files, "include-cycle", "include",
+               raw);
+
+    std::vector<std::vector<Edge>> modAdj(moduleNames.size());
+    for (const auto &kv : moduleEdges)
+        modAdj[kv.first.first].push_back(kv.second);
+    findCycles(modAdj, moduleNames, files, "module-cycle", "module", raw);
+
+    // Apply suppressions; bare-allow findings are never suppressible.
+    for (Finding &f : raw) {
+        if (f.rule != "bare-allow") {
+            auto it = byPath.find(normalize(f.file));
+            if (it != byPath.end() &&
+                scanned[it->second].sup.allows(f.rule, f.line))
+                continue;
+        }
+        an.findings.push_back(std::move(f));
+    }
+    std::sort(an.findings.begin(), an.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+
+    // Module graph as DOT: declared layers become same-rank rows, so
+    // `dot` draws the architecture diagram DESIGN.md embeds.
+    std::ostringstream dot;
+    dot << "digraph nxdeps_modules {\n"
+        << "  rankdir=BT;\n"
+        << "  node [shape=box];\n";
+    std::map<int, std::vector<std::string>> byRank;
+    for (const std::string &m : moduleNames) {
+        int r = rankOf(m);
+        if (r >= 0)
+            byRank[r].push_back(m);
+    }
+    for (const auto &kv : byRank) {
+        dot << "  { rank=same;";
+        for (const std::string &m : kv.second)
+            dot << " \"" << m << "\";";
+        dot << " }  // layer " << kv.first << "\n";
+    }
+    for (const auto &kv : moduleEdges)
+        dot << "  \"" << moduleNames[kv.first.first] << "\" -> \""
+            << moduleNames[kv.first.second] << "\";\n";
+    dot << "}\n";
+    an.moduleDot = dot.str();
+    return an;
+}
+
+Analysis
+analyzeTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<SourceFile> files;
+    std::vector<Finding> ioErrors;
+
+    auto collect = [&](const fs::path &dir) {
+        std::error_code ec;
+        for (fs::recursive_directory_iterator
+                 it(dir, fs::directory_options::skip_permission_denied,
+                    ec),
+             end;
+             it != end && !ec; it.increment(ec)) {
+            if (!it->is_regular_file(ec))
+                continue;
+            std::string ext = it->path().extension().string();
+            if (ext != ".h" && ext != ".hpp" && ext != ".cc" &&
+                ext != ".cpp")
+                continue;
+            std::error_code rec;
+            fs::path rel = fs::relative(it->path(), root, rec);
+            std::string label = rec ? it->path().generic_string()
+                                    : rel.generic_string();
+            std::ifstream in(it->path(), std::ios::binary);
+            if (!in) {
+                ioErrors.push_back(
+                    {label, 0, "io-error", "cannot read file"});
+                continue;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            files.push_back({label, ss.str()});
+        }
+    };
+
+    bool sawTree = false;
+    for (const char *sub :
+         {"src", "tools", "fuzz", "bench", "tests", "examples"}) {
+        fs::path dir = fs::path(root) / sub;
+        std::error_code ec;
+        if (fs::is_directory(dir, ec)) {
+            sawTree = true;
+            collect(dir);
+        }
+    }
+    if (!sawTree)
+        collect(root);
+
+    Analysis an = analyzeFiles(files);
+    an.findings.insert(an.findings.begin(), ioErrors.begin(),
+                       ioErrors.end());
+    return an;
+}
+
+std::string
+format(const Finding &f)
+{
+    return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+           f.message;
+}
+
+} // namespace nxdeps

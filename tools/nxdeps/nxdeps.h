@@ -1,0 +1,116 @@
+/**
+ * @file
+ * nxdeps — the include-graph / architecture-conformance checker.
+ *
+ * nxlint (tools/nxlint) judges files one at a time; nxdeps is the
+ * flow-aware half of the static-analysis stack: it parses every
+ * `#include` in the tree, resolves each one to the project file it
+ * names, and checks the resulting graph against the architecture the
+ * modules are supposed to form. The layer order is declared in ONE
+ * place — the table behind layers() in nxdeps.cc — and everything
+ * else (violation messages, the --dot diagram, the DESIGN.md figure)
+ * derives from it:
+ *
+ *   util < sim < {deflate, e842} < nx < core < workloads
+ *        < {tools, fuzz, bench, examples} < tests
+ *
+ * Modules inside one brace group are peers: neither may include the
+ * other. Rules: `layer-order` (no include from a lower layer into a
+ * higher one, no peer cross-includes), `include-cycle` (file-level
+ * cycles), `module-cycle` (cycles in the condensed module graph),
+ * `cc-include` (including a .cc/.cpp translation unit), and
+ * `private-include` (reaching into another module's `internal/`
+ * directory or `*_internal.h` headers instead of its public surface).
+ *
+ * Findings print as `file:line: rule-id: message` and can be
+ * suppressed where they fire with
+ *
+ *     // nxdeps: allow(rule-id): why this instance is fine
+ *
+ * on the include's line, on a comment-only line directly above, or at
+ * file scope in the leading comment before any code. The
+ * justification is mandatory; a bare allow() is itself a finding
+ * (`bare-allow`), exactly as in nxlint.
+ */
+
+#ifndef NXSIM_NXDEPS_NXDEPS_H
+#define NXSIM_NXDEPS_NXDEPS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nxdeps {
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string file;       ///< path as given to the analyzer
+    int line = 0;           ///< 1-based; 0 for whole-file findings
+    std::string rule;       ///< rule id, e.g. "layer-order"
+    std::string message;
+};
+
+/** Rule metadata for --list-rules and the docs. */
+struct RuleInfo
+{
+    std::string_view id;
+    std::string_view summary;
+};
+
+/** One row of the declared layering (the single source of truth). */
+struct LayerInfo
+{
+    std::string_view module;   ///< e.g. "deflate"
+    int rank = 0;              ///< low includes nothing above it
+};
+
+/** One input file: tree-relative path plus its full contents. */
+struct SourceFile
+{
+    std::string path;
+    std::string content;
+};
+
+/** Everything one run produces. */
+struct Analysis
+{
+    std::vector<Finding> findings;
+
+    /** GraphViz DOT of the module graph (layers as ranks). */
+    std::string moduleDot;
+};
+
+/** All rules, in the order they are checked. */
+const std::vector<RuleInfo> &rules();
+
+/** The declared layer order, lowest first. */
+const std::vector<LayerInfo> &layers();
+
+/**
+ * Module owning @p path: the directory under src/ ("src/nx/crb.h" ->
+ * "nx"), or the top-level tree for everything else ("tools/...",
+ * "tests/..."). Empty when the path has no module prefix.
+ */
+[[nodiscard]] std::string moduleOf(std::string_view path);
+
+/**
+ * Analyze an in-memory tree (fixture trees in tests, or the real one
+ * loaded by analyzeTree). Paths must be tree-relative, '/'-separated.
+ */
+[[nodiscard]] Analysis analyzeFiles(const std::vector<SourceFile> &files);
+
+/**
+ * Load every *.h / *.hpp / *.cc / *.cpp under @p root's src/, tools/,
+ * fuzz/, bench/, tests/ and examples/ subtrees (or @p root itself when
+ * none of those exist) and analyze them. Unreadable files produce an
+ * "io-error" finding.
+ */
+[[nodiscard]] Analysis analyzeTree(const std::string &root);
+
+/** Render a finding as `file:line: rule-id: message`. */
+std::string format(const Finding &f);
+
+} // namespace nxdeps
+
+#endif // NXSIM_NXDEPS_NXDEPS_H

@@ -379,6 +379,10 @@ const std::vector<RuleInfo> kRules = {
      "std::thread/jthread/async is banned in src/ outside "
      "src/core/job_server.* and src/util/ — route work through "
      "core::JobServer; detach() is banned everywhere in src/"},
+    {"mutex-annotation",
+     "a mutex member in a src/ header must guard something: the file "
+     "needs NXSIM_GUARDED_BY(<that mutex>) on at least one member "
+     "(src/util/thread_annotations.h)"},
     {"todo-tag",
      "TODO/FIXME comments must carry an issue tag: TODO(#123)"},
     {"bare-allow",
@@ -943,6 +947,119 @@ checkRawThread(const std::vector<Token> &toks, const Scope &sc,
     }
 }
 
+/**
+ * mutex-annotation: a mutex member in a src/ header is only useful if
+ * the lock discipline is stated — some sibling member must carry
+ * NXSIM_GUARDED_BY(<that mutex>). Matches owning members of the
+ * std::mutex family and of nx::Mutex; references (`Mutex &mu_;`) are
+ * borrowed capabilities and exempt. The wrapper in
+ * src/util/thread_annotations.h carries the one audited allow().
+ */
+void
+checkMutexAnnotation(const std::vector<Token> &toks, const Scope &sc,
+                     std::string_view file, std::vector<Finding> &out)
+{
+    if (!sc.isSrc || !sc.isHeader)
+        return;
+
+    // Names X appearing as NXSIM_GUARDED_BY(X) / NXSIM_PT_GUARDED_BY(X).
+    std::set<std::string> guarded;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (!isIdent(toks, i, "NXSIM_GUARDED_BY") &&
+            !isIdent(toks, i, "NXSIM_PT_GUARDED_BY"))
+            continue;
+        size_t open = nextSig(toks, i);
+        if (!isPunct(toks, open, '('))
+            continue;
+        size_t arg = nextSig(toks, open);
+        if (arg != static_cast<size_t>(-1) &&
+            toks[arg].kind == Tok::Ident)
+            guarded.insert(toks[arg].text);
+    }
+
+    auto memberAfterType = [&](size_t typeEnd) -> size_t {
+        // <type> <ident> then ';' / '{' / '=' is a member declaration;
+        // anything else (reference, pointer, parameter) is not owning.
+        size_t name = nextSig(toks, typeEnd);
+        if (name == static_cast<size_t>(-1) ||
+            toks[name].kind != Tok::Ident)
+            return static_cast<size_t>(-1);
+        size_t after = nextSig(toks, name);
+        if (isPunct(toks, after, ';') || isPunct(toks, after, '{') ||
+            isPunct(toks, after, '='))
+            return name;
+        return static_cast<size_t>(-1);
+    };
+
+    auto report = [&](size_t name) {
+        const std::string &id = toks[name].text;
+        if (guarded.count(id) != 0)
+            return;
+        out.push_back(
+            {std::string(file), toks[name].line, "mutex-annotation",
+             "mutex member '" + id + "' guards nothing here; annotate "
+             "the data it protects with NXSIM_GUARDED_BY(" + id +
+             ") (src/util/thread_annotations.h)"});
+    };
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+        // std::mutex family: std :: <mutex-ish> <ident> ;
+        if (isIdent(toks, i, "std")) {
+            size_t c1 = nextSig(toks, i);
+            if (!isPunct(toks, c1, ':'))
+                continue;
+            size_t c2 = nextSig(toks, c1);
+            if (!isPunct(toks, c2, ':'))
+                continue;
+            size_t type = nextSig(toks, c2);
+            if (type == static_cast<size_t>(-1) ||
+                toks[type].kind != Tok::Ident)
+                continue;
+            const std::string &id = toks[type].text;
+            if (id != "mutex" && id != "recursive_mutex" &&
+                id != "shared_mutex" && id != "timed_mutex" &&
+                id != "recursive_timed_mutex" &&
+                id != "shared_timed_mutex")
+                continue;
+            size_t name = memberAfterType(type);
+            if (name != static_cast<size_t>(-1))
+                report(name);
+            continue;
+        }
+        // nx::Mutex (or bare Mutex inside namespace nx). Skip when the
+        // previous token is ':' so `nx::Mutex` is not matched twice,
+        // and when `Mutex` is being declared rather than used.
+        if (isIdent(toks, i, "Mutex")) {
+            size_t p = prevSig(toks, i);
+            if (isPunct(toks, p, ':'))
+                continue;    // qualified use, handled via the `nx` path
+            if (p != static_cast<size_t>(-1) &&
+                (isIdent(toks, p, "class") ||
+                 isIdent(toks, p, "struct") ||
+                 isIdent(toks, p, "friend")))
+                continue;
+            size_t name = memberAfterType(i);
+            if (name != static_cast<size_t>(-1))
+                report(name);
+            continue;
+        }
+        if (isIdent(toks, i, "nx")) {
+            size_t c1 = nextSig(toks, i);
+            if (!isPunct(toks, c1, ':'))
+                continue;
+            size_t c2 = nextSig(toks, c1);
+            if (!isPunct(toks, c2, ':'))
+                continue;
+            size_t type = nextSig(toks, c2);
+            if (!isIdent(toks, type, "Mutex"))
+                continue;
+            size_t name = memberAfterType(type);
+            if (name != static_cast<size_t>(-1))
+                report(name);
+        }
+    }
+}
+
 void
 checkTodoTags(const std::vector<Token> &toks, std::string_view file,
               std::vector<Finding> &out)
@@ -1017,6 +1134,7 @@ lintFile(std::string_view path, std::string_view content)
     checkNarrowCast(toks, sc, path, raw);
     checkNodiscard(toks, sc, path, raw);
     checkRawThread(toks, sc, path, raw);
+    checkMutexAnnotation(toks, sc, path, raw);
     checkTodoTags(toks, path, raw);
 
     std::vector<Finding> out;
