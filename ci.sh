@@ -7,47 +7,53 @@
 #                      explicit stage gives findings on stdout)
 #   3. nxdeps          include-graph layering checker over the whole
 #                      tree (tools/nxdeps; also a ctest)
-#   4. asan-ubsan      full ctest under ASan+UBSan (no recover)
-#   5. tsan            ThreadSanitizer build; runs the `concurrency`
+#   4. nxtaint         untrusted-input dataflow analysis from BitReader
+#                      sources to memory sinks (tools/nxtaint; also a
+#                      ctest)
+#   5. asan-ubsan      full ctest under ASan+UBSan (no recover)
+#   6. tsan            ThreadSanitizer build; runs the `concurrency`
 #                      ctest label (the core::JobServer dispatch suite)
-#   6. clang-tsa       Clang -Wthread-safety over the lock annotations
+#   7. clang-tsa       Clang -Wthread-safety over the lock annotations
 #                      (src/util/thread_annotations.h); skipped with a
 #                      notice when clang++ is absent
-#   7. lint            clang-tidy over files changed vs origin/main
+#   8. lint            clang-tidy over files changed vs origin/main
 #                      (skipped with a notice when clang-tidy absent)
-#   8. fuzz smoke      30 s of each fuzz target on the seeded corpus
+#   9. fuzz smoke      30 s of each fuzz target on the seeded corpus
 #                      (libFuzzer with Clang; the standalone driver
 #                      otherwise — see fuzz/standalone_main.cc)
 #
-# Usage: ./ci.sh [--quick]   --quick skips stages 7 and 8.
+# Usage: ./ci.sh [--quick]   --quick skips stages 8 and 9.
 set -eu
 
 cd "$(dirname "$0")"
 jobs=$(nproc 2>/dev/null || echo 4)
 quick=${1:-}
 
-echo "=== [1/8] ci preset (warnings-as-errors) ==="
+echo "=== [1/9] ci preset (warnings-as-errors) ==="
 cmake --preset ci
 cmake --build build-ci -j "$jobs"
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-echo "=== [2/8] nxlint (project static analysis) ==="
+echo "=== [2/9] nxlint (project static analysis) ==="
 ./build-ci/tools/nxlint/nxlint .
 
-echo "=== [3/8] nxdeps (include-graph layering) ==="
+echo "=== [3/9] nxdeps (include-graph layering) ==="
 ./build-ci/tools/nxdeps/nxdeps .
 
-echo "=== [4/8] asan-ubsan preset ==="
+echo "=== [4/9] nxtaint (untrusted-input dataflow) ==="
+./build-ci/tools/nxtaint/nxtaint .
+
+echo "=== [5/9] asan-ubsan preset ==="
 cmake --preset asan-ubsan
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "=== [5/8] tsan preset (concurrency label) ==="
+echo "=== [6/9] tsan preset (concurrency label) ==="
 cmake --preset tsan
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$jobs"
 
-echo "=== [6/8] clang-tsa (thread-safety annotations) ==="
+echo "=== [7/9] clang-tsa (thread-safety annotations) ==="
 if command -v clang++ >/dev/null 2>&1; then
     cmake --preset clang-tsa
     cmake --build build-clang-tsa -j "$jobs"
@@ -60,7 +66,7 @@ if [ "$quick" = "--quick" ]; then
     exit 0
 fi
 
-echo "=== [7/8] clang-tidy on changed files ==="
+echo "=== [8/9] clang-tidy on changed files ==="
 if git rev-parse --verify origin/main >/dev/null 2>&1; then
     changed=$(git diff --name-only origin/main -- 'src/*.cc' || true)
 else
@@ -73,7 +79,7 @@ else
     echo "no changed src/*.cc files; skipping clang-tidy"
 fi
 
-echo "=== [8/8] fuzz smoke (30 s per target) ==="
+echo "=== [9/9] fuzz smoke (30 s per target) ==="
 cmake --preset fuzz
 cmake --build build-fuzz -j "$jobs"
 for t in fuzz_inflate fuzz_gzip fuzz_e842 fuzz_roundtrip; do

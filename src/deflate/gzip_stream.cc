@@ -2,6 +2,7 @@
 
 #include "util/crc32.h"
 #include "util/checked.h"
+#include "util/taint.h"
 
 namespace deflate {
 
@@ -83,7 +84,7 @@ gzipWrapEx(std::span<const uint8_t> deflate_stream,
 }
 
 GzipUnwrapResult
-gzipUnwrap(std::span<const uint8_t> member)
+gzipUnwrap(NXSIM_UNTRUSTED std::span<const uint8_t> member)
 {
     GzipUnwrapResult res;
     if (member.size() < 18) {
@@ -191,7 +192,7 @@ gzipUnwrap(std::span<const uint8_t> member)
 }
 
 GzipFileResult
-gzipUnwrapAll(std::span<const uint8_t> file)
+gzipUnwrapAll(NXSIM_UNTRUSTED std::span<const uint8_t> file)
 {
     GzipFileResult out;
     size_t off = 0;

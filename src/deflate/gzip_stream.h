@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "deflate/inflate_decoder.h"
+#include "util/taint.h"
 
 namespace deflate {
 
@@ -64,7 +65,8 @@ struct GzipUnwrapResult
 };
 
 /** Parse the header, inflate the payload, verify CRC-32 and ISIZE. */
-[[nodiscard]] GzipUnwrapResult gzipUnwrap(std::span<const uint8_t> member);
+[[nodiscard]] GzipUnwrapResult
+gzipUnwrap(NXSIM_UNTRUSTED std::span<const uint8_t> member);
 
 /** Result of unwrapping a whole (possibly multi-member) gzip file. */
 struct GzipFileResult
@@ -79,7 +81,8 @@ struct GzipFileResult
  * Decode a gzip file that may contain several concatenated members
  * (the `cat a.gz b.gz` form gunzip accepts).
  */
-[[nodiscard]] GzipFileResult gzipUnwrapAll(std::span<const uint8_t> file);
+[[nodiscard]] GzipFileResult
+gzipUnwrapAll(NXSIM_UNTRUSTED std::span<const uint8_t> file);
 
 } // namespace deflate
 

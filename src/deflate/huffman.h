@@ -114,6 +114,10 @@ class HuffmanDecodeTable
     decode(util::BitReader &br) const
     {
         uint32_t window = br.peekBits(nx::checked_cast<unsigned>(maxBits_));
+        // nxtaint: allow(taint-index): peekBits(maxBits_) masks the
+        // window to maxBits_ bits and table_ holds 1 << maxBits_
+        // entries (see init), so the subscript is in range by
+        // construction.
         Entry e = table_[window];
         if (e.length == 0)
             return -1;

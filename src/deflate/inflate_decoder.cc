@@ -4,6 +4,7 @@
 #include "deflate/huffman.h"
 #include "util/bitstream.h"
 #include "util/checked.h"
+#include "util/taint.h"
 
 namespace deflate {
 
@@ -39,6 +40,9 @@ readDynamicHeader(util::BitReader &br, HuffmanDecodeTable &litlen,
         return InflateStatus::BadCodeLengths;
 
     std::vector<uint8_t> clLengths(kNumClc, 0);
+    // nxtaint: allow(taint-loop-bound): hclen = readBits(4) + 4 is at
+    // most 19 == kNumClc by field width, so i stays inside kClcOrder
+    // and clLengths.
     for (unsigned i = 0; i < hclen; ++i)
         clLengths[kClcOrder[i]] = nx::checked_cast<uint8_t>(br.readBits(3));
     if (br.overrun())
@@ -57,19 +61,27 @@ readDynamicHeader(util::BitReader &br, HuffmanDecodeTable &litlen,
                                 : InflateStatus::BadCodeLengths;
         if (sym < 16) {
             lengths.push_back(nx::checked_cast<uint8_t>(sym));
-        } else if (sym == 16) {
-            if (lengths.empty())
-                return InflateStatus::BadCodeLengths;
-            unsigned n = 3 + br.readBits(2);
-            uint8_t v = lengths.back();
-            for (unsigned i = 0; i < n; ++i)
-                lengths.push_back(v);
-        } else if (sym == 17) {
-            unsigned n = 3 + br.readBits(3);
-            lengths.insert(lengths.end(), n, 0);
         } else {
-            unsigned n = 11 + br.readBits(7);
-            lengths.insert(lengths.end(), n, 0);
+            unsigned n = 0;
+            uint8_t fill = 0;
+            if (sym == 16) {
+                if (lengths.empty())
+                    return InflateStatus::BadCodeLengths;
+                n = 3 + br.readBits(2);
+                fill = lengths.back();
+            } else if (sym == 17) {
+                n = 3 + br.readBits(3);
+            } else {
+                n = 11 + br.readBits(7);
+            }
+            if (br.overrun())
+                return InflateStatus::TruncatedInput;
+            // The run length is attacker-chosen (up to 138): reject a
+            // run that overshoots the declared hlit+hdist before it
+            // grows the array, as zlib does.
+            if (lengths.size() + n > hlit + hdist)
+                return InflateStatus::BadCodeLengths;
+            lengths.insert(lengths.end(), n, fill);
         }
         if (br.overrun())
             return InflateStatus::TruncatedInput;
@@ -88,13 +100,14 @@ readDynamicHeader(util::BitReader &br, HuffmanDecodeTable &litlen,
 } // namespace
 
 InflateResult
-inflateDecompress(std::span<const uint8_t> input, size_t max_output)
+inflateDecompress(NXSIM_UNTRUSTED std::span<const uint8_t> input,
+                  size_t max_output)
 {
     return inflateDecompressWithDict(input, {}, max_output);
 }
 
 InflateResult
-inflateDecompressWithDict(std::span<const uint8_t> input,
+inflateDecompressWithDict(NXSIM_UNTRUSTED std::span<const uint8_t> input,
                           std::span<const uint8_t> dict,
                           size_t max_output)
 {

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "util/taint.h"
+
 namespace deflate {
 
 /** Outcome of an inflate() call. */
@@ -64,18 +66,18 @@ struct InflateResult
  * @param input compressed bytes (stream must start at offset 0)
  * @param max_output safety cap on decompressed size (default 1 GiB)
  */
-[[nodiscard]] InflateResult inflateDecompress(std::span<const uint8_t> input,
-                                size_t max_output = size_t{1} << 30);
+[[nodiscard]] InflateResult inflateDecompress(
+    NXSIM_UNTRUSTED std::span<const uint8_t> input,
+    size_t max_output = size_t{1} << 30);
 
 /**
  * Inflate a stream produced with a preset dictionary: back-references
  * may reach into the last 32 KiB of @p dict before output starts.
  * The dictionary bytes are NOT part of the returned output.
  */
-[[nodiscard]] InflateResult inflateDecompressWithDict(std::span<const uint8_t> input,
-                                        std::span<const uint8_t> dict,
-                                        size_t max_output =
-                                            size_t{1} << 30);
+[[nodiscard]] InflateResult inflateDecompressWithDict(
+    NXSIM_UNTRUSTED std::span<const uint8_t> input,
+    std::span<const uint8_t> dict, size_t max_output = size_t{1} << 30);
 
 } // namespace deflate
 

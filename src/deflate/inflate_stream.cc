@@ -2,6 +2,7 @@
 
 #include "deflate/constants.h"
 #include "util/checked.h"
+#include "util/taint.h"
 
 namespace deflate {
 
@@ -45,7 +46,7 @@ InflateStream::bufferedBits() const
 }
 
 StreamStatus
-InflateStream::feed(std::span<const uint8_t> data,
+InflateStream::feed(NXSIM_UNTRUSTED std::span<const uint8_t> data,
                     std::vector<uint8_t> &out)
 {
     bits_.append(data);
@@ -223,22 +224,32 @@ InflateStream::stepDynCodeLengths()
         bits_.consume(len);
         if (sym < 16) {
             lengths_.push_back(nx::checked_cast<uint8_t>(sym));
-        } else if (sym == 16) {
-            if (lengths_.empty()) {
+        } else {
+            unsigned n = 0;
+            uint8_t fill = 0;
+            if (sym == 16) {
+                if (lengths_.empty()) {
+                    fail(InflateStatus::BadCodeLengths);
+                    return true;
+                }
+                n = 3 + bits_.peek(2);
+                bits_.consume(2);
+                fill = lengths_.back();
+            } else if (sym == 17) {
+                n = 3 + bits_.peek(3);
+                bits_.consume(3);
+            } else {
+                n = 11 + bits_.peek(7);
+                bits_.consume(7);
+            }
+            // The run length is attacker-chosen (up to 138): reject a
+            // run that overshoots the declared hlit+hdist before it
+            // grows the array, as zlib does.
+            if (lengths_.size() + n > hlit_ + hdist_) {
                 fail(InflateStatus::BadCodeLengths);
                 return true;
             }
-            unsigned n = 3 + bits_.peek(2);
-            bits_.consume(2);
-            lengths_.insert(lengths_.end(), n, lengths_.back());
-        } else if (sym == 17) {
-            unsigned n = 3 + bits_.peek(3);
-            bits_.consume(3);
-            lengths_.insert(lengths_.end(), n, 0);
-        } else {
-            unsigned n = 11 + bits_.peek(7);
-            bits_.consume(7);
-            lengths_.insert(lengths_.end(), n, 0);
+            lengths_.insert(lengths_.end(), n, fill);
         }
     }
     if (lengths_.size() != hlit_ + hdist_) {
@@ -347,6 +358,10 @@ InflateStream::stepSymbols(std::vector<uint8_t> &out)
                 return true;
             }
             // Copy from the window (handles overlap byte-by-byte).
+            // nxtaint: allow(taint-loop-bound): matchLength_ is
+            // kLengthBase[sym] plus its extra bits, at most kMaxMatch
+            // (258) by table construction, and push() maintains the
+            // window-size invariant on every iteration.
             for (unsigned i = 0; i < matchLength_; ++i)
                 push(window_[window_.size() - dist], out);
             haveLength_ = false;

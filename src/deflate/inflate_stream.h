@@ -22,6 +22,7 @@
 #include "deflate/huffman.h"
 #include "deflate/inflate_decoder.h"
 #include "util/checked.h"
+#include "util/taint.h"
 
 namespace deflate {
 
@@ -43,7 +44,7 @@ class InflateStream
      * Feed more compressed bytes; decoded bytes are appended to
      * @p out. May be called with empty input to re-drive the machine.
      */
-    [[nodiscard]] StreamStatus feed(std::span<const uint8_t> data,
+    [[nodiscard]] StreamStatus feed(NXSIM_UNTRUSTED std::span<const uint8_t> data,
                       std::vector<uint8_t> &out);
 
     /** True once the final block has been consumed. */

@@ -1,6 +1,7 @@
 #include "deflate/zlib_stream.h"
 
 #include "util/adler32.h"
+#include "util/taint.h"
 
 #include <algorithm>
 #include "util/checked.h"
@@ -32,7 +33,7 @@ zlibWrap(std::span<const uint8_t> deflate_stream,
 }
 
 ZlibUnwrapResult
-zlibUnwrap(std::span<const uint8_t> stream)
+zlibUnwrap(NXSIM_UNTRUSTED std::span<const uint8_t> stream)
 {
     ZlibUnwrapResult res;
     if (stream.size() < 6) {
@@ -104,7 +105,7 @@ zlibWrapWithDict(std::span<const uint8_t> deflate_stream,
 }
 
 ZlibUnwrapResult
-zlibUnwrapWithDict(std::span<const uint8_t> stream,
+zlibUnwrapWithDict(NXSIM_UNTRUSTED std::span<const uint8_t> stream,
                    std::span<const uint8_t> dict)
 {
     ZlibUnwrapResult res;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "deflate/inflate_decoder.h"
+#include "util/taint.h"
 
 namespace deflate {
 
@@ -30,7 +31,8 @@ struct ZlibUnwrapResult
 };
 
 /** Parse header, inflate, verify Adler-32. */
-[[nodiscard]] ZlibUnwrapResult zlibUnwrap(std::span<const uint8_t> stream);
+[[nodiscard]] ZlibUnwrapResult
+zlibUnwrap(NXSIM_UNTRUSTED std::span<const uint8_t> stream);
 
 /**
  * Wrap a preset-dictionary stream (RFC 1950 FDICT): the header
@@ -47,8 +49,9 @@ std::vector<uint8_t> zlibWrapWithDict(
  * dictionary, @p dict is checked against DICTID and used for the
  * inflate history; a mismatch or a missing dictionary fails.
  */
-[[nodiscard]] ZlibUnwrapResult zlibUnwrapWithDict(std::span<const uint8_t> stream,
-                                    std::span<const uint8_t> dict);
+[[nodiscard]] ZlibUnwrapResult
+zlibUnwrapWithDict(NXSIM_UNTRUSTED std::span<const uint8_t> stream,
+                   std::span<const uint8_t> dict);
 
 } // namespace deflate
 

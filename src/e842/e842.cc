@@ -6,6 +6,7 @@
 
 #include "util/bitstream.h"
 #include "util/checked.h"
+#include "util/taint.h"
 
 namespace e842 {
 
@@ -311,7 +312,8 @@ compress(std::span<const uint8_t> input)
 }
 
 E842DecompressResult
-decompress(std::span<const uint8_t> stream, size_t max_output)
+decompress(NXSIM_UNTRUSTED std::span<const uint8_t> stream,
+           size_t max_output)
 {
     E842DecompressResult res;
     util::BitReader br(stream);

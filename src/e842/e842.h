@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "util/taint.h"
+
 namespace e842 {
 
 /** Encoder statistics (inputs to the engine timing model). */
@@ -63,8 +65,9 @@ struct E842DecompressResult
 };
 
 /** Decompress an 842-class stream. */
-[[nodiscard]] E842DecompressResult decompress(std::span<const uint8_t> stream,
-                                size_t max_output = size_t{1} << 30);
+[[nodiscard]] E842DecompressResult decompress(
+    NXSIM_UNTRUSTED std::span<const uint8_t> stream,
+    size_t max_output = size_t{1} << 30);
 
 } // namespace e842
 

@@ -23,9 +23,6 @@
 #ifndef NXSIM_UTIL_CHECKED_H
 #define NXSIM_UTIL_CHECKED_H
 
-// nxlint: allow(narrow-cast): this header implements the checked-cast
-// vocabulary; the raw casts below are the single audited location.
-
 #include <cstddef>
 #include <cstring>
 #include <type_traits>

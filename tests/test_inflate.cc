@@ -248,6 +248,45 @@ TEST(Inflate, OverSubscribedDynamicCodeLengths)
     EXPECT_EQ(res.status, InflateStatus::BadCodeLengths);
 }
 
+namespace {
+
+/**
+ * A dynamic block whose code-length run overshoots the declared
+ * hlit+hdist total: 200 one-length codes followed by a symbol-18 run
+ * of 138 zeros lands at 338 of the 258 declared lengths. The decoder
+ * must reject the run before growing the length array past the
+ * declared total (the nxtaint-found bug; also the corpus entry
+ * fuzz/corpus/inflate/dynhdr-run-overflow.bin).
+ */
+std::vector<uint8_t>
+buildRunOvershootStream()
+{
+    BitWriter bw;
+    bw.writeBits(1, 1);      // BFINAL
+    bw.writeBits(2, 2);      // BTYPE=10 dynamic
+    bw.writeBits(0, 5);      // HLIT  = 257
+    bw.writeBits(0, 5);      // HDIST = 1 -> 258 lengths declared
+    bw.writeBits(14, 4);     // HCLEN = 18 CL-code lengths follow
+    // kClcOrder positions 2 (symbol 18) and 17 (symbol 1) get 1-bit
+    // codes — exactly Kraft-complete: sym 1 -> code 0, sym 18 -> 1.
+    for (int i = 0; i < 18; ++i)
+        bw.writeBits(i == 2 || i == 17 ? 1 : 0, 3);
+    for (int i = 0; i < 200; ++i)
+        bw.writeBits(0, 1);    // sym 1: two hundred lengths of one
+    bw.writeBits(1, 1);        // sym 18 ...
+    bw.writeBits(127, 7);      // ... run of 11+127 = 138 zeros
+    return bw.take();
+}
+
+} // namespace
+
+TEST(Inflate, CodeLengthRunOvershootRejected)
+{
+    auto stream = buildRunOvershootStream();
+    auto res = inflateDecompress(stream);
+    EXPECT_EQ(res.status, InflateStatus::BadCodeLengths);
+}
+
 TEST(Inflate, DynamicHeaderCountsOutOfRange)
 {
     // HLIT=31 encodes 288 litlen codes, above the legal 286.

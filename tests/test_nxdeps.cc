@@ -296,6 +296,94 @@ TEST(NxdepsSuppression, ProseMentionInDocCommentDoesNotParse)
     EXPECT_TRUE(an.findings.empty()) << dump(an);
 }
 
+TEST(NxdepsSuppression, UnusedAllowIsStale)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "int before;\n"
+         "// nxdeps: allow(layer-order): was needed before the split\n"
+         "#include \"util/y.h\"\n"},
+        {"src/util/y.h", "int y;\n"},
+    });
+    ASSERT_TRUE(fired(an, "stale-allow")) << dump(an);
+    EXPECT_EQ(an.findings[0].line, 2);
+    EXPECT_NE(an.findings[0].message.find("layer-order"),
+              std::string::npos);
+}
+
+TEST(NxdepsSuppression, UsedAllowIsNotStale)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "#include \"core/device.h\" "
+         "// nxdeps: allow(layer-order): transitional, tracked in #42\n"},
+        {"src/core/device.h", "int d;\n"},
+    });
+    EXPECT_FALSE(fired(an, "stale-allow")) << dump(an);
+}
+
+TEST(NxdepsSuppression, StaleAllowItselfCanBeExcused)
+{
+    // A suppression kept for a platform-conditional include can be
+    // excused with allow(stale-allow) in the same comment block.
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "int before;\n"
+         "// nxdeps: allow(stale-allow): include is ifdef'd per target\n"
+         "// nxdeps: allow(layer-order): only on z15 builds\n"
+         "#include \"util/y.h\"\n"},
+        {"src/util/y.h", "int y;\n"},
+    });
+    EXPECT_FALSE(fired(an, "stale-allow")) << dump(an);
+}
+
+TEST(NxdepsSuppression, MultiLineJustificationCoversNextCodeLine)
+{
+    // The allow's justification continues over a second `//` line; the
+    // include after the whole block is still covered.
+    Analysis an = analyzeFiles({
+        {"src/util/x.h",
+         "int before;\n"
+         "// nxdeps: allow(layer-order): transitional while the device\n"
+         "// model moves down a layer, tracked in #42\n"
+         "#include \"core/device.h\"\n"},
+        {"src/core/device.h", "int d;\n"},
+    });
+    EXPECT_FALSE(fired(an, "layer-order")) << dump(an);
+    EXPECT_FALSE(fired(an, "stale-allow")) << dump(an);
+}
+
+// ---------------------------------------------------------------------------
+// unknown-module
+// ---------------------------------------------------------------------------
+
+TEST(NxdepsUnknownModule, UnlistedSrcDirectoryFires)
+{
+    Analysis an = analyzeFiles({
+        {"src/mystery/a.h", "int a;\n"},
+        {"src/mystery/b.h", "int b;\n"},
+    });
+    // One finding per module, not per file.
+    EXPECT_EQ(std::count_if(an.findings.begin(), an.findings.end(),
+                            [](const Finding &f) {
+                                return f.rule == "unknown-module";
+                            }),
+              1)
+        << dump(an);
+    EXPECT_NE(an.findings[0].message.find("mystery"), std::string::npos);
+}
+
+TEST(NxdepsUnknownModule, DeclaredModulesAndNonSrcTreesAreClean)
+{
+    Analysis an = analyzeFiles({
+        {"src/util/a.h", "int a;\n"},
+        {"src/core/b.h", "int b;\n"},
+        {"bench/bench_x.cc", "int x;\n"},
+        {"tools/nxlint/y.cc", "int y;\n"},
+    });
+    EXPECT_FALSE(fired(an, "unknown-module")) << dump(an);
+}
+
 // ---------------------------------------------------------------------------
 // DOT output
 // ---------------------------------------------------------------------------

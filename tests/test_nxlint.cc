@@ -530,6 +530,55 @@ TEST(NxlintSuppression, FileScopeAllowBeforeAnyCode)
     EXPECT_FALSE(fired(fs, "narrow-cast"));
 }
 
+TEST(NxlintSuppression, UnusedAllowIsStale)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "int before;\n"
+                       "// nxlint: allow(narrow-cast): was needed before "
+                       "the helper landed\n"
+                       "uint8_t f(uint8_t n) { return n; }\n");
+    ASSERT_TRUE(fired(fs, "stale-allow"));
+    EXPECT_EQ(fs[0].line, 2);
+    EXPECT_NE(fs[0].message.find("narrow-cast"), std::string::npos);
+}
+
+TEST(NxlintSuppression, UsedAllowIsNotStale)
+{
+    auto fs = lintFile("src/deflate/x.cc",
+                       "int before;\n"
+                       "// nxlint: allow(narrow-cast): lookup table index\n"
+                       "uint8_t f(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n");
+    EXPECT_FALSE(fired(fs, "stale-allow"));
+}
+
+TEST(NxlintSuppression, StaleAllowItselfCanBeExcused)
+{
+    // A suppression kept for a platform-conditional construct can be
+    // excused with allow(stale-allow) leading the comment block.
+    auto fs = lintFile("src/deflate/x.cc",
+                       "int before;\n"
+                       "// nxlint: allow(stale-allow): cast is ifdef'd "
+                       "per target\n"
+                       "// nxlint: allow(narrow-cast): only on z15 builds\n"
+                       "uint8_t f(uint8_t n) { return n; }\n");
+    EXPECT_FALSE(fired(fs, "stale-allow"));
+}
+
+TEST(NxlintSuppression, MultiLineJustificationCoversNextCodeLine)
+{
+    // The justification continues over a second `//` line; the cast
+    // after the whole comment block is still covered.
+    auto fs = lintFile("src/deflate/x.cc",
+                       "int before;\n"
+                       "// nxlint: allow(narrow-cast): the table index is\n"
+                       "// masked to 8 bits two lines up\n"
+                       "uint8_t f(size_t n) "
+                       "{ return static_cast<uint8_t>(n); }\n");
+    EXPECT_FALSE(fired(fs, "narrow-cast"));
+    EXPECT_FALSE(fired(fs, "stale-allow"));
+}
+
 TEST(NxlintSuppression, MentionInProseDoesNotSuppress)
 {
     auto fs = lintFile("src/deflate/x.cc",
@@ -553,7 +602,7 @@ TEST(NxlintFormat, MatchesFileLineRuleMessage)
 TEST(NxlintRules, TableIsPopulatedAndUnique)
 {
     const auto &rs = nxlint::rules();
-    EXPECT_GE(rs.size(), 11u);
+    EXPECT_GE(rs.size(), 13u);
     for (size_t i = 0; i < rs.size(); ++i)
         for (size_t j = i + 1; j < rs.size(); ++j)
             EXPECT_NE(rs[i].id, rs[j].id);

@@ -11,6 +11,7 @@
 #include "deflate/deflate_stream.h"
 #include "deflate/inflate_decoder.h"
 #include "deflate/inflate_stream.h"
+#include "util/bitstream.h"
 #include "util/prng.h"
 #include "workloads/corpus.h"
 
@@ -199,6 +200,33 @@ TEST(InflateStream, ErrorOnGarbage)
     std::vector<uint8_t> out;
     auto st = is.feed(garbage, out);
     EXPECT_EQ(st, StreamStatus::Error);
+}
+
+TEST(InflateStream, CodeLengthRunOvershootRejected)
+{
+    // Dynamic header whose symbol-18 run overshoots the declared
+    // hlit+hdist total (same stream as the one-shot decoder test and
+    // fuzz/corpus/inflate/dynhdr-run-overflow.bin): the incremental
+    // decoder must reject the run before growing its length array.
+    util::BitWriter bw;
+    bw.writeBits(1, 1);      // BFINAL
+    bw.writeBits(2, 2);      // BTYPE=10 dynamic
+    bw.writeBits(0, 5);      // HLIT  = 257
+    bw.writeBits(0, 5);      // HDIST = 1 -> 258 lengths declared
+    bw.writeBits(14, 4);     // HCLEN = 18
+    for (int i = 0; i < 18; ++i)
+        bw.writeBits(i == 2 || i == 17 ? 1 : 0, 3);
+    for (int i = 0; i < 200; ++i)
+        bw.writeBits(0, 1);    // sym 1 x200
+    bw.writeBits(1, 1);        // sym 18 ...
+    bw.writeBits(127, 7);      // ... run of 138 zeros -> 338 > 258
+    auto stream = bw.take();
+
+    InflateStream is;
+    std::vector<uint8_t> out;
+    auto st = is.feed(stream, out);
+    EXPECT_EQ(st, StreamStatus::Error);
+    EXPECT_EQ(is.error(), deflate::InflateStatus::BadCodeLengths);
 }
 
 TEST(InflateStream, TrailingBytesLeftBuffered)

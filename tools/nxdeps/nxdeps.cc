@@ -48,9 +48,15 @@ const std::vector<RuleInfo> kRules = {
     {"private-include",
      "another module's internal/ directory and *_internal.h headers are "
      "off limits; go through its public headers"},
+    {"unknown-module",
+     "every directory under src/ must appear in the declared layer "
+     "table; an unlisted module would be silently unchecked"},
     {"bare-allow",
      "nxdeps suppressions must name a known rule and justify it: "
      "// nxdeps: allow(<rule>): <why>"},
+    {"stale-allow",
+     "an allow() that no longer suppresses any finding is itself a "
+     "finding; delete it"},
     {"io-error", "file could not be read"},
 };
 
@@ -170,25 +176,41 @@ struct Include
     int line = 0;         ///< 1-based
 };
 
-struct Suppressions
+/**
+ * One parsed allow directive. `used` is set when it suppresses a raw
+ * finding; an allow that stays unused is reported as stale-allow —
+ * the suppression budget stays honest because a suppression that
+ * outlives its finding has to be deleted.
+ */
+struct Allow
 {
-    std::map<std::string, std::set<int>, std::less<>> byRule;
-    std::set<std::string, std::less<>> fileScope;
-
-    bool
-    allows(const std::string &rule, int line) const
-    {
-        if (fileScope.count(rule) != 0)
-            return true;
-        auto it = byRule.find(rule);
-        return it != byRule.end() && it->second.count(line) != 0;
-    }
+    std::string rule;
+    bool fileScope = false;
+    std::set<int> lines;
+    int commentLine = 0;
+    bool used = false;
 };
+
+/** Match-and-mark: does any allow cover (rule, line)? */
+bool
+allowMatches(std::vector<Allow> &allows, const std::string &rule, int line)
+{
+    bool hit = false;
+    for (Allow &a : allows) {
+        if (a.rule != rule)
+            continue;
+        if (a.fileScope || a.lines.count(line) != 0) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    return hit;
+}
 
 struct ScannedFile
 {
     std::vector<Include> includes;
-    Suppressions sup;
+    std::vector<Allow> allows;
 };
 
 /**
@@ -251,13 +273,30 @@ scanFile(std::string_view path, std::string_view content,
                          "allow(" + rule +
                              ") needs a justification: allow(" + rule +
                              "): <why>"});
-                } else if (!sawCode) {
-                    out.sup.fileScope.insert(rule);
                 } else {
-                    auto &ls = out.sup.byRule[rule];
-                    ls.insert(lineNo);
-                    if (code.empty())
-                        ls.insert(lineNo + 1);    // comment-only line
+                    Allow a;
+                    a.rule = rule;
+                    a.commentLine = lineNo;
+                    if (!sawCode) {
+                        a.fileScope = true;
+                    } else {
+                        a.lines.insert(lineNo);
+                        if (code.empty()) {
+                            // Comment-only line: the allow covers the
+                            // rest of its comment block (a multi-line
+                            // justification) plus the first code line
+                            // after it.
+                            size_t j = n;
+                            while (j + 1 < lines.size() &&
+                                   trim(lines[j + 1].code).empty() &&
+                                   !trim(lines[j + 1].comment).empty()) {
+                                ++j;
+                                a.lines.insert(static_cast<int>(j) + 1);
+                            }
+                            a.lines.insert(static_cast<int>(j) + 2);
+                        }
+                    }
+                    out.allows.push_back(std::move(a));
                 }
             }
         }
@@ -482,6 +521,24 @@ analyzeFiles(const std::vector<SourceFile> &files)
     for (size_t i : order)
         scanned[i] = scanFile(files[i].path, files[i].content, raw);
 
+    // Every directory under src/ must be in the layer table, else its
+    // files would sail through every layering check unexamined. One
+    // finding per unknown module, on its first file in path order.
+    std::set<std::string> unknownReported;
+    for (size_t i : order) {
+        std::string norm = normalize(files[i].path);
+        if (norm.rfind("src/", 0) != 0)
+            continue;
+        std::string mod = moduleOf(norm);
+        if (mod.empty() || rankOf(mod) >= 0 ||
+            !unknownReported.insert(mod).second)
+            continue;
+        raw.push_back({files[i].path, 1, "unknown-module",
+                       "module '" + mod + "' (src/" + mod +
+                           ") is not in the declared layer table; add "
+                           "it to kLayers with an explicit rank"});
+    }
+
     // File-level include graph plus the condensed module graph.
     std::vector<std::vector<Edge>> fileAdj(files.size());
     std::map<std::string, size_t, std::less<>> moduleIdx;
@@ -569,10 +626,28 @@ analyzeFiles(const std::vector<SourceFile> &files)
         if (f.rule != "bare-allow") {
             auto it = byPath.find(normalize(f.file));
             if (it != byPath.end() &&
-                scanned[it->second].sup.allows(f.rule, f.line))
+                allowMatches(scanned[it->second].allows, f.rule, f.line))
                 continue;
         }
         an.findings.push_back(std::move(f));
+    }
+    // An allow that suppressed nothing is itself a finding — unless an
+    // allow(stale-allow) on the same lines excuses it (e.g. a
+    // suppression kept for a platform-conditional include).
+    for (size_t i : order) {
+        std::vector<Allow> &allows = scanned[i].allows;
+        for (size_t ai = 0; ai < allows.size(); ++ai) {
+            const Allow &a = allows[ai];
+            if (a.used || a.rule == "stale-allow")
+                continue;
+            if (allowMatches(allows, "stale-allow", a.commentLine))
+                continue;
+            an.findings.push_back(
+                {files[i].path, a.commentLine, "stale-allow",
+                 "allow(" + a.rule +
+                     ") suppresses nothing; delete it or fix the rule "
+                     "id"});
+        }
     }
     std::sort(an.findings.begin(), an.findings.end(),
               [](const Finding &a, const Finding &b) {

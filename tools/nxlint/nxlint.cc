@@ -1,9 +1,10 @@
 /**
  * @file
- * nxlint implementation: a hand-rolled C++ lexer plus token-pattern
- * rules. The lexer understands comments, string/char literals (raw
- * strings included), numbers and preprocessor lines — enough that a
- * banned identifier inside a string or comment never fires, and a
+ * nxlint implementation: the shared tokenizer (tools/nxlint/lexer.h,
+ * also the front end of tools/nxtaint) plus token-pattern rules. The
+ * lexer understands comments, string/char literals (raw strings
+ * included), numbers and preprocessor lines — enough that a banned
+ * identifier inside a string or comment never fires, and a
  * suppression comment is visible next to the code it excuses.
  */
 
@@ -17,271 +18,16 @@
 #include <set>
 #include <sstream>
 
+#include "nxlint/lexer.h"
+
 namespace nxlint {
 
 namespace {
 
-// ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-enum class Tok
-{
-    Ident,
-    Number,
-    Punct,
-    Str,
-    Chr,
-    Comment,
-    Pp,         // one whole preprocessor directive (continuations joined)
-};
-
-struct Token
-{
-    Tok kind;
-    std::string text;
-    int line = 0;        // 1-based start line
-    int endLine = 0;     // last physical line the token touches
-    bool firstOnLine = false;
-};
-
-bool
-identStart(char c)
-{
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-identChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-class Lexer
-{
-  public:
-    explicit Lexer(std::string_view s) : s_(s) {}
-
-    std::vector<Token>
-    run()
-    {
-        std::vector<Token> out;
-        while (i_ < s_.size()) {
-            char c = s_[i_];
-            if (c == '\n') {
-                ++line_;
-                atLineStart_ = true;
-                ++i_;
-                continue;
-            }
-            if (std::isspace(static_cast<unsigned char>(c))) {
-                ++i_;
-                continue;
-            }
-            Token t;
-            t.line = line_;
-            t.firstOnLine = atLineStart_;
-            atLineStart_ = false;
-            if (c == '#') {
-                t.kind = Tok::Pp;
-                t.text = readPpLine();
-            } else if (c == '/' && peek(1) == '/') {
-                t.kind = Tok::Comment;
-                t.text = readLineComment();
-            } else if (c == '/' && peek(1) == '*') {
-                t.kind = Tok::Comment;
-                t.text = readBlockComment();
-            } else if (c == '"') {
-                t.kind = Tok::Str;
-                t.text = readString();
-            } else if (c == '\'') {
-                t.kind = Tok::Chr;
-                t.text = readChar();
-            } else if (std::isdigit(static_cast<unsigned char>(c)) ||
-                       (c == '.' &&
-                        std::isdigit(static_cast<unsigned char>(peek(1))))) {
-                t.kind = Tok::Number;
-                t.text = readNumber();
-            } else if (identStart(c)) {
-                t.kind = Tok::Ident;
-                t.text = readIdent();
-                // String/char literal prefixes: u8R"(... , L"...", etc.
-                if ((i_ < s_.size()) &&
-                    (s_[i_] == '"' || s_[i_] == '\'') &&
-                    isLiteralPrefix(t.text)) {
-                    if (s_[i_] == '\'') {
-                        t.kind = Tok::Chr;
-                        t.text += readChar();
-                    } else if (t.text.back() == 'R') {
-                        t.kind = Tok::Str;
-                        t.text += readRawString();
-                    } else {
-                        t.kind = Tok::Str;
-                        t.text += readString();
-                    }
-                }
-            } else {
-                t.kind = Tok::Punct;
-                t.text = std::string(1, c);
-                ++i_;
-            }
-            t.endLine = line_;
-            out.push_back(std::move(t));
-        }
-        return out;
-    }
-
-  private:
-    char
-    peek(size_t ahead) const
-    {
-        return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
-    }
-
-    static bool
-    isLiteralPrefix(const std::string &id)
-    {
-        return id == "u8" || id == "u" || id == "U" || id == "L" ||
-               id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
-               id == "LR";
-    }
-
-    std::string
-    readPpLine()
-    {
-        std::string text;
-        while (i_ < s_.size()) {
-            char c = s_[i_];
-            if (c == '\\' && peek(1) == '\n') {
-                text += ' ';
-                i_ += 2;
-                ++line_;
-                continue;
-            }
-            if (c == '\n')
-                break;
-            text += c;
-            ++i_;
-        }
-        return text;
-    }
-
-    std::string
-    readLineComment()
-    {
-        size_t start = i_;
-        while (i_ < s_.size() && s_[i_] != '\n')
-            ++i_;
-        return std::string(s_.substr(start, i_ - start));
-    }
-
-    std::string
-    readBlockComment()
-    {
-        size_t start = i_;
-        i_ += 2;
-        while (i_ < s_.size()) {
-            if (s_[i_] == '\n')
-                ++line_;
-            if (s_[i_] == '*' && peek(1) == '/') {
-                i_ += 2;
-                break;
-            }
-            ++i_;
-        }
-        return std::string(s_.substr(start, i_ - start));
-    }
-
-    std::string
-    readString()
-    {
-        size_t start = i_;
-        ++i_;
-        while (i_ < s_.size() && s_[i_] != '"') {
-            if (s_[i_] == '\\' && i_ + 1 < s_.size())
-                ++i_;
-            if (s_[i_] == '\n')
-                ++line_;    // ill-formed C++, but keep line counts sane
-            ++i_;
-        }
-        if (i_ < s_.size())
-            ++i_;
-        return std::string(s_.substr(start, i_ - start));
-    }
-
-    std::string
-    readRawString()
-    {
-        size_t start = i_;
-        ++i_;    // opening quote
-        std::string delim;
-        while (i_ < s_.size() && s_[i_] != '(')
-            delim += s_[i_++];
-        std::string close = ")" + delim + "\"";
-        size_t end = s_.find(close, i_);
-        if (end == std::string_view::npos) {
-            i_ = s_.size();
-        } else {
-            for (size_t k = i_; k < end; ++k)
-                if (s_[k] == '\n')
-                    ++line_;
-            i_ = end + close.size();
-        }
-        return std::string(s_.substr(start, i_ - start));
-    }
-
-    std::string
-    readChar()
-    {
-        size_t start = i_;
-        ++i_;
-        while (i_ < s_.size() && s_[i_] != '\'') {
-            if (s_[i_] == '\\' && i_ + 1 < s_.size())
-                ++i_;
-            ++i_;
-        }
-        if (i_ < s_.size())
-            ++i_;
-        return std::string(s_.substr(start, i_ - start));
-    }
-
-    std::string
-    readNumber()
-    {
-        size_t start = i_;
-        while (i_ < s_.size()) {
-            char c = s_[i_];
-            if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
-                c == '\'') {
-                ++i_;
-                continue;
-            }
-            if ((c == '+' || c == '-') && i_ > start) {
-                char p = s_[i_ - 1];
-                if (p == 'e' || p == 'E' || p == 'p' || p == 'P') {
-                    ++i_;
-                    continue;
-                }
-            }
-            break;
-        }
-        return std::string(s_.substr(start, i_ - start));
-    }
-
-    std::string
-    readIdent()
-    {
-        size_t start = i_;
-        while (i_ < s_.size() && identChar(s_[i_]))
-            ++i_;
-        return std::string(s_.substr(start, i_ - start));
-    }
-
-    std::string_view s_;
-    size_t i_ = 0;
-    int line_ = 1;
-    bool atLineStart_ = true;
-};
+using nxlex::identChar;
+using nxlex::Lexer;
+using nxlex::Tok;
+using nxlex::Token;
 
 // ---------------------------------------------------------------------------
 // Path scoping
@@ -388,6 +134,9 @@ const std::vector<RuleInfo> kRules = {
     {"bare-allow",
      "nxlint suppressions must name a known rule and justify it: "
      "// nxlint: allow(<rule>): <why>"},
+    {"stale-allow",
+     "an allow() that no longer suppresses any finding is itself a "
+     "finding; delete it"},
     {"io-error", "file could not be read"},
 };
 
@@ -402,45 +151,54 @@ knownRule(std::string_view id)
 // Suppressions
 // ---------------------------------------------------------------------------
 
-struct Suppressions
+/**
+ * One parsed allow directive. `used` is set when it suppresses a raw
+ * finding; an allow that stays unused is reported as stale-allow —
+ * the suppression budget stays honest because a suppression that
+ * outlives its finding has to be deleted.
+ */
+struct Allow
 {
-    // rule -> lines it is allowed on; empty set means file-scope allow.
-    std::map<std::string, std::set<int>, std::less<>> byRule;
-    std::set<std::string, std::less<>> fileScope;
-
-    bool
-    allows(const std::string &rule, int line) const
-    {
-        if (fileScope.count(rule) != 0)
-            return true;
-        auto it = byRule.find(rule);
-        return it != byRule.end() && it->second.count(line) != 0;
-    }
+    std::string rule;
+    bool fileScope = false;
+    std::set<int> lines;
+    int commentLine = 0;
+    bool used = false;
 };
 
-std::string_view
-trim(std::string_view v)
+/// True (and marks the allow used) when some allow covers rule@line.
+bool
+allowMatches(std::vector<Allow> &allows, std::string_view rule, int line)
 {
-    while (!v.empty() &&
-           std::isspace(static_cast<unsigned char>(v.front())))
-        v.remove_prefix(1);
-    while (!v.empty() && std::isspace(static_cast<unsigned char>(v.back())))
-        v.remove_suffix(1);
-    return v;
+    bool hit = false;
+    for (Allow &a : allows) {
+        if (a.rule != rule)
+            continue;
+        if (a.fileScope || a.lines.count(line) != 0) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    return hit;
 }
+
+using nxlex::trim;
 
 /**
  * Parse every `nxlint: allow(rule): why` occurrence in comment tokens.
- * An allow covers the comment's own lines plus the next line when the
- * comment starts its line; before any code it covers the whole file.
+ * An allow covers its own comment block — the directive's lines plus
+ * any directly following `//` continuation lines — and the next code
+ * line when the comment starts its line; before any code it covers
+ * the whole file.
  */
-Suppressions
+std::vector<Allow>
 collectSuppressions(const std::vector<Token> &toks,
                     std::vector<Finding> &findings, std::string_view file)
 {
-    Suppressions sup;
+    std::vector<Allow> allows;
     bool sawCode = false;
-    for (const Token &t : toks) {
+    for (size_t ti = 0; ti < toks.size(); ++ti) {
+        const Token &t = toks[ti];
         if (t.kind != Tok::Comment) {
             // Preprocessor lines (guards, includes) don't end the
             // file-level comment region; real code does.
@@ -487,18 +245,34 @@ collectSuppressions(const std::vector<Token> &toks,
                          "): <why>"});
                 continue;
             }
+            Allow a;
+            a.rule = rule;
+            a.commentLine = t.line;
             if (!sawCode) {
-                sup.fileScope.insert(rule);
+                a.fileScope = true;
+                allows.push_back(std::move(a));
                 continue;
             }
-            auto &lines = sup.byRule[rule];
-            for (int l = t.line; l <= t.endLine; ++l)
-                lines.insert(l);
+            // A justification may continue across directly following
+            // `//` lines; the whole contiguous comment block (plus the
+            // next code line, when the comment starts its line) is
+            // covered.
+            int lastLine = t.endLine;
+            for (size_t j = ti + 1; j < toks.size(); ++j) {
+                const Token &c = toks[j];
+                if (c.kind != Tok::Comment || !c.firstOnLine ||
+                    c.line != lastLine + 1)
+                    break;
+                lastLine = c.endLine;
+            }
+            for (int l = t.line; l <= lastLine; ++l)
+                a.lines.insert(l);
             if (t.firstOnLine)
-                lines.insert(t.endLine + 1);
+                a.lines.insert(lastLine + 1);
+            allows.push_back(std::move(a));
         }
     }
-    return sup;
+    return allows;
 }
 
 // ---------------------------------------------------------------------------
@@ -1124,7 +898,7 @@ lintFile(std::string_view path, std::string_view content)
     std::vector<Token> toks = Lexer(content).run();
 
     std::vector<Finding> raw;
-    Suppressions sup = collectSuppressions(toks, raw, path);
+    std::vector<Allow> allows = collectSuppressions(toks, raw, path);
 
     checkIncludeGuard(toks, sc, path, raw);
     checkUsingNamespace(toks, sc, path, raw);
@@ -1139,9 +913,23 @@ lintFile(std::string_view path, std::string_view content)
 
     std::vector<Finding> out;
     for (Finding &f : raw) {
-        if (f.rule != "bare-allow" && sup.allows(f.rule, f.line))
+        if (f.rule != "bare-allow" && allowMatches(allows, f.rule, f.line))
             continue;
         out.push_back(std::move(f));
+    }
+    // An allow that suppressed nothing is itself a finding — unless an
+    // allow(stale-allow) on the same lines excuses it (e.g. a
+    // suppression kept for a platform-conditional construct).
+    for (size_t ai = 0; ai < allows.size(); ++ai) {
+        const Allow &a = allows[ai];
+        if (a.used || a.rule == "stale-allow")
+            continue;
+        if (allowMatches(allows, "stale-allow", a.commentLine))
+            continue;
+        out.push_back({std::string(path), a.commentLine, "stale-allow",
+                       "allow(" + a.rule +
+                           ") suppresses nothing; delete it or fix the "
+                           "rule id"});
     }
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {

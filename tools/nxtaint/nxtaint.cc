@@ -1,0 +1,1108 @@
+/**
+ * @file
+ * nxtaint implementation: a statement-level forward taint walk over
+ * the shared tokenizer's output.
+ *
+ * The shape of the analysis, front to back:
+ *
+ *   1. Lex (tools/nxlint/lexer.h), collect `nxtaint: allow(...)`
+ *      suppressions from the comment stream, then strip comments and
+ *      merge multi-character operators (`<<`, `->`, `==`, ...) that
+ *      the lexer emits as single punctuation characters.
+ *   2. Find function bodies: a `{` whose backward token context
+ *      resolves (through trailing `const`/`noexcept`/return types /
+ *      constructor-initializer lists) to a `)`. Each body gets a fresh
+ *      taint environment; lambdas and nested blocks are analyzed
+ *      inline against the enclosing function's environment.
+ *   3. Walk the body statement by statement in token order. Sources
+ *      taint variables, `if`/`switch`/contract comparisons sanitize
+ *      them, sinks fire findings on tainted-and-unsanitized values.
+ *      "Earlier in statement order" approximates "dominating" — right
+ *      for the decode-loop idiom this tree is written in, and every
+ *      deliberate exception carries an allow() with a justification.
+ *
+ * The walk is intra-procedural by design: cross-function flows are the
+ * annotation's job (NXSIM_UNTRUSTED at the trust boundary), and member
+ * state resets per function. See nxtaint.h for the rule table.
+ */
+
+#include "nxtaint/nxtaint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "nxlint/lexer.h"
+
+namespace nxtaint {
+
+namespace {
+
+using nxlex::Lexer;
+using nxlex::Tok;
+using nxlex::Token;
+using nxlex::trim;
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"taint-copy-size",
+     "memcpy/memmove/memset/copyBytes size argument derives from "
+     "untrusted input without a bounds check"},
+    {"taint-alloc-size",
+     "resize/reserve/assign/insert count derives from untrusted input "
+     "without a bounds check"},
+    {"taint-index",
+     "array/container subscript derives from untrusted input without a "
+     "bounds check"},
+    {"taint-shift",
+     "shift amount derives from untrusted input without a bounds check"},
+    {"taint-loop-bound",
+     "loop bound derives from untrusted input without a prior bounds "
+     "check"},
+    {"bare-allow",
+     "allow() without a justification, or naming an unknown rule"},
+    {"stale-allow",
+     "allow() that no longer suppresses any finding"},
+    {"io-error", "file could not be read"},
+};
+
+bool
+knownRule(std::string_view id)
+{
+    for (const RuleInfo &r : kRules)
+        if (r.id == id)
+            return true;
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/**
+ * One parsed `nxtaint: allow(rule): why` directive. Same grammar and
+ * placement as nxlint: the allow covers the comment's own lines plus
+ * the next line when the comment starts its line; before any code it
+ * covers the whole file. `used` feeds the stale-allow rule.
+ */
+struct Allow
+{
+    std::string rule;
+    bool fileScope = false;
+    std::set<int> lines;
+    int commentLine = 0;
+    bool used = false;
+};
+
+std::vector<Allow>
+collectAllows(const std::vector<Token> &toks, std::vector<Finding> &findings,
+              std::string_view file)
+{
+    std::vector<Allow> allows;
+    bool sawCode = false;
+    for (size_t ti = 0; ti < toks.size(); ++ti) {
+        const Token &t = toks[ti];
+        if (t.kind != Tok::Comment) {
+            if (t.kind != Tok::Pp)
+                sawCode = true;
+            continue;
+        }
+        std::string_view body{t.text};
+        if (body.rfind("//", 0) != 0)
+            continue;
+        body.remove_prefix(2);
+        body = trim(body);
+        if (body.rfind("nxtaint:", 0) != 0)
+            continue;
+        body.remove_prefix(8);
+        size_t pos = 0;
+        while ((pos = body.find("allow(", pos)) != std::string::npos) {
+            std::string_view rest = body.substr(pos);
+            pos += 6;
+            rest.remove_prefix(6);
+            size_t close = rest.find(')');
+            if (close == std::string_view::npos)
+                continue;
+            std::string rule{trim(rest.substr(0, close))};
+            std::string_view tail = trim(rest.substr(close + 1));
+            if (!knownRule(rule) || rule == "bare-allow") {
+                findings.push_back({std::string(file), t.line, "bare-allow",
+                                    "allow() names unknown rule '" + rule +
+                                        "'"});
+                continue;
+            }
+            if (tail.empty() || tail.front() != ':' ||
+                trim(tail.substr(1)).empty()) {
+                findings.push_back(
+                    {std::string(file), t.line, "bare-allow",
+                     "allow(" + rule + ") needs a justification: allow(" +
+                         rule + "): <why>"});
+                continue;
+            }
+            Allow a;
+            a.rule = rule;
+            a.commentLine = t.line;
+            if (!sawCode) {
+                a.fileScope = true;
+            } else {
+                // A justification may run over several `//` lines (each
+                // its own token): the allow covers the whole contiguous
+                // comment block plus, when the block starts its lines,
+                // the first code line after it.
+                int lastLine = t.endLine;
+                for (size_t j = ti + 1;
+                     j < toks.size() && toks[j].kind == Tok::Comment &&
+                     toks[j].firstOnLine && toks[j].line == lastLine + 1;
+                     ++j)
+                    lastLine = toks[j].endLine;
+                for (int l = t.line; l <= lastLine; ++l)
+                    a.lines.insert(l);
+                if (t.firstOnLine)
+                    a.lines.insert(lastLine + 1);
+            }
+            allows.push_back(std::move(a));
+        }
+    }
+    return allows;
+}
+
+bool
+allowMatches(std::vector<Allow> &allows, const std::string &rule, int line)
+{
+    bool hit = false;
+    for (Allow &a : allows) {
+        if (a.rule != rule)
+            continue;
+        if (a.fileScope || a.lines.count(line) != 0) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    return hit;
+}
+
+// ---------------------------------------------------------------------------
+// Token preparation: strip comments/preprocessor, merge operators
+// ---------------------------------------------------------------------------
+
+/**
+ * The shared lexer emits one Punct token per character; taint analysis
+ * needs `<<` vs `<`, `->` vs `-`, `==` vs `=`. Merge the standard
+ * multi-character operators (greedy, longest first). Comments and
+ * whole preprocessor directives drop out here: suppressions were
+ * already harvested, and macro bodies are not analyzable statements.
+ */
+std::vector<Token>
+prepare(const std::vector<Token> &raw)
+{
+    static const std::vector<std::string> kThree = {"<<=", ">>=", "->*",
+                                                    "..."};
+    static const std::vector<std::string> kTwo = {
+        "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "::",
+        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--"};
+
+    std::vector<Token> toks;
+    for (const Token &t : raw)
+        if (t.kind != Tok::Comment && t.kind != Tok::Pp)
+            toks.push_back(t);
+
+    std::vector<Token> out;
+    size_t i = 0;
+    auto punct = [&](size_t k) -> char {
+        return k < toks.size() && toks[k].kind == Tok::Punct &&
+                       toks[k].text.size() == 1
+                   ? toks[k].text[0]
+                   : '\0';
+    };
+    while (i < toks.size()) {
+        char a = punct(i);
+        if (a != '\0') {
+            char b = punct(i + 1);
+            char c = punct(i + 2);
+            bool merged = false;
+            if (b != '\0' && c != '\0' && toks[i].line == toks[i + 2].line) {
+                std::string three{a};
+                three += b;
+                three += c;
+                if (std::find(kThree.begin(), kThree.end(), three) !=
+                    kThree.end()) {
+                    Token t = toks[i];
+                    t.text = three;
+                    out.push_back(std::move(t));
+                    i += 3;
+                    merged = true;
+                }
+            }
+            if (!merged && b != '\0' && toks[i].line == toks[i + 1].line) {
+                std::string two{a};
+                two += b;
+                if (std::find(kTwo.begin(), kTwo.end(), two) != kTwo.end()) {
+                    Token t = toks[i];
+                    t.text = two;
+                    out.push_back(std::move(t));
+                    i += 2;
+                    merged = true;
+                }
+            }
+            if (merged)
+                continue;
+        }
+        out.push_back(toks[i]);
+        ++i;
+    }
+    return out;
+}
+
+bool
+isPunct(const std::vector<Token> &t, size_t i, std::string_view s)
+{
+    return i < t.size() && t[i].kind == Tok::Punct && t[i].text == s;
+}
+
+bool
+isIdent(const std::vector<Token> &t, size_t i)
+{
+    return i < t.size() && t[i].kind == Tok::Ident;
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+/** Why a value is tainted: the original source line and description. */
+struct TaintInfo
+{
+    int line = 0;
+    std::string what;
+};
+
+/** Member calls whose result is attacker-controlled. */
+const std::set<std::string, std::less<>> kSourceMethods = {
+    "readBits", "peekBits", "readBytes", "readU16le",
+    "readU32le", "peek",     "popByte",  "decode"};
+
+/** Member calls on a tainted object whose result is NOT tainted —
+ * these report the container's own geometry, which is exactly what
+ * tainted values get sanitized against. */
+const std::set<std::string, std::less<>> kCleanMethods = {
+    "size", "empty",  "capacity", "data",   "begin",
+    "end",  "cbegin", "cend",     "length", "max_size"};
+
+/** Wrappers whose result is bounded regardless of the argument. */
+const std::set<std::string, std::less<>> kSanitizerFns = {
+    "checked_cast", "truncate_cast", "min", "clamp"};
+
+const std::set<std::string, std::less<>> kContractMacros = {
+    "NXSIM_EXPECT", "NXSIM_ENSURE", "NXSIM_ASSERT"};
+
+const std::set<std::string, std::less<>> kCompoundAssign = {
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="};
+
+const std::set<std::string, std::less<>> kComparisons = {"<",  ">", "<=",
+                                                         ">=", "==", "!="};
+
+/** An identifier spelled like a compile-time constant (kFoo). */
+bool
+isConstIdent(const std::string &s)
+{
+    return s.size() >= 2 && s[0] == 'k' &&
+           std::isupper(static_cast<unsigned char>(s[1]));
+}
+
+class Analyzer
+{
+  public:
+    Analyzer(std::string_view file, const std::vector<Token> &toks,
+             std::vector<Finding> &out)
+        : file_(file), t_(toks), out_(out)
+    {
+    }
+
+    void
+    run()
+    {
+        size_t n = t_.size();
+        size_t i = 0;
+        while (i < n) {
+            if (isPunct(t_, i, "{")) {
+                size_t po = 0;
+                size_t pc = 0;
+                if (startsFunctionBody(i, po, pc)) {
+                    beginFunction(po, pc);
+                    i = analyzeBody(i);
+                    continue;
+                }
+            }
+            ++i;
+        }
+    }
+
+  private:
+    // -- bracket matching ---------------------------------------------------
+
+    size_t
+    matchForward(size_t i, char open, char close) const
+    {
+        int depth = 0;
+        std::string o(1, open);
+        std::string c(1, close);
+        for (; i < t_.size(); ++i) {
+            if (isPunct(t_, i, o))
+                ++depth;
+            else if (isPunct(t_, i, c) && --depth == 0)
+                return i;
+        }
+        return t_.size();
+    }
+
+    size_t
+    matchBackward(size_t i, char open, char close) const
+    {
+        int depth = 0;
+        std::string o(1, open);
+        std::string c(1, close);
+        while (true) {
+            if (isPunct(t_, i, c))
+                ++depth;
+            else if (isPunct(t_, i, o) && --depth == 0)
+                return i;
+            if (i == 0)
+                break;
+            --i;
+        }
+        return t_.size();
+    }
+
+    // -- function detection -------------------------------------------------
+
+    /**
+     * Does the `{` at @p braceIdx open a function body? Scan backwards
+     * over trailing specifiers / return types / initializer lists; a
+     * body is preceded (eventually) by the `)` of a parameter list. On
+     * success @p po / @p pc are the parameter-list parens.
+     */
+    bool
+    startsFunctionBody(size_t braceIdx, size_t &po, size_t &pc) const
+    {
+        if (braceIdx == 0)
+            return false;
+        size_t i = braceIdx - 1;
+        // Skip trailing const/noexcept/override/final and `-> Type`.
+        for (int guard = 0; guard < 64; ++guard) {
+            const Token &tk = t_[i];
+            if (tk.kind == Tok::Ident || isPunct(t_, i, "::") ||
+                isPunct(t_, i, "<") || isPunct(t_, i, ">") ||
+                isPunct(t_, i, "*") || isPunct(t_, i, "&") ||
+                isPunct(t_, i, "->")) {
+                if (i == 0)
+                    return false;
+                --i;
+                continue;
+            }
+            break;
+        }
+        // Constructor initializer lists: `) : a_(x), b_(y) {`. Walk
+        // backwards over `name(...)` / `name{...}` entries joined by
+        // `,` until the `:` after the parameter list.
+        for (int guard = 0; guard < 256; ++guard) {
+            if (isPunct(t_, i, ")") || isPunct(t_, i, "}")) {
+                char open = t_[i].text[0] == ')' ? '(' : '{';
+                size_t openIdx =
+                    matchBackward(i, open, t_[i].text[0]);
+                if (openIdx == t_.size() || openIdx == 0)
+                    return false;
+                size_t before = openIdx - 1;
+                if (t_[before].kind == Tok::Ident && before > 0 &&
+                    (isPunct(t_, before - 1, ",") ||
+                     isPunct(t_, before - 1, ":"))) {
+                    // initializer-list entry; keep walking left
+                    bool colon = isPunct(t_, before - 1, ":");
+                    i = before - 2;
+                    if (colon) {
+                        // token before `:` must be the param-list `)`
+                        if (!isPunct(t_, i, ")"))
+                            return false;
+                        pc = i;
+                        po = matchBackward(i, '(', ')');
+                        return po != t_.size();
+                    }
+                    continue;
+                }
+                if (t_[i].text[0] != ')')
+                    return false;
+                pc = i;
+                po = openIdx;
+                return headAllowsFunction(po);
+            }
+            return false;
+        }
+        return false;
+    }
+
+    /** Reject control-flow heads (`if (...) {`) — they are statements,
+     * not function definitions, and only appear inside bodies anyway. */
+    bool
+    headAllowsFunction(size_t parenOpen) const
+    {
+        if (parenOpen == 0)
+            return false;
+        const Token &h = t_[parenOpen - 1];
+        if (h.kind != Tok::Ident)
+            // `](...)` lambda at namespace scope, `)(...)` fn-ptr, ...
+            return isPunct(t_, parenOpen - 1, "]");
+        return h.text != "if" && h.text != "for" && h.text != "while" &&
+               h.text != "switch" && h.text != "catch" &&
+               h.text != "return";
+    }
+
+    /** Reset state and mark NXSIM_UNTRUSTED parameters tainted. */
+    void
+    beginFunction(size_t po, size_t pc)
+    {
+        env_.clear();
+        clean_.clear();
+        size_t b = po + 1;
+        while (b < pc) {
+            size_t e = b;
+            int depth = 0;
+            for (; e < pc; ++e) {
+                if (isPunct(t_, e, "(") || isPunct(t_, e, "[") ||
+                    isPunct(t_, e, "{"))
+                    ++depth;
+                else if (isPunct(t_, e, ")") || isPunct(t_, e, "]") ||
+                         isPunct(t_, e, "}"))
+                    --depth;
+                else if (depth == 0 && isPunct(t_, e, ","))
+                    break;
+            }
+            markUntrustedParam(b, e);
+            b = e + 1;
+        }
+    }
+
+    void
+    markUntrustedParam(size_t b, size_t e)
+    {
+        bool untrusted = false;
+        size_t lastIdent = t_.size();
+        for (size_t i = b; i < e; ++i) {
+            if (isPunct(t_, i, "="))
+                break;    // default argument
+            if (!isIdent(t_, i))
+                continue;
+            if (t_[i].text == "NXSIM_UNTRUSTED") {
+                untrusted = true;
+                continue;
+            }
+            lastIdent = i;
+        }
+        if (untrusted && lastIdent != t_.size())
+            env_[t_[lastIdent].text] = {t_[lastIdent].line,
+                                        "NXSIM_UNTRUSTED parameter '" +
+                                            t_[lastIdent].text + "'"};
+    }
+
+    // -- body walk ----------------------------------------------------------
+
+    /** Walk one function body; returns the index past its `}`. */
+    size_t
+    analyzeBody(size_t braceIdx)
+    {
+        size_t end = matchForward(braceIdx, '{', '}');
+        size_t i = braceIdx + 1;
+        size_t sb = i;
+        while (i < end) {
+            const Token &tk = t_[i];
+            if (tk.kind == Tok::Ident &&
+                (tk.text == "if" || tk.text == "while" ||
+                 tk.text == "switch" || tk.text == "for") &&
+                isPunct(t_, i + 1, "(")) {
+                processStmt(sb, i);
+                size_t close = matchForward(i + 1, '(', ')');
+                handleControl(tk.text, i + 2, close);
+                i = close + 1;
+                sb = i;
+                continue;
+            }
+            if (isPunct(t_, i, ";") || isPunct(t_, i, "{") ||
+                isPunct(t_, i, "}")) {
+                processStmt(sb, i);
+                ++i;
+                sb = i;
+                continue;
+            }
+            ++i;
+        }
+        processStmt(sb, end);
+        return end + 1;
+    }
+
+    /** `for` headers split into init/cond/update; conditions of loops
+     * are loop-bound sinks before they sanitize, `if`/`switch`
+     * conditions sanitize without flagging. */
+    void
+    handleControl(const std::string &kind, size_t b, size_t e)
+    {
+        if (kind == "for") {
+            size_t s1 = e;
+            size_t s2 = e;
+            int depth = 0;
+            for (size_t i = b; i < e; ++i) {
+                if (isPunct(t_, i, "(") || isPunct(t_, i, "[") ||
+                    isPunct(t_, i, "{"))
+                    ++depth;
+                else if (isPunct(t_, i, ")") || isPunct(t_, i, "]") ||
+                         isPunct(t_, i, "}"))
+                    --depth;
+                else if (depth == 0 && isPunct(t_, i, ";")) {
+                    if (s1 == e)
+                        s1 = i;
+                    else if (s2 == e) {
+                        s2 = i;
+                        break;
+                    }
+                }
+            }
+            if (s1 == e) {
+                processStmt(b, e);    // range-for: no condition clause
+                return;
+            }
+            processStmt(b, s1);
+            handleCond(s1 + 1, s2 == e ? e : s2, /*loop=*/true,
+                       /*isSwitch=*/false);
+            if (s2 != e)
+                processStmt(s2 + 1, e);
+            return;
+        }
+        handleCond(b, e, /*loop=*/kind == "while",
+                   /*isSwitch=*/kind == "switch");
+    }
+
+    void
+    handleCond(size_t b, size_t e, bool loop, bool isSwitch)
+    {
+        checkSinks(b, e);
+        if (isSwitch) {
+            sanitizeIdents(b, e);
+            return;
+        }
+        bool any = false;
+        for (size_t i = b; i < e; ++i) {
+            if (t_[i].kind != Tok::Punct ||
+                kComparisons.count(t_[i].text) == 0)
+                continue;
+            any = true;
+            size_t lb = operandLeft(i, b);
+            size_t rb = operandRight(i, e);
+            if (loop) {
+                TaintInfo ti;
+                if (findTaint(lb, i, ti) || findTaint(i + 1, rb, ti))
+                    report("taint-loop-bound", t_[i].line,
+                           "loop bound compares against " + ti.what +
+                               " (tainted at line " +
+                               std::to_string(ti.line) +
+                               ") before any bounds check");
+            }
+            sanitizeIdents(lb, i);
+            sanitizeIdents(i + 1, rb);
+        }
+        (void)any;
+    }
+
+    /** Left edge of the operand of the comparison at @p op. */
+    size_t
+    operandLeft(size_t op, size_t b) const
+    {
+        size_t i = op;
+        while (i > b) {
+            size_t p = i - 1;
+            if (isPunct(t_, p, ")") || isPunct(t_, p, "]")) {
+                char open = t_[p].text[0] == ')' ? '(' : '[';
+                size_t o = matchBackward(p, open, t_[p].text[0]);
+                if (o == t_.size() || o < b)
+                    return i;
+                i = o;
+                continue;
+            }
+            if (t_[p].kind == Tok::Punct) {
+                const std::string &s = t_[p].text;
+                if (s == "(" || s == "," || s == ";" || s == "&&" ||
+                    s == "||" || s == "!" || s == "?" || s == ":" ||
+                    s == "=" || kComparisons.count(s) != 0)
+                    return i;
+            }
+            i = p;
+        }
+        return i;
+    }
+
+    /** One past the right edge of the operand of the comparison. */
+    size_t
+    operandRight(size_t op, size_t e) const
+    {
+        size_t i = op + 1;
+        while (i < e) {
+            if (isPunct(t_, i, "(") || isPunct(t_, i, "[")) {
+                char close = t_[i].text[0] == '(' ? ')' : ']';
+                size_t c = matchForward(i, t_[i].text[0], close);
+                if (c >= e)
+                    return e;
+                i = c + 1;
+                continue;
+            }
+            if (t_[i].kind == Tok::Punct) {
+                const std::string &s = t_[i].text;
+                if (s == ")" || s == "," || s == ";" || s == "&&" ||
+                    s == "||" || s == "?" || s == ":" ||
+                    kComparisons.count(s) != 0)
+                    return i;
+            }
+            ++i;
+        }
+        return e;
+    }
+
+    /**
+     * Mark compared identifiers clean. An identifier inside a
+     * subscript group is excluded (the subscript is its own sink, not
+     * a check of its index), as is the object/method of a member call
+     * (`member.size()` sanitizes nothing about `member` — its contents
+     * stay attacker-controlled).
+     */
+    void
+    sanitizeIdents(size_t b, size_t e)
+    {
+        int sub = 0;
+        for (size_t i = b; i < e; ++i) {
+            if (isPunct(t_, i, "["))
+                ++sub;
+            else if (isPunct(t_, i, "]") && sub > 0)
+                --sub;
+            if (sub > 0 || !isIdent(t_, i))
+                continue;
+            if (isPunct(t_, i + 1, ".") || isPunct(t_, i + 1, "->") ||
+                isPunct(t_, i + 1, "(") || isPunct(t_, i + 1, "::"))
+                continue;
+            clean_.insert(t_[i].text);
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    void
+    processStmt(size_t b, size_t e)
+    {
+        if (b >= e)
+            return;
+        if (t_[b].kind == Tok::Ident &&
+            kContractMacros.count(t_[b].text) != 0 &&
+            isPunct(t_, b + 1, "(")) {
+            size_t close = matchForward(b + 1, '(', ')');
+            // A contract *is* the bounds check: sanitize, don't sink.
+            handleCond(b + 2, std::min(close, e), /*loop=*/false,
+                       /*isSwitch=*/false);
+            return;
+        }
+        checkSinks(b, e);
+        applyAssignment(b, e);
+    }
+
+    void
+    applyAssignment(size_t b, size_t e)
+    {
+        int depth = 0;
+        for (size_t i = b; i < e; ++i) {
+            if (isPunct(t_, i, "(") || isPunct(t_, i, "[") ||
+                isPunct(t_, i, "{"))
+                ++depth;
+            else if (isPunct(t_, i, ")") || isPunct(t_, i, "]") ||
+                     isPunct(t_, i, "}"))
+                --depth;
+            if (depth != 0 || t_[i].kind != Tok::Punct)
+                continue;
+            bool plain = t_[i].text == "=";
+            bool compound = kCompoundAssign.count(t_[i].text) != 0;
+            if (!plain && !compound)
+                continue;
+            if (i == b || !isIdent(t_, i - 1))
+                return;    // subscript/deref target: not a tracked var
+            const std::string &var = t_[i - 1].text;
+            TaintInfo ti;
+            if (findTaint(i + 1, e, ti)) {
+                env_[var] = ti;
+                clean_.erase(var);
+            } else if (plain) {
+                env_.erase(var);
+            }
+            return;
+        }
+    }
+
+    // -- taint evaluation ---------------------------------------------------
+
+    /**
+     * Is any value in [b, e) tainted and unsanitized? Regions inside
+     * checked_cast/truncate_cast/std::min/std::clamp are skipped; a
+     * top-level mask (`& literal`, `% literal-or-kConst`) bounds the
+     * whole expression.
+     */
+    bool
+    findTaint(size_t b, size_t e, TaintInfo &out) const
+    {
+        if (maskedAt(b, e))
+            return false;
+        size_t i = b;
+        while (i < e) {
+            if (!isIdent(t_, i)) {
+                ++i;
+                continue;
+            }
+            const std::string &name = t_[i].text;
+            // Sanitizer wrapper: skip `fn<...>(...)` entirely.
+            if (kSanitizerFns.count(name) != 0) {
+                size_t j = i + 1;
+                if (isPunct(t_, j, "<")) {
+                    int ad = 0;
+                    for (; j < e; ++j) {
+                        if (isPunct(t_, j, "<"))
+                            ++ad;
+                        else if (isPunct(t_, j, ">") && --ad == 0) {
+                            ++j;
+                            break;
+                        } else if (isPunct(t_, j, ">>"))
+                            ad -= 2;
+                    }
+                }
+                if (isPunct(t_, j, "(")) {
+                    i = matchForward(j, '(', ')') + 1;
+                    continue;
+                }
+            }
+            // Source method call: obj.readBits(...) etc.
+            if ((isPunct(t_, i + 1, ".") || isPunct(t_, i + 1, "->")) &&
+                isIdent(t_, i + 2) && isPunct(t_, i + 3, "(")) {
+                const std::string &m = t_[i + 2].text;
+                if (kSourceMethods.count(m) != 0) {
+                    out = {t_[i + 2].line, m + "() result"};
+                    return true;
+                }
+            }
+            auto it = env_.find(name);
+            if (it != env_.end() && clean_.count(name) == 0) {
+                // Walk the member chain: geometry queries on a tainted
+                // container (x.size(), a.b.begin(), ...) are clean —
+                // they report capacity, the very thing tainted values
+                // get sanitized against. Any other use is tainted.
+                size_t j = i;
+                bool cleanCall = false;
+                while ((isPunct(t_, j + 1, ".") ||
+                        isPunct(t_, j + 1, "->")) &&
+                       isIdent(t_, j + 2)) {
+                    if (isPunct(t_, j + 3, "(")) {
+                        cleanCall =
+                            kCleanMethods.count(t_[j + 2].text) != 0;
+                        if (cleanCall)
+                            i = matchForward(j + 3, '(', ')') + 1;
+                        break;
+                    }
+                    j += 2;
+                }
+                if (cleanCall)
+                    continue;
+                out = it->second;
+                if (out.what.find('\'') == std::string::npos)
+                    out = {it->second.line, "'" + name + "'"};
+                return true;
+            }
+            ++i;
+        }
+        return false;
+    }
+
+    /** Does [b, e) contain a top-level constant mask or modulo? */
+    bool
+    maskedAt(size_t b, size_t e) const
+    {
+        int depth = 0;
+        for (size_t i = b; i < e; ++i) {
+            if (isPunct(t_, i, "(") || isPunct(t_, i, "[") ||
+                isPunct(t_, i, "{"))
+                ++depth;
+            else if (isPunct(t_, i, ")") || isPunct(t_, i, "]") ||
+                     isPunct(t_, i, "}"))
+                --depth;
+            if (depth != 0)
+                continue;
+            if (!isPunct(t_, i, "&") && !isPunct(t_, i, "%"))
+                continue;
+            size_t j = i + 1;
+            if (j >= e)
+                continue;
+            if (t_[j].kind == Tok::Number)
+                return true;
+            if (isIdent(t_, j) && isConstIdent(t_[j].text) &&
+                !isPunct(t_, j + 1, "("))
+                return true;
+            if (isPunct(t_, j, "(")) {
+                size_t c = matchForward(j, '(', ')');
+                bool constGroup = c > j + 1 && c <= e;
+                for (size_t k = j + 1; k < c && constGroup; ++k) {
+                    if (t_[k].kind == Tok::Number ||
+                        t_[k].kind == Tok::Punct)
+                        continue;
+                    if (isIdent(t_, k) && isConstIdent(t_[k].text))
+                        continue;
+                    constGroup = false;
+                }
+                if (constGroup)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    // -- sinks --------------------------------------------------------------
+
+    void
+    checkSinks(size_t b, size_t e)
+    {
+        checkCallSinks(b, e);
+        checkIndexSinks(b, e);
+        checkShiftSinks(b, e);
+    }
+
+    void
+    checkCallSinks(size_t b, size_t e)
+    {
+        for (size_t i = b; i < e; ++i) {
+            if (!isIdent(t_, i) || !isPunct(t_, i + 1, "("))
+                continue;
+            const std::string &name = t_[i].text;
+            size_t close = matchForward(i + 1, '(', ')');
+            if (close > e)
+                continue;
+            std::vector<std::pair<size_t, size_t>> args;
+            splitArgs(i + 2, close, args);
+            bool member = i > b && (isPunct(t_, i - 1, ".") ||
+                                    isPunct(t_, i - 1, "->"));
+            size_t argIdx = t_.size();
+            const char *rule = nullptr;
+            if (name == "memcpy" || name == "memmove" ||
+                name == "memset" || name == "copyBytes") {
+                if (!args.empty()) {
+                    argIdx = args.size() - 1;
+                    rule = "taint-copy-size";
+                }
+            } else if (member &&
+                       (name == "resize" || name == "reserve" ||
+                        (name == "assign" && args.size() == 2))) {
+                if (!args.empty()) {
+                    argIdx = 0;
+                    rule = "taint-alloc-size";
+                }
+            } else if (member && name == "insert" && args.size() == 3) {
+                argIdx = 1;
+                rule = "taint-alloc-size";
+            }
+            if (rule == nullptr || argIdx >= args.size())
+                continue;
+            TaintInfo ti;
+            if (findTaint(args[argIdx].first, args[argIdx].second, ti))
+                report(rule, t_[i].line,
+                       name + "() count argument derives from " + ti.what +
+                           " (tainted at line " + std::to_string(ti.line) +
+                           ") without a bounds check");
+        }
+    }
+
+    void
+    splitArgs(size_t b, size_t e,
+              std::vector<std::pair<size_t, size_t>> &args) const
+    {
+        if (b >= e)
+            return;
+        int depth = 0;
+        size_t start = b;
+        for (size_t i = b; i < e; ++i) {
+            if (isPunct(t_, i, "(") || isPunct(t_, i, "[") ||
+                isPunct(t_, i, "{"))
+                ++depth;
+            else if (isPunct(t_, i, ")") || isPunct(t_, i, "]") ||
+                     isPunct(t_, i, "}"))
+                --depth;
+            else if (depth == 0 && isPunct(t_, i, ",")) {
+                args.emplace_back(start, i);
+                start = i + 1;
+            }
+        }
+        args.emplace_back(start, e);
+    }
+
+    void
+    checkIndexSinks(size_t b, size_t e)
+    {
+        for (size_t i = b; i < e; ++i) {
+            if (!isPunct(t_, i, "["))
+                continue;
+            if (i == b || !(isIdent(t_, i - 1) || isPunct(t_, i - 1, "]") ||
+                            isPunct(t_, i - 1, ")")))
+                continue;    // lambda introducer / attribute, not a load
+            size_t close = matchForward(i, '[', ']');
+            if (close > e)
+                continue;
+            TaintInfo ti;
+            if (findTaint(i + 1, close, ti))
+                report("taint-index", t_[i].line,
+                       "subscript derives from " + ti.what +
+                           " (tainted at line " + std::to_string(ti.line) +
+                           ") without a bounds check");
+        }
+    }
+
+    void
+    checkShiftSinks(size_t b, size_t e)
+    {
+        // Stream formatting (`oss << value`) is not bit arithmetic:
+        // skip statements that chain a string literal through <<.
+        bool hasStr = false;
+        bool hasShl = false;
+        for (size_t i = b; i < e; ++i) {
+            if (t_[i].kind == Tok::Str)
+                hasStr = true;
+            if (isPunct(t_, i, "<<"))
+                hasShl = true;
+        }
+        if (hasStr && hasShl)
+            return;
+        for (size_t i = b; i < e; ++i) {
+            if (!isPunct(t_, i, "<<") && !isPunct(t_, i, ">>"))
+                continue;
+            size_t rb = i + 1;
+            size_t re = rb;
+            if (isPunct(t_, rb, "(")) {
+                re = matchForward(rb, '(', ')') + 1;
+            } else {
+                while (re < e &&
+                       (isIdent(t_, re) || t_[re].kind == Tok::Number ||
+                        isPunct(t_, re, "::") || isPunct(t_, re, ".") ||
+                        isPunct(t_, re, "->")))
+                    ++re;
+            }
+            TaintInfo ti;
+            if (findTaint(rb, std::min(re, e), ti))
+                report("taint-shift", t_[i].line,
+                       "shift amount derives from " + ti.what +
+                           " (tainted at line " + std::to_string(ti.line) +
+                           ") without a bounds check");
+        }
+    }
+
+    void
+    report(const std::string &rule, int line, const std::string &msg)
+    {
+        out_.push_back({std::string(file_), line, rule, msg});
+    }
+
+    std::string_view file_;
+    const std::vector<Token> &t_;
+    std::vector<Finding> &out_;
+    std::map<std::string, TaintInfo, std::less<>> env_;
+    std::set<std::string, std::less<>> clean_;
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public interface
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> &
+rules()
+{
+    return kRules;
+}
+
+std::vector<Finding>
+analyzeFile(std::string_view path, std::string_view content)
+{
+    std::vector<Finding> findings;
+    std::vector<Token> raw = Lexer(content).run();
+    std::vector<Allow> allows = collectAllows(raw, findings, path);
+    std::vector<Token> toks = prepare(raw);
+
+    std::vector<Finding> rawFindings;
+    Analyzer(path, toks, rawFindings).run();
+    for (Finding &f : rawFindings) {
+        if (allowMatches(allows, f.rule, f.line))
+            continue;
+        findings.push_back(std::move(f));
+    }
+    for (const Allow &a : allows) {
+        if (a.used || a.rule == "stale-allow")
+            continue;
+        Finding sf{std::string(path), a.commentLine, "stale-allow",
+                   "allow(" + a.rule +
+                       ") suppresses nothing; delete it or fix the rule id"};
+        if (!allowMatches(allows, "stale-allow", sf.line))
+            findings.push_back(std::move(sf));
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.line != b.line ? a.line < b.line
+                                          : a.rule < b.rule;
+              });
+    return findings;
+}
+
+std::vector<Finding>
+analyzeTree(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<Finding> findings;
+    std::vector<std::string> files;
+
+    std::error_code ec;
+    fs::path base = fs::path(root) / "src";
+    if (!fs::is_directory(base, ec))
+        base = root;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cc")
+            files.push_back(it->path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    for (const std::string &f : files) {
+        std::ifstream in(f, std::ios::binary);
+        if (!in) {
+            findings.push_back({f, 0, "io-error", "cannot read file"});
+            continue;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::string content = ss.str();
+        for (Finding &fd : analyzeFile(f, content))
+            findings.push_back(std::move(fd));
+    }
+    return findings;
+}
+
+std::string
+format(const Finding &f)
+{
+    std::ostringstream os;
+    os << f.file << ":" << f.line << ": " << f.rule << ": " << f.message;
+    return os.str();
+}
+
+} // namespace nxtaint

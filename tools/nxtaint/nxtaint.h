@@ -1,0 +1,93 @@
+/**
+ * @file
+ * nxtaint — intra-procedural taint analysis of untrusted input values.
+ *
+ * nxlint checks tokens and nxdeps checks include edges; nxtaint checks
+ * *values*. Every historical decompressor exploit is the same bug: a
+ * length/offset/count decoded from the untrusted bitstream reaches a
+ * memory operation without a bounds check. nxtaint walks each function
+ * body as a statement stream (built on the shared tools/nxlint/lexer.h
+ * tokenizer — deliberately no compiler frontend, same philosophy as
+ * its siblings), marks taint sources, propagates through assignments
+ * and arithmetic, and flags tainted values reaching memory sinks
+ * without passing a sanitizer.
+ *
+ * Sources
+ *   - results of BitReader-style member calls: readBits, peekBits,
+ *     readBytes, readU16le, readU32le, peek, popByte, decode
+ *   - loads from (and values of) parameters annotated NXSIM_UNTRUSTED
+ *     (src/util/taint.h)
+ *
+ * Sinks (one rule each)
+ *   - taint-copy-size   memcpy/memmove/memset/copyBytes size argument
+ *   - taint-alloc-size  resize/reserve/assign first arg, 3-arg insert
+ *                       count arg
+ *   - taint-index       array/container subscript
+ *   - taint-shift       shift amount (RHS of << or >>)
+ *   - taint-loop-bound  for/while condition comparing against a
+ *                       tainted bound
+ *
+ * Sanitizers (clear the taint from then on in the function)
+ *   - a comparison against the value in an if condition, switch head,
+ *     or NXSIM_EXPECT/NXSIM_ENSURE/NXSIM_ASSERT contract
+ *   - wrapping in nx::checked_cast / nx::truncate_cast / std::min /
+ *     std::clamp
+ *   - bit-masking (& constant) or modulo (% constant) with a literal
+ *     or kConstant
+ *   - an explicit suppression where the finding fires:
+ *         // nxtaint: allow(rule-id): why this flow is bounded
+ *     (same grammar and placement rules as nxlint; a bare or unused
+ *     allow is itself a finding: bare-allow / stale-allow)
+ *
+ * The analysis is intra-procedural and flow-approximate: a sanitizer
+ * anywhere earlier in the function body (in statement order) counts as
+ * dominating. That trades soundness corner cases for zero false
+ * positives on this codebase's idiom — decode loops check before they
+ * write, and the checker's job is to keep it that way.
+ */
+
+#ifndef NXSIM_NXTAINT_NXTAINT_H
+#define NXSIM_NXTAINT_NXTAINT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nxtaint {
+
+/** One diagnostic. */
+struct Finding
+{
+    std::string file;       ///< path as given to the analyzer
+    int line = 0;           ///< 1-based
+    std::string rule;       ///< rule id, e.g. "taint-index"
+    std::string message;
+};
+
+/** Rule metadata for --list-rules and the docs. */
+struct RuleInfo
+{
+    std::string_view id;
+    std::string_view summary;
+};
+
+/** All rules, in the order they are checked. */
+const std::vector<RuleInfo> &rules();
+
+/** Analyze one file given as an in-memory buffer. */
+std::vector<Finding> analyzeFile(std::string_view path,
+                                 std::string_view content);
+
+/**
+ * Walk @p root's src/ tree (or @p root itself when it is a bare
+ * directory of sources) and analyze every *.h / *.cc file. Unreadable
+ * files produce an "io-error" finding.
+ */
+std::vector<Finding> analyzeTree(const std::string &root);
+
+/** Render a finding as `file:line: rule-id: message`. */
+std::string format(const Finding &f);
+
+} // namespace nxtaint
+
+#endif // NXSIM_NXTAINT_NXTAINT_H
