@@ -10,50 +10,79 @@
 #   4. nxtaint         untrusted-input dataflow analysis from BitReader
 #                      sources to memory sinks (tools/nxtaint; also a
 #                      ctest)
-#   5. asan-ubsan      full ctest under ASan+UBSan (no recover)
-#   6. tsan            ThreadSanitizer build; runs the `concurrency`
+#   5. nxstate         typestate protocol + lock-order analyzer
+#                      (tools/nxstate; also a ctest)
+#   6. asan-ubsan      full ctest under ASan+UBSan (no recover)
+#   7. tsan            ThreadSanitizer build; runs the `concurrency`
 #                      ctest label (the core::JobServer dispatch suite)
-#   7. clang-tsa       Clang -Wthread-safety over the lock annotations
+#   8. clang-tsa       Clang -Wthread-safety over the lock annotations
 #                      (src/util/thread_annotations.h); skipped with a
 #                      notice when clang++ is absent
-#   8. lint            clang-tidy over files changed vs origin/main
+#   9. lint            clang-tidy over files changed vs origin/main
 #                      (skipped with a notice when clang-tidy absent)
-#   9. fuzz smoke      30 s of each fuzz target on the seeded corpus
+#  10. fuzz smoke      30 s of each fuzz target on the seeded corpus
 #                      (libFuzzer with Clang; the standalone driver
 #                      otherwise — see fuzz/standalone_main.cc)
 #
-# Usage: ./ci.sh [--quick]   --quick skips stages 8 and 9.
+# Stages 2-5 are all binaries out of the stage-1 build-ci tree: one
+# configure, one build, four analyzers. Each stage prints its wall time
+# when it finishes, and a summary table prints at the end.
+#
+# Usage: ./ci.sh [--quick]   --quick skips stages 9 and 10.
 set -eu
 
 cd "$(dirname "$0")"
 jobs=$(nproc 2>/dev/null || echo 4)
 quick=${1:-}
 
-echo "=== [1/9] ci preset (warnings-as-errors) ==="
+stage_times=""
+stage_name=""
+stage_t0=0
+
+stage() {
+    stage_end
+    stage_name=$1
+    stage_t0=$(date +%s)
+    echo "=== [$2] $1 ==="
+}
+
+stage_end() {
+    if [ -n "$stage_name" ]; then
+        dt=$(( $(date +%s) - stage_t0 ))
+        echo "--- $stage_name: ${dt}s ---"
+        stage_times="${stage_times}  ${dt}s\t$stage_name\n"
+        stage_name=""
+    fi
+}
+
+stage "ci preset (warnings-as-errors)" "1/10"
 cmake --preset ci
 cmake --build build-ci -j "$jobs"
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-echo "=== [2/9] nxlint (project static analysis) ==="
+stage "nxlint (project static analysis)" "2/10"
 ./build-ci/tools/nxlint/nxlint .
 
-echo "=== [3/9] nxdeps (include-graph layering) ==="
+stage "nxdeps (include-graph layering)" "3/10"
 ./build-ci/tools/nxdeps/nxdeps .
 
-echo "=== [4/9] nxtaint (untrusted-input dataflow) ==="
+stage "nxtaint (untrusted-input dataflow)" "4/10"
 ./build-ci/tools/nxtaint/nxtaint .
 
-echo "=== [5/9] asan-ubsan preset ==="
+stage "nxstate (typestate + lock order)" "5/10"
+./build-ci/tools/nxstate/nxstate .
+
+stage "asan-ubsan preset" "6/10"
 cmake --preset asan-ubsan
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "=== [6/9] tsan preset (concurrency label) ==="
+stage "tsan preset (concurrency label)" "7/10"
 cmake --preset tsan
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$jobs"
 
-echo "=== [7/9] clang-tsa (thread-safety annotations) ==="
+stage "clang-tsa (thread-safety annotations)" "8/10"
 if command -v clang++ >/dev/null 2>&1; then
     cmake --preset clang-tsa
     cmake --build build-clang-tsa -j "$jobs"
@@ -62,11 +91,13 @@ else
 fi
 
 if [ "$quick" = "--quick" ]; then
+    stage_end
     echo "=== --quick: skipping lint and fuzz smoke ==="
+    printf "=== stage times ===\n$stage_times"
     exit 0
 fi
 
-echo "=== [8/9] clang-tidy on changed files ==="
+stage "clang-tidy on changed files" "9/10"
 if git rev-parse --verify origin/main >/dev/null 2>&1; then
     changed=$(git diff --name-only origin/main -- 'src/*.cc' || true)
 else
@@ -79,7 +110,7 @@ else
     echo "no changed src/*.cc files; skipping clang-tidy"
 fi
 
-echo "=== [9/9] fuzz smoke (30 s per target) ==="
+stage "fuzz smoke (30 s per target)" "10/10"
 cmake --preset fuzz
 cmake --build build-fuzz -j "$jobs"
 for t in fuzz_inflate fuzz_gzip fuzz_e842 fuzz_roundtrip; do
@@ -94,4 +125,6 @@ for t in fuzz_inflate fuzz_gzip fuzz_e842 fuzz_roundtrip; do
     fi
 done
 
+stage_end
+printf "=== stage times ===\n$stage_times"
 echo "=== CI green ==="

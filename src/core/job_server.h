@@ -57,6 +57,7 @@
 #include "nx/window.h"
 #include "sim/ticks.h"
 #include "util/latency_recorder.h"
+#include "util/protocol.h"
 #include "util/thread_annotations.h"
 
 namespace core {
@@ -162,6 +163,10 @@ struct JobServerStats
 };
 
 /** The dispatch layer. Non-copyable; owns its worker threads. */
+NXSIM_PROTOCOL(JobServer, {submitAsync|submitWithRetry}* -> drainAndStop+);
+NXSIM_TICKET_PROTOCOL(JobServer, issue(submitAsync, submitWithRetry),
+                      claim(wait), poll(poll), drain(drain),
+                      stop(drainAndStop));
 class JobServer
 {
   public:

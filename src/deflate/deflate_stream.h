@@ -28,6 +28,7 @@
 
 #include "deflate/deflate_encoder.h"
 #include "deflate/lz77.h"
+#include "util/protocol.h"
 
 namespace deflate {
 
@@ -40,6 +41,8 @@ enum class Flush
 };
 
 /** Incremental DEFLATE compressor with 32 KiB window carry. */
+NXSIM_PROTOCOL(DeflateStream,
+               setDictionary? -> write* -> write[Finish]);
 class DeflateStream
 {
   public:

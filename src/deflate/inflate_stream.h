@@ -22,6 +22,7 @@
 #include "deflate/huffman.h"
 #include "deflate/inflate_decoder.h"
 #include "util/checked.h"
+#include "util/protocol.h"
 #include "util/taint.h"
 
 namespace deflate {
@@ -34,7 +35,9 @@ enum class StreamStatus
     Error,           ///< malformed stream (see error())
 };
 
-/** Incremental inflater. */
+/** Incremental inflater: feed() is the only mutator, callable any
+ * number of times (it reports Done/Error through its return). */
+NXSIM_PROTOCOL(InflateStream, feed*);
 class InflateStream
 {
   public:

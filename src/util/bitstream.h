@@ -26,6 +26,7 @@ namespace util {
  * All write methods take the value in "natural" (LSB-first) order; Huffman
  * codes must be pre-reversed by the encoder (see reverseBits()).
  */
+// nxstate: protocol(BitWriter: {writeBits|alignToByte|writeByte|writeBytes|writeU16le|writeU32le|drain}* -> take)
 class BitWriter
 {
   public:

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Edge-case coverage for the shared analyzer tokenizer
+ * (tools/common/lexer.h) and the shared allow() grammar built on it
+ * (tools/common/allow.h): raw string literals (including prefixed and
+ * multi-line ones), digit separators, escaped quotes in char
+ * literals, preprocessor lines with trailing comments, and multi-line
+ * allow blocks. Every analyzer inherits whatever this lexer decides,
+ * so these cases are pinned once, here.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/allow.h"
+#include "common/diag.h"
+#include "common/lexer.h"
+
+namespace {
+
+using nxlex::Lexer;
+using nxlex::Tok;
+using nxlex::Token;
+
+std::vector<Token>
+lex(std::string_view s)
+{
+    return Lexer(s).run();
+}
+
+/** Tokens of one kind, in order. */
+std::vector<std::string>
+texts(const std::vector<Token> &toks, Tok kind)
+{
+    std::vector<std::string> out;
+    for (const Token &t : toks)
+        if (t.kind == kind)
+            out.push_back(t.text);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// raw strings
+// ---------------------------------------------------------------------------
+
+TEST(LexerRawString, BasicRawStringIsOneToken)
+{
+    auto toks = lex("auto s = R\"(no \" escapes /* here */)\";");
+    auto strs = texts(toks, Tok::Str);
+    ASSERT_EQ(strs.size(), 1u);
+    EXPECT_EQ(strs[0], "R\"(no \" escapes /* here */)\"");
+    // Nothing inside leaked out as idents.
+    for (const auto &id : texts(toks, Tok::Ident))
+        EXPECT_NE(id, "escapes");
+}
+
+TEST(LexerRawString, DelimiterGuardsEmbeddedCloser)
+{
+    auto toks = lex("auto s = R\"x(a )\" b)x\"; int tail;");
+    auto strs = texts(toks, Tok::Str);
+    ASSERT_EQ(strs.size(), 1u);
+    EXPECT_EQ(strs[0], "R\"x(a )\" b)x\"");
+    auto ids = texts(toks, Tok::Ident);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "tail"), ids.end());
+}
+
+TEST(LexerRawString, PrefixedRawStringKeepsPrefix)
+{
+    auto toks = lex("auto s = u8R\"(data)\";");
+    auto strs = texts(toks, Tok::Str);
+    ASSERT_EQ(strs.size(), 1u);
+    EXPECT_EQ(strs[0], "u8R\"(data)\"");
+}
+
+TEST(LexerRawString, MultiLineRawStringTracksLines)
+{
+    auto toks = lex("auto s = R\"(a\nb\nc)\";\nint after;");
+    ASSERT_FALSE(toks.empty());
+    const Token *str = nullptr;
+    const Token *after = nullptr;
+    for (const Token &t : toks) {
+        if (t.kind == Tok::Str)
+            str = &t;
+        if (t.kind == Tok::Ident && t.text == "after")
+            after = &t;
+    }
+    ASSERT_NE(str, nullptr);
+    ASSERT_NE(after, nullptr);
+    EXPECT_EQ(str->line, 1);
+    EXPECT_EQ(str->endLine, 3);
+    EXPECT_EQ(after->line, 4);
+}
+
+TEST(LexerRawString, CommentMarkerInsideRawStringIsNotAComment)
+{
+    auto toks = lex("auto s = R\"(// nxlint: allow(x))\"; int n;");
+    EXPECT_TRUE(texts(toks, Tok::Comment).empty());
+}
+
+// ---------------------------------------------------------------------------
+// numbers
+// ---------------------------------------------------------------------------
+
+TEST(LexerNumber, DigitSeparatorsStayOneToken)
+{
+    auto toks = lex("int a = 1'000'000; int b = 0xFF'FF;");
+    auto nums = texts(toks, Tok::Number);
+    ASSERT_EQ(nums.size(), 2u);
+    EXPECT_EQ(nums[0], "1'000'000");
+    EXPECT_EQ(nums[1], "0xFF'FF");
+    // The separators must not open char literals.
+    EXPECT_TRUE(texts(toks, Tok::Chr).empty());
+}
+
+TEST(LexerNumber, ExponentSignsBelongToTheNumber)
+{
+    auto toks = lex("double d = 1.5e-3; double h = 0x1p+4;");
+    auto nums = texts(toks, Tok::Number);
+    ASSERT_EQ(nums.size(), 2u);
+    EXPECT_EQ(nums[0], "1.5e-3");
+    EXPECT_EQ(nums[1], "0x1p+4");
+}
+
+// ---------------------------------------------------------------------------
+// char literals
+// ---------------------------------------------------------------------------
+
+TEST(LexerChar, EscapedQuoteDoesNotEndTheLiteral)
+{
+    auto toks = lex("char q = '\\''; char b = '\\\\'; int tail;");
+    auto chrs = texts(toks, Tok::Chr);
+    ASSERT_EQ(chrs.size(), 2u);
+    EXPECT_EQ(chrs[0], "'\\''");
+    EXPECT_EQ(chrs[1], "'\\\\'");
+    auto ids = texts(toks, Tok::Ident);
+    EXPECT_NE(std::find(ids.begin(), ids.end(), "tail"), ids.end());
+}
+
+TEST(LexerChar, CommentMarkerInsideCharIsNotAComment)
+{
+    auto toks = lex("char c = '/'; char d = '/'; // real comment\n");
+    ASSERT_EQ(texts(toks, Tok::Comment).size(), 1u);
+    EXPECT_EQ(texts(toks, Tok::Chr).size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// preprocessor lines
+// ---------------------------------------------------------------------------
+
+TEST(LexerPp, TrailingLineCommentSplitsOffTheDirective)
+{
+    auto toks = lex("#include \"x.h\"  // nxdeps: allow(x): why\n");
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_EQ(toks[0].kind, Tok::Pp);
+    EXPECT_EQ(nxlex::trim(toks[0].text), "#include \"x.h\"");
+    EXPECT_EQ(toks[1].kind, Tok::Comment);
+    EXPECT_EQ(toks[1].line, 1);
+}
+
+TEST(LexerPp, BlockCommentInsideDirectiveIsASpace)
+{
+    auto toks = lex("#define N /* docs */ 4\nint after;");
+    ASSERT_GE(toks.size(), 2u);
+    EXPECT_EQ(toks[0].kind, Tok::Pp);
+    EXPECT_EQ(nxlex::trim(toks[0].text), "#define N   4");
+}
+
+TEST(LexerPp, ContinuationJoinsIntoOneToken)
+{
+    auto toks = lex("#define M(a) \\\n    ((a) + 1)\nint after;");
+    ASSERT_GE(toks.size(), 2u);
+    EXPECT_EQ(toks[0].kind, Tok::Pp);
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[0].endLine, 2);
+    const Token &after = toks[1];
+    EXPECT_EQ(after.text, "int");
+    EXPECT_EQ(after.line, 3);
+}
+
+TEST(LexerPp, CommentMarkerInsideDirectiveStringIsKept)
+{
+    auto toks = lex("#define URL \"http://x\"\n");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, Tok::Pp);
+    EXPECT_NE(toks[0].text.find("http://x"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// multi-line allow blocks (the grammar every analyzer shares)
+// ---------------------------------------------------------------------------
+
+const std::vector<nxcommon::RuleInfo> kRules = {
+    {"some-rule", "test rule"},
+    {"bare-allow", ""},
+    {"stale-allow", ""},
+};
+
+TEST(AllowGrammar, MultiLineJustificationCoversWholeBlockAndNextLine)
+{
+    auto toks = lex("int before;\n"
+                    "// nxlint: allow(some-rule): the justification\n"
+                    "// continues over several comment lines and\n"
+                    "// still covers the next code line.\n"
+                    "int target;\n");
+    std::vector<nxcommon::Finding> findings;
+    auto allows =
+        nxcommon::collectAllows(toks, "nxlint", kRules, findings, "f.cc");
+    EXPECT_TRUE(findings.empty());
+    ASSERT_EQ(allows.size(), 1u);
+    // Covers every comment line of the block plus the code line below.
+    for (int line = 2; line <= 5; ++line)
+        EXPECT_EQ(allows[0].lines.count(line), 1u) << "line " << line;
+    EXPECT_EQ(allows[0].lines.count(1), 0u);
+    EXPECT_EQ(allows[0].lines.count(6), 0u);
+}
+
+TEST(AllowGrammar, BlockIsInterruptedByCode)
+{
+    // `int before;` keeps the allow out of file scope: it covers only
+    // its own line and the next code line, not anything later.
+    auto toks = lex("int before;\n"
+                    "// nxlint: allow(some-rule): why\n"
+                    "int code;\n"
+                    "int later;\n");
+    std::vector<nxcommon::Finding> findings;
+    auto allows =
+        nxcommon::collectAllows(toks, "nxlint", kRules, findings, "f.cc");
+    ASSERT_EQ(allows.size(), 1u);
+    EXPECT_FALSE(allows[0].fileScope);
+    EXPECT_EQ(allows[0].lines.count(3), 1u);
+    EXPECT_EQ(allows[0].lines.count(4), 0u);
+}
+
+TEST(AllowGrammar, OtherToolsTagIsIgnored)
+{
+    auto toks = lex("// nxtaint: allow(some-rule): not for nxlint\n"
+                    "int code;\n");
+    std::vector<nxcommon::Finding> findings;
+    auto allows =
+        nxcommon::collectAllows(toks, "nxlint", kRules, findings, "f.cc");
+    EXPECT_TRUE(allows.empty());
+    EXPECT_TRUE(findings.empty());
+}
+
+} // namespace

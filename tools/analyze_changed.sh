@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Run all four in-tree analyzers (nxlint, nxdeps, nxtaint, nxstate)
+# over just the files changed on this branch — the incremental
+# pre-push loop. Whole-tree checks (include graph, lock order,
+# protocol declarations in headers) still see the entire tree; only
+# the *reported* findings are filtered to the changed files, so a
+# change can never silently break something it doesn't touch without
+# CI's full sweep catching it.
+#
+# Usage: tools/analyze_changed.sh [<base-ref>] [-- <analyzer-args>...]
+#
+#   base-ref   diff base (default: origin/main when it exists,
+#              HEAD~1 otherwise). Uncommitted changes are always
+#              included.
+#
+# Exit status: 0 when every analyzer is clean on the changed files,
+# 1 when any reported findings, 2 on usage/build errors.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+base=${1:-}
+if [ -z "$base" ]; then
+    if git rev-parse --verify origin/main >/dev/null 2>&1; then
+        base=origin/main
+    else
+        base=HEAD~1
+    fi
+fi
+
+# Changed + uncommitted source files, analyzer extensions only,
+# deduplicated, still existing (deletions drop out).
+changed=$( { git diff --name-only "$base" 2>/dev/null || true; \
+             git diff --name-only 2>/dev/null || true; \
+             git diff --name-only --cached 2>/dev/null || true; } |
+    grep -E '\.(h|hpp|cc|cpp)$' | sort -u) || true
+existing=""
+for f in $changed; do
+    [ -f "$f" ] && existing="$existing $f"
+done
+
+if [ -z "$existing" ]; then
+    echo "analyze_changed: no changed source files vs $base"
+    exit 0
+fi
+
+# Any configured build tree works; prefer the dev one.
+bindir=""
+for d in build build-ci; do
+    if [ -x "$d/tools/nxlint/nxlint" ]; then
+        bindir=$d
+        break
+    fi
+done
+if [ -z "$bindir" ]; then
+    echo "analyze_changed: no built analyzers found (run: cmake -B build -S . && cmake --build build)" >&2
+    exit 2
+fi
+
+echo "analyze_changed: $(echo "$existing" | wc -w) files vs $base"
+status=0
+for tool in nxlint nxdeps nxtaint nxstate; do
+    echo "--- $tool ---"
+    # shellcheck disable=SC2086
+    if ! "$bindir/tools/$tool/$tool" --root=. $existing; then
+        status=1
+    fi
+done
+exit $status

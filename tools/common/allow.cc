@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Implementation of the shared allow() grammar. Token-based: a
+ * suppression must BE a `//` line comment starting with the tool tag —
+ * prose that merely mentions the syntax, or examples inside block doc
+ * comments, never parse as suppressions (or misfire as bare-allow).
+ */
+
+#include "common/allow.h"
+
+namespace nxcommon {
+
+using nxlex::Tok;
+using nxlex::Token;
+using nxlex::trim;
+
+std::vector<Allow>
+collectAllows(const std::vector<Token> &toks, std::string_view tag,
+              const std::vector<RuleInfo> &rules,
+              std::vector<Finding> &findings, std::string_view file)
+{
+    std::string prefix = std::string(tag) + ":";
+    std::vector<Allow> allows;
+    bool sawCode = false;
+    for (size_t ti = 0; ti < toks.size(); ++ti) {
+        const Token &t = toks[ti];
+        if (t.kind != Tok::Comment) {
+            // Preprocessor lines (guards, includes) don't end the
+            // file-level comment region; real code does.
+            if (t.kind != Tok::Pp)
+                sawCode = true;
+            continue;
+        }
+        std::string_view body{t.text};
+        if (body.rfind("//", 0) != 0)
+            continue;
+        body.remove_prefix(2);
+        body = trim(body);
+        if (body.rfind(prefix, 0) != 0)
+            continue;
+        body.remove_prefix(prefix.size());
+        size_t pos = 0;
+        while ((pos = body.find("allow(", pos)) != std::string::npos) {
+            std::string_view rest = body.substr(pos);
+            pos += 6;
+            rest.remove_prefix(6);
+            size_t close = rest.find(')');
+            if (close == std::string_view::npos)
+                continue;
+            std::string rule{trim(rest.substr(0, close))};
+            std::string_view tail = trim(rest.substr(close + 1));
+            if (!knownRule(rules, rule) || rule == "bare-allow") {
+                findings.push_back({std::string(file), t.line,
+                                    "bare-allow",
+                                    "allow() names unknown rule '" + rule +
+                                        "'"});
+                continue;
+            }
+            if (tail.empty() || tail.front() != ':' ||
+                trim(tail.substr(1)).empty()) {
+                findings.push_back(
+                    {std::string(file), t.line, "bare-allow",
+                     "allow(" + rule +
+                         ") needs a justification: allow(" + rule +
+                         "): <why>"});
+                continue;
+            }
+            Allow a;
+            a.rule = rule;
+            a.commentLine = t.line;
+            if (!sawCode) {
+                a.fileScope = true;
+                allows.push_back(std::move(a));
+                continue;
+            }
+            // A justification may continue across directly following
+            // `//` lines; the whole contiguous comment block (plus the
+            // next code line, when the comment starts its line) is
+            // covered.
+            int lastLine = t.endLine;
+            for (size_t j = ti + 1; j < toks.size(); ++j) {
+                const Token &c = toks[j];
+                if (c.kind != Tok::Comment || !c.firstOnLine ||
+                    c.line != lastLine + 1)
+                    break;
+                lastLine = c.endLine;
+            }
+            for (int l = t.line; l <= lastLine; ++l)
+                a.lines.insert(l);
+            if (t.firstOnLine)
+                a.lines.insert(lastLine + 1);
+            allows.push_back(std::move(a));
+        }
+    }
+    return allows;
+}
+
+bool
+allowMatches(std::vector<Allow> &allows, std::string_view rule, int line)
+{
+    bool hit = false;
+    for (Allow &a : allows) {
+        if (a.rule != rule)
+            continue;
+        if (a.fileScope || a.lines.count(line) != 0) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    return hit;
+}
+
+void
+applyAllows(std::vector<Finding> &&raw, std::vector<Allow> &allows,
+            std::string_view file, std::vector<Finding> &out)
+{
+    for (Finding &f : raw) {
+        if (f.rule != "bare-allow" && allowMatches(allows, f.rule, f.line))
+            continue;
+        out.push_back(std::move(f));
+    }
+    // An allow that suppressed nothing is itself a finding — unless an
+    // allow(stale-allow) on the same lines excuses it (e.g. a
+    // suppression kept for a platform-conditional construct).
+    for (size_t ai = 0; ai < allows.size(); ++ai) {
+        const Allow &a = allows[ai];
+        if (a.used || a.rule == "stale-allow")
+            continue;
+        if (allowMatches(allows, "stale-allow", a.commentLine))
+            continue;
+        out.push_back({std::string(file), a.commentLine, "stale-allow",
+                       "allow(" + a.rule +
+                           ") suppresses nothing; delete it or fix the "
+                           "rule id"});
+    }
+}
+
+} // namespace nxcommon

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared diagnostic formatting: the one text renderer and the one JSON
+ * emitter every analyzer in tools/ uses. See diag.h for the schema.
+ */
+
+#include "common/diag.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace nxcommon {
+
+namespace {
+
+/** Minimal JSON string escaping (control chars, quote, backslash). */
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+knownRule(const std::vector<RuleInfo> &rules, std::string_view id)
+{
+    return std::any_of(rules.begin(), rules.end(),
+                       [&](const RuleInfo &r) { return r.id == id; });
+}
+
+std::string
+formatText(const Finding &f)
+{
+    return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+           f.message;
+}
+
+std::string
+formatJson(std::string_view tool, const std::vector<Finding> &findings)
+{
+    std::ostringstream os;
+    os << "{\"tool\": \"" << jsonEscape(tool) << "\", \"schema\": 1, "
+       << "\"count\": " << findings.size() << ", \"findings\": [";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i == 0 ? "\n" : ",\n")
+           << "  {\"file\": \"" << jsonEscape(f.file) << "\", "
+           << "\"line\": " << f.line << ", "
+           << "\"rule\": \"" << jsonEscape(f.rule) << "\", "
+           << "\"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    os << (findings.empty() ? "]}\n" : "\n]}\n");
+    return os.str();
+}
+
+void
+sortFindings(std::vector<Finding> &findings)
+{
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+}
+
+} // namespace nxcommon

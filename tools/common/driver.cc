@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Shared analyzer CLI. See driver.h for the contract.
+ */
+
+#include "common/driver.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/fileset.h"
+
+namespace nxcommon {
+
+namespace {
+
+int
+listRules(const ToolSpec &spec)
+{
+    for (const RuleInfo &r : *spec.rules)
+        std::printf("%-24s %s\n", std::string(r.id).c_str(),
+                    std::string(r.summary).c_str());
+    return 0;
+}
+
+/** Strip a leading "./" so `git diff` output and tree labels agree. */
+std::string
+normalizeArg(std::string_view arg)
+{
+    while (arg.rfind("./", 0) == 0)
+        arg.remove_prefix(2);
+    return std::string(arg);
+}
+
+} // namespace
+
+int
+runTool(int argc, char **argv, const ToolSpec &spec)
+{
+    bool json = false;
+    std::string rootFlag = ".";
+    std::function<int(const std::string &)> mode;
+    std::vector<std::string> args;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--list-rules")
+            return listRules(spec);
+        if (arg == "--help" || arg == "-h") {
+            std::string flags = "[--list-rules] [--format=text|json]";
+            for (const auto &m : spec.modes)
+                flags += " [" + m.first + "]";
+            std::printf("usage: %s %s %s\n", spec.name.c_str(),
+                        flags.c_str(), spec.usageArgs.c_str());
+            return 0;
+        }
+        if (arg == "--format=json") {
+            json = true;
+            continue;
+        }
+        if (arg == "--format=text") {
+            json = false;
+            continue;
+        }
+        if (arg.rfind("--root=", 0) == 0) {
+            rootFlag = arg.substr(7);
+            continue;
+        }
+        bool isMode = false;
+        for (const auto &m : spec.modes) {
+            if (arg == m.first) {
+                mode = m.second;
+                isMode = true;
+                break;
+            }
+        }
+        if (isMode)
+            continue;
+        if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option %s\n",
+                         spec.name.c_str(), arg.c_str());
+            return 2;
+        }
+        args.push_back(arg);
+    }
+
+    if (mode) {
+        std::string root = args.empty() ? rootFlag : args.front();
+        return mode(root);
+    }
+    if (args.empty())
+        args.push_back(rootFlag);
+
+    std::vector<Finding> findings;
+    std::vector<std::string> fileArgs;
+    for (const std::string &arg : args) {
+        std::error_code ec;
+        if (std::filesystem::is_directory(arg, ec)) {
+            for (Finding &f : spec.analyzeTree(arg))
+                findings.push_back(std::move(f));
+        } else {
+            fileArgs.push_back(arg);
+        }
+    }
+
+    if (!fileArgs.empty() && spec.analyzeFile) {
+        // Per-file tool: analyze each listed file in isolation.
+        for (const std::string &path : fileArgs) {
+            std::string content;
+            if (!loadFile(path, content)) {
+                findings.push_back(
+                    {path, 0, "io-error", "cannot read file"});
+                continue;
+            }
+            for (Finding &f : spec.analyzeFile(path, content))
+                findings.push_back(std::move(f));
+        }
+    } else if (!fileArgs.empty()) {
+        // Whole-tree tool given explicit files: its checks need the
+        // global graph, so analyze the tree once and keep only the
+        // findings landing in the listed files.
+        std::set<std::string> wanted;
+        for (const std::string &path : fileArgs) {
+            std::string norm = normalizeArg(path);
+            wanted.insert(norm);
+            std::string rel = relFromTree(norm);
+            if (!rel.empty())
+                wanted.insert(rel);
+        }
+        for (Finding &f : spec.analyzeTree(rootFlag)) {
+            if (wanted.count(normalizeArg(f.file)) != 0)
+                findings.push_back(std::move(f));
+        }
+    }
+
+    bool ioError = false;
+    for (const Finding &f : findings)
+        ioError = ioError || f.rule == "io-error";
+
+    if (json) {
+        std::fputs(formatJson(spec.name, findings).c_str(), stdout);
+    } else {
+        for (const Finding &f : findings)
+            std::printf("%s\n", formatText(f).c_str());
+        if (!findings.empty())
+            std::fprintf(stderr, "%s: %zu finding%s\n", spec.name.c_str(),
+                         findings.size(),
+                         findings.size() == 1 ? "" : "s");
+    }
+    if (ioError)
+        return 2;
+    return findings.empty() ? 0 : 1;
+}
+
+} // namespace nxcommon

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tree walking shared by every analyzer CLI and *Tree() entry point.
+ */
+
+#include "common/fileset.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace nxcommon {
+
+namespace fs = std::filesystem;
+
+bool
+loadFile(const std::string &path, std::string &content)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    content = ss.str();
+    return true;
+}
+
+std::string
+relFromTree(std::string_view path)
+{
+    for (std::string_view root : {"src/", "tools/", "fuzz/", "bench/",
+                                  "tests/", "examples/"}) {
+        if (path.substr(0, root.size()) == root)
+            return std::string(path);
+        std::string probe = "/" + std::string(root);
+        size_t pos = path.rfind(probe);
+        if (pos != std::string_view::npos)
+            return std::string(path.substr(pos + 1));
+    }
+    return {};
+}
+
+TreeLoad
+loadTree(const std::string &root, const std::vector<std::string> &subdirs)
+{
+    TreeLoad out;
+
+    auto collect = [&](const fs::path &dir) {
+        std::error_code ec;
+        for (fs::recursive_directory_iterator
+                 it(dir, fs::directory_options::skip_permission_denied,
+                    ec),
+             end;
+             it != end && !ec; it.increment(ec)) {
+            if (!it->is_regular_file(ec))
+                continue;
+            std::string ext = it->path().extension().string();
+            if (ext != ".h" && ext != ".hpp" && ext != ".cc" &&
+                ext != ".cpp")
+                continue;
+            std::error_code rec;
+            fs::path rel = fs::relative(it->path(), root, rec);
+            std::string label = rec ? it->path().generic_string()
+                                    : rel.generic_string();
+            std::string content;
+            if (!loadFile(it->path().string(), content)) {
+                out.ioErrors.push_back(
+                    {label, 0, "io-error", "cannot read file"});
+                continue;
+            }
+            out.files.push_back({label, std::move(content)});
+        }
+    };
+
+    bool sawTree = false;
+    for (const std::string &sub : subdirs) {
+        fs::path dir = fs::path(root) / sub;
+        std::error_code ec;
+        if (fs::is_directory(dir, ec)) {
+            sawTree = true;
+            collect(dir);
+        }
+    }
+    if (!sawTree)
+        collect(root);
+
+    std::sort(out.files.begin(), out.files.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.path < b.path;
+              });
+    std::sort(out.ioErrors.begin(), out.ioErrors.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.file < b.file;
+              });
+    return out;
+}
+
+} // namespace nxcommon

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared source-tree loading for the analyzers. Every tool walks the
+ * same way: the named subtrees of a repo root (or the root itself when
+ * none of them exist — how the fixture tests drive it), only files
+ * with .h, .hpp, .cc or .cpp extensions, labels tree-relative so rule
+ * scoping and reports are stable no matter where the tool is invoked
+ * from.
+ */
+
+#ifndef NXSIM_COMMON_FILESET_H
+#define NXSIM_COMMON_FILESET_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/diag.h"
+
+namespace nxcommon {
+
+/** One input file: tree-relative path plus its full contents. */
+struct SourceFile
+{
+    std::string path;
+    std::string content;
+};
+
+/** What a tree walk produced. */
+struct TreeLoad
+{
+    std::vector<SourceFile> files;      ///< sorted by path
+    std::vector<Finding> ioErrors;      ///< rule "io-error", line 0
+};
+
+/**
+ * Load every source file under @p root's @p subdirs (or @p root itself
+ * when none of the subdirs exist). Unreadable files become io-error
+ * findings rather than aborting the walk.
+ */
+[[nodiscard]] TreeLoad loadTree(const std::string &root,
+                                const std::vector<std::string> &subdirs);
+
+/** Read one file; false (and no mutation of @p content) on failure. */
+[[nodiscard]] bool loadFile(const std::string &path, std::string &content);
+
+/**
+ * Strip a path down to its tree-relative form ("/abs/repo/src/x.h" ->
+ * "src/x.h") when it contains a recognized tree prefix; empty
+ * otherwise.
+ */
+[[nodiscard]] std::string relFromTree(std::string_view path);
+
+} // namespace nxcommon
+
+#endif // NXSIM_COMMON_FILESET_H

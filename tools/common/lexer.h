@@ -1,9 +1,8 @@
 /**
  * @file
  * The shared C++ tokenizer behind the project's static-analysis
- * tools. nxlint (tools/nxlint) wrote it first; nxtaint
- * (tools/nxtaint) reuses it to build per-function statement streams,
- * so the two passes agree byte-for-byte on what is a comment, a
+ * tools: nxlint, nxdeps, nxtaint and nxstate all lex with this one
+ * class, so every pass agrees byte-for-byte on what is a comment, a
  * string literal, or code.
  *
  * It is deliberately a lexer and nothing more: comments, string/char
@@ -12,10 +11,14 @@
  * a banned identifier inside a string or comment never fires, and a
  * suppression comment is visible next to the code it excuses —
  * without taking a dependency on a real compiler frontend.
+ *
+ * A trailing `//` comment on a preprocessor line is emitted as its own
+ * Comment token (the directive text stops before it), so a suppression
+ * next to an `#include` reads exactly like one next to a statement.
  */
 
-#ifndef NXSIM_NXLINT_LEXER_H
-#define NXSIM_NXLINT_LEXER_H
+#ifndef NXSIM_COMMON_LEXER_H
+#define NXSIM_COMMON_LEXER_H
 
 #include <cctype>
 #include <string>
@@ -149,6 +152,8 @@ class Lexer
     readPpLine()
     {
         std::string text;
+        bool inStr = false;
+        bool inChr = false;
         while (i_ < s_.size()) {
             char c = s_[i_];
             if (c == '\\' && peek(1) == '\n') {
@@ -159,6 +164,41 @@ class Lexer
             }
             if (c == '\n')
                 break;
+            if (inStr || inChr) {
+                if (c == '\\' && peek(1) != '\0' && peek(1) != '\n') {
+                    text += c;
+                    text += s_[i_ + 1];
+                    i_ += 2;
+                    continue;
+                }
+                if (inStr && c == '"')
+                    inStr = false;
+                else if (inChr && c == '\'')
+                    inChr = false;
+            } else if (c == '"') {
+                inStr = true;
+            } else if (c == '\'') {
+                inChr = true;
+            } else if (c == '/' && peek(1) == '/') {
+                // Trailing line comment: stop the directive here so the
+                // comment lexes as its own token (allow() directives on
+                // #include lines depend on this).
+                break;
+            } else if (c == '/' && peek(1) == '*') {
+                // A block comment is one space to the preprocessor, and
+                // the directive continues after it — even across lines.
+                i_ += 2;
+                while (i_ < s_.size() &&
+                       !(s_[i_] == '*' && peek(1) == '/')) {
+                    if (s_[i_] == '\n')
+                        ++line_;
+                    ++i_;
+                }
+                if (i_ < s_.size())
+                    i_ += 2;
+                text += ' ';
+                continue;
+            }
             text += c;
             ++i_;
         }
@@ -296,4 +336,4 @@ trim(std::string_view v)
 
 } // namespace nxlex
 
-#endif // NXSIM_NXLINT_LEXER_H
+#endif // NXSIM_COMMON_LEXER_H

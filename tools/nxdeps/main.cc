@@ -1,95 +1,47 @@
 /**
  * @file
- * nxdeps CLI.
+ * nxdeps CLI — a thin ToolSpec over the shared analyzer driver
+ * (tools/common/driver.h owns argument parsing, --format=json, file
+ * lists and the 0/1/2 exit-code convention).
  *
  * Usage:
- *   nxdeps [--list-rules] [--layers] [--dot] [<repo-root>]
+ *   nxdeps [--list-rules] [--layers] [--dot] [--format=text|json]
+ *          [--root=<dir>] [<repo-root> | <file>...]
  *
- * Analyzes the include graph of the tree rooted at <repo-root>
- * (default: the current directory). `--dot` prints the module graph
- * as GraphViz DOT instead of findings — that output is what the
- * DESIGN.md architecture figure is generated from. Exit status:
- * 0 clean, 1 findings, 2 usage or I/O error.
+ * nxdeps is a whole-tree tool: its checks need the global include
+ * graph, so explicit file arguments analyze the tree at --root
+ * (default ".") and report only findings landing in those files.
+ * `--dot` prints the module graph as GraphViz DOT instead of findings
+ * — that output is what the DESIGN.md architecture figure is
+ * generated from. `--layers` prints the declared layer table.
  */
 
 #include <cstdio>
 #include <string>
-#include <vector>
 
+#include "common/driver.h"
 #include "nxdeps/nxdeps.h"
-
-namespace {
-
-int
-listRules()
-{
-    for (const nxdeps::RuleInfo &r : nxdeps::rules())
-        std::printf("%-16s %s\n", std::string(r.id).c_str(),
-                    std::string(r.summary).c_str());
-    return 0;
-}
-
-int
-listLayers()
-{
-    for (const nxdeps::LayerInfo &l : nxdeps::layers())
-        std::printf("%d  %s\n", l.rank, std::string(l.module).c_str());
-    return 0;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    bool dot = false;
-    std::vector<std::string> roots;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--list-rules")
-            return listRules();
-        if (arg == "--layers")
-            return listLayers();
-        if (arg == "--dot") {
-            dot = true;
-            continue;
-        }
-        if (arg == "--help" || arg == "-h") {
-            std::printf("usage: nxdeps [--list-rules] [--layers] [--dot] "
-                        "[<repo-root>]\n");
-            return 0;
-        }
-        if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "nxdeps: unknown option %s\n",
-                         arg.c_str());
-            return 2;
-        }
-        roots.push_back(arg);
-    }
-    if (roots.size() > 1) {
-        std::fprintf(stderr, "nxdeps: expected at most one root\n");
-        return 2;
-    }
-    std::string root = roots.empty() ? "." : roots.front();
-
-    nxdeps::Analysis an = nxdeps::analyzeTree(root);
-    if (dot) {
-        std::printf("%s", an.moduleDot.c_str());
+    nxcommon::ToolSpec spec;
+    spec.name = "nxdeps";
+    spec.usageArgs =
+        "[--layers] [--dot] [--root=<dir>] [<repo-root> | <file>...]";
+    spec.rules = &nxdeps::rules();
+    spec.analyzeTree = [](const std::string &root) {
+        return nxdeps::analyzeTree(root).findings;
+    };
+    spec.modes.emplace_back("--dot", [](const std::string &root) {
+        std::printf("%s", nxdeps::analyzeTree(root).moduleDot.c_str());
         return 0;
-    }
-
-    bool ioError = false;
-    for (const nxdeps::Finding &f : an.findings) {
-        std::printf("%s\n", nxdeps::format(f).c_str());
-        ioError = ioError || f.rule == "io-error";
-    }
-    if (ioError)
-        return 2;
-    if (!an.findings.empty()) {
-        std::fprintf(stderr, "nxdeps: %zu finding%s\n",
-                     an.findings.size(),
-                     an.findings.size() == 1 ? "" : "s");
-        return 1;
-    }
-    return 0;
+    });
+    spec.modes.emplace_back("--layers", [](const std::string &) {
+        for (const nxdeps::LayerInfo &l : nxdeps::layers())
+            std::printf("%d  %s\n", l.rank,
+                        std::string(l.module).c_str());
+        return 0;
+    });
+    return nxcommon::runTool(argc, argv, spec);
 }

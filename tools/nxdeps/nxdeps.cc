@@ -11,11 +11,13 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
+
+#include "common/allow.h"
+#include "common/fileset.h"
+#include "common/lexer.h"
 
 namespace nxdeps {
 
@@ -60,13 +62,6 @@ const std::vector<RuleInfo> kRules = {
     {"io-error", "file could not be read"},
 };
 
-bool
-knownRule(std::string_view id)
-{
-    return std::any_of(kRules.begin(), kRules.end(),
-                       [&](const RuleInfo &r) { return r.id == id; });
-}
-
 int
 rankOf(std::string_view module)
 {
@@ -91,27 +86,20 @@ trim(std::string_view v)
     return v;
 }
 
-struct ScannedLine
-{
-    std::string code;      ///< text outside comments and string literals
-    std::string comment;   ///< text of a // comment on this line, if any
-};
-
 /**
- * Split a file into per-line code/comment streams. Tracks block
- * comments across lines; string/char literals stay in the code stream
- * (the include target itself is a quoted string) but are tracked so a
- * `//` or a quote inside one never opens a comment. Directives are
+ * Split a file into per-line code streams (comments and block comments
+ * stripped). String/char literals stay in the code stream — the
+ * include target itself is a quoted string — but are tracked so a `//`
+ * or a quote inside one never opens a comment. Directives are
  * recognized only at line start, so a directive quoted inside code
- * never parses as one, and only `//` comment text is kept: a
- * suppression must BE a line comment, so grammar examples in block
- * doc comments never suppress (or misfire as bare-allow).
+ * never parses as one. (Suppression comments are NOT parsed here: the
+ * shared token-based collector in tools/common/allow.h owns that.)
  */
-std::vector<ScannedLine>
+std::vector<std::string>
 scanLines(std::string_view content)
 {
-    std::vector<ScannedLine> lines;
-    ScannedLine cur;
+    std::vector<std::string> lines;
+    std::string cur;
     bool inBlock = false;
     bool inLine = false;
     bool inStr = false;
@@ -121,31 +109,31 @@ scanLines(std::string_view content)
         char next = i + 1 < content.size() ? content[i + 1] : '\0';
         if (c == '\n') {
             lines.push_back(std::move(cur));
-            cur = ScannedLine{};
+            cur.clear();
             inLine = false;
             inStr = false;    // unterminated literal: keep lines sane
             inChr = false;
             continue;
         }
         if (inLine) {
-            cur.comment += c;
+            // comment text: ignored
         } else if (inBlock) {
             if (c == '*' && next == '/') {
                 inBlock = false;
                 ++i;
             }
         } else if (inStr) {
-            cur.code += c;
+            cur += c;
             if (c == '\\' && next != '\0') {
-                cur.code += next;
+                cur += next;
                 ++i;
             } else if (c == '"') {
                 inStr = false;
             }
         } else if (inChr) {
-            cur.code += c;
+            cur += c;
             if (c == '\\' && next != '\0') {
-                cur.code += next;
+                cur += next;
                 ++i;
             } else if (c == '\'') {
                 inChr = false;
@@ -158,12 +146,12 @@ scanLines(std::string_view content)
             ++i;
         } else if (c == '"') {
             inStr = true;
-            cur.code += c;
+            cur += c;
         } else if (c == '\'') {
             inChr = true;
-            cur.code += c;
+            cur += c;
         } else {
-            cur.code += c;
+            cur += c;
         }
     }
     lines.push_back(std::move(cur));
@@ -177,132 +165,28 @@ struct Include
 };
 
 /**
- * One parsed allow directive. `used` is set when it suppresses a raw
- * finding; an allow that stays unused is reported as stale-allow —
- * the suppression budget stays honest because a suppression that
- * outlives its finding has to be deleted.
+ * Parse one file's quoted includes (string-literal stripping above
+ * leaves the directive's own quotes in the code stream).
  */
-struct Allow
+std::vector<Include>
+scanIncludes(std::string_view content)
 {
-    std::string rule;
-    bool fileScope = false;
-    std::set<int> lines;
-    int commentLine = 0;
-    bool used = false;
-};
-
-/** Match-and-mark: does any allow cover (rule, line)? */
-bool
-allowMatches(std::vector<Allow> &allows, const std::string &rule, int line)
-{
-    bool hit = false;
-    for (Allow &a : allows) {
-        if (a.rule != rule)
-            continue;
-        if (a.fileScope || a.lines.count(line) != 0) {
-            a.used = true;
-            hit = true;
-        }
-    }
-    return hit;
-}
-
-struct ScannedFile
-{
-    std::vector<Include> includes;
-    std::vector<Allow> allows;
-};
-
-/**
- * Parse one file: quoted includes (string-literal stripping above
- * leaves the directive's own quotes in the code stream) plus every
- * `nxdeps: allow(rule): why` in comment text. An allow covers its own
- * line plus the next when the line is comment-only; before any code
- * it covers the whole file.
- */
-ScannedFile
-scanFile(std::string_view path, std::string_view content,
-         std::vector<Finding> &findings)
-{
-    ScannedFile out;
-    std::vector<ScannedLine> lines = scanLines(content);
-    bool sawCode = false;
+    std::vector<Include> out;
+    std::vector<std::string> lines = scanLines(content);
     for (size_t n = 0; n < lines.size(); ++n) {
         int lineNo = static_cast<int>(n) + 1;
-        std::string_view code = trim(lines[n].code);
-
-        if (code.rfind("#", 0) == 0) {
-            std::string_view rest = trim(code.substr(1));
-            if (rest.rfind("include", 0) == 0) {
-                rest = trim(rest.substr(7));
-                if (!rest.empty() && rest.front() == '"') {
-                    size_t close = rest.find('"', 1);
-                    if (close != std::string_view::npos)
-                        out.includes.push_back(
-                            {std::string(rest.substr(1, close - 1)),
-                             lineNo});
-                }
-            }
-        }
-
-        // Allow comments. Anchored exactly like nxlint's: the line
-        // comment itself must start with `nxdeps:` — prose that merely
-        // mentions the syntax never parses as a suppression.
-        std::string_view com = trim(lines[n].comment);
-        if (com.rfind("nxdeps:", 0) == 0) {
-            std::string_view body = com.substr(7);
-            size_t pos = 0;
-            while ((pos = body.find("allow(", pos)) !=
-                   std::string_view::npos) {
-                std::string_view rest = body.substr(pos + 6);
-                pos += 6;
-                size_t close = rest.find(')');
-                if (close == std::string_view::npos)
-                    break;
-                std::string rule{trim(rest.substr(0, close))};
-                std::string_view tail = trim(rest.substr(close + 1));
-                if (!knownRule(rule) || rule == "bare-allow") {
-                    findings.push_back({std::string(path), lineNo,
-                                        "bare-allow",
-                                        "allow() names unknown rule '" +
-                                            rule + "'"});
-                } else if (tail.empty() || tail.front() != ':' ||
-                           trim(tail.substr(1)).empty()) {
-                    findings.push_back(
-                        {std::string(path), lineNo, "bare-allow",
-                         "allow(" + rule +
-                             ") needs a justification: allow(" + rule +
-                             "): <why>"});
-                } else {
-                    Allow a;
-                    a.rule = rule;
-                    a.commentLine = lineNo;
-                    if (!sawCode) {
-                        a.fileScope = true;
-                    } else {
-                        a.lines.insert(lineNo);
-                        if (code.empty()) {
-                            // Comment-only line: the allow covers the
-                            // rest of its comment block (a multi-line
-                            // justification) plus the first code line
-                            // after it.
-                            size_t j = n;
-                            while (j + 1 < lines.size() &&
-                                   trim(lines[j + 1].code).empty() &&
-                                   !trim(lines[j + 1].comment).empty()) {
-                                ++j;
-                                a.lines.insert(static_cast<int>(j) + 1);
-                            }
-                            a.lines.insert(static_cast<int>(j) + 2);
-                        }
-                    }
-                    out.allows.push_back(std::move(a));
-                }
-            }
-        }
-
-        if (!code.empty())
-            sawCode = true;
+        std::string_view code = trim(lines[n]);
+        if (code.rfind("#", 0) != 0)
+            continue;
+        std::string_view rest = trim(code.substr(1));
+        if (rest.rfind("include", 0) != 0)
+            continue;
+        rest = trim(rest.substr(7));
+        if (rest.empty() || rest.front() != '"')
+            continue;
+        size_t close = rest.find('"', 1);
+        if (close != std::string_view::npos)
+            out.push_back({std::string(rest.substr(1, close - 1)), lineNo});
     }
     return out;
 }
@@ -516,10 +400,19 @@ analyzeFiles(const std::vector<SourceFile> &files)
     for (size_t i : order)
         byPath.emplace(normalize(files[i].path), i);
 
-    std::vector<ScannedFile> scanned(files.size());
+    std::vector<std::vector<Include>> scanned(files.size());
+    std::vector<std::vector<nxcommon::Allow>> allows(files.size());
     std::vector<Finding> raw;
-    for (size_t i : order)
-        scanned[i] = scanFile(files[i].path, files[i].content, raw);
+    for (size_t i : order) {
+        scanned[i] = scanIncludes(files[i].content);
+        // Suppressions come from the shared token-based collector so
+        // the grammar (and bare-allow / stale-allow semantics) is
+        // byte-for-byte the same across all four analyzers.
+        std::vector<nxlex::Token> toks =
+            nxlex::Lexer(files[i].content).run();
+        allows[i] = nxcommon::collectAllows(toks, "nxdeps", kRules, raw,
+                                            files[i].path);
+    }
 
     // Every directory under src/ must be in the layer table, else its
     // files would sail through every layering check unexamined. One
@@ -560,7 +453,7 @@ analyzeFiles(const std::vector<SourceFile> &files)
         std::string fromMod = moduleOf(from.path);
         int fromRank = rankOf(fromMod);
         std::string fromDir = dirOf(normalize(from.path));
-        for (const Include &inc : scanned[i].includes) {
+        for (const Include &inc : scanned[i]) {
             size_t to = resolve(byPath, fromDir, inc.target);
             if (to == static_cast<size_t>(-1))
                 continue;    // not a project file
@@ -621,42 +514,21 @@ analyzeFiles(const std::vector<SourceFile> &files)
         modAdj[kv.first.first].push_back(kv.second);
     findCycles(modAdj, moduleNames, files, "module-cycle", "module", raw);
 
-    // Apply suppressions; bare-allow findings are never suppressible.
+    // Apply suppressions per owning file (the shared post-pass also
+    // reports unused allows as stale-allow; bare-allow findings are
+    // never suppressible).
+    std::vector<std::vector<Finding>> perFile(files.size());
     for (Finding &f : raw) {
-        if (f.rule != "bare-allow") {
-            auto it = byPath.find(normalize(f.file));
-            if (it != byPath.end() &&
-                allowMatches(scanned[it->second].allows, f.rule, f.line))
-                continue;
-        }
-        an.findings.push_back(std::move(f));
+        auto it = byPath.find(normalize(f.file));
+        if (it == byPath.end())
+            an.findings.push_back(std::move(f));
+        else
+            perFile[it->second].push_back(std::move(f));
     }
-    // An allow that suppressed nothing is itself a finding — unless an
-    // allow(stale-allow) on the same lines excuses it (e.g. a
-    // suppression kept for a platform-conditional include).
-    for (size_t i : order) {
-        std::vector<Allow> &allows = scanned[i].allows;
-        for (size_t ai = 0; ai < allows.size(); ++ai) {
-            const Allow &a = allows[ai];
-            if (a.used || a.rule == "stale-allow")
-                continue;
-            if (allowMatches(allows, "stale-allow", a.commentLine))
-                continue;
-            an.findings.push_back(
-                {files[i].path, a.commentLine, "stale-allow",
-                 "allow(" + a.rule +
-                     ") suppresses nothing; delete it or fix the rule "
-                     "id"});
-        }
-    }
-    std::sort(an.findings.begin(), an.findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  if (a.file != b.file)
-                      return a.file < b.file;
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.rule < b.rule;
-              });
+    for (size_t i : order)
+        nxcommon::applyAllows(std::move(perFile[i]), allows[i],
+                              files[i].path, an.findings);
+    nxcommon::sortFindings(an.findings);
 
     // Module graph as DOT: declared layers become same-rank rows, so
     // `dot` draws the architecture diagram DESIGN.md embeds.
@@ -687,63 +559,18 @@ analyzeFiles(const std::vector<SourceFile> &files)
 Analysis
 analyzeTree(const std::string &root)
 {
-    namespace fs = std::filesystem;
-    std::vector<SourceFile> files;
-    std::vector<Finding> ioErrors;
-
-    auto collect = [&](const fs::path &dir) {
-        std::error_code ec;
-        for (fs::recursive_directory_iterator
-                 it(dir, fs::directory_options::skip_permission_denied,
-                    ec),
-             end;
-             it != end && !ec; it.increment(ec)) {
-            if (!it->is_regular_file(ec))
-                continue;
-            std::string ext = it->path().extension().string();
-            if (ext != ".h" && ext != ".hpp" && ext != ".cc" &&
-                ext != ".cpp")
-                continue;
-            std::error_code rec;
-            fs::path rel = fs::relative(it->path(), root, rec);
-            std::string label = rec ? it->path().generic_string()
-                                    : rel.generic_string();
-            std::ifstream in(it->path(), std::ios::binary);
-            if (!in) {
-                ioErrors.push_back(
-                    {label, 0, "io-error", "cannot read file"});
-                continue;
-            }
-            std::ostringstream ss;
-            ss << in.rdbuf();
-            files.push_back({label, ss.str()});
-        }
-    };
-
-    bool sawTree = false;
-    for (const char *sub :
-         {"src", "tools", "fuzz", "bench", "tests", "examples"}) {
-        fs::path dir = fs::path(root) / sub;
-        std::error_code ec;
-        if (fs::is_directory(dir, ec)) {
-            sawTree = true;
-            collect(dir);
-        }
-    }
-    if (!sawTree)
-        collect(root);
-
-    Analysis an = analyzeFiles(files);
-    an.findings.insert(an.findings.begin(), ioErrors.begin(),
-                       ioErrors.end());
+    nxcommon::TreeLoad tree = nxcommon::loadTree(
+        root, {"src", "tools", "fuzz", "bench", "tests", "examples"});
+    Analysis an = analyzeFiles(tree.files);
+    an.findings.insert(an.findings.begin(), tree.ioErrors.begin(),
+                       tree.ioErrors.end());
     return an;
 }
 
 std::string
 format(const Finding &f)
 {
-    return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
-           f.message;
+    return nxcommon::formatText(f);
 }
 
 } // namespace nxdeps

@@ -40,23 +40,16 @@
 #include <string_view>
 #include <vector>
 
+#include "common/diag.h"
+#include "common/fileset.h"
+
 namespace nxdeps {
 
-/** One diagnostic. */
-struct Finding
-{
-    std::string file;       ///< path as given to the analyzer
-    int line = 0;           ///< 1-based; 0 for whole-file findings
-    std::string rule;       ///< rule id, e.g. "layer-order"
-    std::string message;
-};
+/** One diagnostic (the shared analyzer-family shape). */
+using Finding = nxcommon::Finding;
 
 /** Rule metadata for --list-rules and the docs. */
-struct RuleInfo
-{
-    std::string_view id;
-    std::string_view summary;
-};
+using RuleInfo = nxcommon::RuleInfo;
 
 /** One row of the declared layering (the single source of truth). */
 struct LayerInfo
@@ -66,11 +59,7 @@ struct LayerInfo
 };
 
 /** One input file: tree-relative path plus its full contents. */
-struct SourceFile
-{
-    std::string path;
-    std::string content;
-};
+using SourceFile = nxcommon::SourceFile;
 
 /** Everything one run produces. */
 struct Analysis

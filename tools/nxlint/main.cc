@@ -1,102 +1,30 @@
 /**
  * @file
- * nxlint CLI.
+ * nxlint CLI — a thin ToolSpec over the shared analyzer driver
+ * (tools/common/driver.h owns argument parsing, --format=json, file
+ * lists and the 0/1/2 exit-code convention).
  *
  * Usage:
- *   nxlint [--list-rules] [<repo-root> | <file>...]
+ *   nxlint [--list-rules] [--format=text|json] [<repo-root> | <file>...]
  *
  * With a directory argument (default: the current directory) the tool
  * lints every *.h / *.cc under its src/, tools/, fuzz/ and bench/
  * subtrees. Explicit file arguments are linted one by one; a file whose
  * path does not sit under a recognized tree is held to the strictest
- * (library-code) rule set. Exit status: 0 clean, 1 findings, 2 usage
- * or I/O error.
+ * (library-code) rule set.
  */
 
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
-#include <string>
-#include <vector>
-
+#include "common/driver.h"
 #include "nxlint/nxlint.h"
-
-namespace {
-
-int
-listRules()
-{
-    for (const nxlint::RuleInfo &r : nxlint::rules())
-        std::printf("%-24s %s\n", std::string(r.id).c_str(),
-                    std::string(r.summary).c_str());
-    return 0;
-}
-
-bool
-lintOneFile(const std::string &path, std::vector<nxlint::Finding> &out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "nxlint: cannot read %s\n", path.c_str());
-        return false;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    std::string content = ss.str();
-    for (nxlint::Finding &f : nxlint::lintFile(path, content))
-        out.push_back(std::move(f));
-    return true;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> args;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--list-rules")
-            return listRules();
-        if (arg == "--help" || arg == "-h") {
-            std::printf(
-                "usage: nxlint [--list-rules] [<repo-root> | <file>...]\n");
-            return 0;
-        }
-        if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "nxlint: unknown option %s\n",
-                         arg.c_str());
-            return 2;
-        }
-        args.push_back(arg);
-    }
-    if (args.empty())
-        args.push_back(".");
-
-    std::vector<nxlint::Finding> findings;
-    bool ioOk = true;
-    size_t filesLinted = 0;
-    for (const std::string &arg : args) {
-        std::error_code ec;
-        if (std::filesystem::is_directory(arg, ec)) {
-            for (nxlint::Finding &f : nxlint::lintTree(arg))
-                findings.push_back(std::move(f));
-            ++filesLinted;    // counted per tree; detail printed below
-        } else {
-            ioOk = lintOneFile(arg, findings) && ioOk;
-            ++filesLinted;
-        }
-    }
-
-    for (const nxlint::Finding &f : findings)
-        std::printf("%s\n", nxlint::format(f).c_str());
-    if (!ioOk)
-        return 2;
-    if (!findings.empty()) {
-        std::fprintf(stderr, "nxlint: %zu finding%s\n", findings.size(),
-                     findings.size() == 1 ? "" : "s");
-        return 1;
-    }
-    return 0;
+    nxcommon::ToolSpec spec;
+    spec.name = "nxlint";
+    spec.usageArgs = "[<repo-root> | <file>...]";
+    spec.rules = &nxlint::rules();
+    spec.analyzeFile = nxlint::lintFile;
+    spec.analyzeTree = nxlint::lintTree;
+    return nxcommon::runTool(argc, argv, spec);
 }

@@ -1,7 +1,8 @@
 /**
  * @file
- * nxlint implementation: the shared tokenizer (tools/nxlint/lexer.h,
- * also the front end of tools/nxtaint) plus token-pattern rules. The
+ * nxlint implementation: token-pattern rules over the shared analyzer
+ * engine (tools/common/ — one lexer, one allow() grammar, one tree
+ * walker for the whole nxlint/nxdeps/nxtaint/nxstate family). The
  * lexer understands comments, string/char literals (raw strings
  * included), numbers and preprocessor lines — enough that a banned
  * identifier inside a string or comment never fires, and a
@@ -13,17 +14,19 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <set>
-#include <sstream>
 
-#include "nxlint/lexer.h"
+#include "common/allow.h"
+#include "common/fileset.h"
+#include "common/lexer.h"
 
 namespace nxlint {
 
 namespace {
 
+using nxcommon::Allow;
+using nxcommon::relFromTree;
 using nxlex::identChar;
 using nxlex::Lexer;
 using nxlex::Tok;
@@ -40,21 +43,6 @@ struct Scope
     bool isSrc = false;    // library code: src/ (or an unrecognized path)
     bool isUtil = false;   // src/util/: the whitelisted helper layer
 };
-
-std::string
-relFromTree(std::string_view path)
-{
-    for (std::string_view root : {"src/", "tools/", "fuzz/", "bench/",
-                                  "tests/", "examples/"}) {
-        if (path.substr(0, root.size()) == root)
-            return std::string(path);
-        std::string probe = "/" + std::string(root);
-        size_t pos = path.rfind(probe);
-        if (pos != std::string_view::npos)
-            return std::string(path.substr(pos + 1));
-    }
-    return {};
-}
 
 Scope
 scopeFor(std::string_view path)
@@ -140,140 +128,7 @@ const std::vector<RuleInfo> kRules = {
     {"io-error", "file could not be read"},
 };
 
-bool
-knownRule(std::string_view id)
-{
-    return std::any_of(kRules.begin(), kRules.end(),
-                       [&](const RuleInfo &r) { return r.id == id; });
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions
-// ---------------------------------------------------------------------------
-
-/**
- * One parsed allow directive. `used` is set when it suppresses a raw
- * finding; an allow that stays unused is reported as stale-allow —
- * the suppression budget stays honest because a suppression that
- * outlives its finding has to be deleted.
- */
-struct Allow
-{
-    std::string rule;
-    bool fileScope = false;
-    std::set<int> lines;
-    int commentLine = 0;
-    bool used = false;
-};
-
-/// True (and marks the allow used) when some allow covers rule@line.
-bool
-allowMatches(std::vector<Allow> &allows, std::string_view rule, int line)
-{
-    bool hit = false;
-    for (Allow &a : allows) {
-        if (a.rule != rule)
-            continue;
-        if (a.fileScope || a.lines.count(line) != 0) {
-            a.used = true;
-            hit = true;
-        }
-    }
-    return hit;
-}
-
 using nxlex::trim;
-
-/**
- * Parse every `nxlint: allow(rule): why` occurrence in comment tokens.
- * An allow covers its own comment block — the directive's lines plus
- * any directly following `//` continuation lines — and the next code
- * line when the comment starts its line; before any code it covers
- * the whole file.
- */
-std::vector<Allow>
-collectSuppressions(const std::vector<Token> &toks,
-                    std::vector<Finding> &findings, std::string_view file)
-{
-    std::vector<Allow> allows;
-    bool sawCode = false;
-    for (size_t ti = 0; ti < toks.size(); ++ti) {
-        const Token &t = toks[ti];
-        if (t.kind != Tok::Comment) {
-            // Preprocessor lines (guards, includes) don't end the
-            // file-level comment region; real code does.
-            if (t.kind != Tok::Pp)
-                sawCode = true;
-            continue;
-        }
-        // A suppression must BE the comment, not be quoted inside one:
-        // only `// nxlint: ...` line comments count, anchored at the
-        // start. Prose that mentions the syntax never suppresses.
-        std::string_view body{t.text};
-        if (body.rfind("//", 0) != 0)
-            continue;
-        body.remove_prefix(2);
-        body = trim(body);
-        if (body.rfind("nxlint:", 0) != 0)
-            continue;
-        body.remove_prefix(7);
-        size_t pos = 0;
-        while ((pos = body.find("allow(", pos)) != std::string::npos) {
-            std::string_view rest = body.substr(pos);
-            pos += 6;
-            if (rest.rfind("allow(", 0) != 0)
-                continue;
-            rest.remove_prefix(6);
-            size_t close = rest.find(')');
-            if (close == std::string_view::npos)
-                continue;
-            std::string rule{trim(rest.substr(0, close))};
-            std::string_view tail = trim(rest.substr(close + 1));
-            if (!knownRule(rule) || rule == "bare-allow") {
-                findings.push_back({std::string(file), t.line,
-                                    "bare-allow",
-                                    "allow() names unknown rule '" + rule +
-                                        "'"});
-                continue;
-            }
-            if (tail.empty() || tail.front() != ':' ||
-                trim(tail.substr(1)).empty()) {
-                findings.push_back(
-                    {std::string(file), t.line, "bare-allow",
-                     "allow(" + rule +
-                         ") needs a justification: allow(" + rule +
-                         "): <why>"});
-                continue;
-            }
-            Allow a;
-            a.rule = rule;
-            a.commentLine = t.line;
-            if (!sawCode) {
-                a.fileScope = true;
-                allows.push_back(std::move(a));
-                continue;
-            }
-            // A justification may continue across directly following
-            // `//` lines; the whole contiguous comment block (plus the
-            // next code line, when the comment starts its line) is
-            // covered.
-            int lastLine = t.endLine;
-            for (size_t j = ti + 1; j < toks.size(); ++j) {
-                const Token &c = toks[j];
-                if (c.kind != Tok::Comment || !c.firstOnLine ||
-                    c.line != lastLine + 1)
-                    break;
-                lastLine = c.endLine;
-            }
-            for (int l = t.line; l <= lastLine; ++l)
-                a.lines.insert(l);
-            if (t.firstOnLine)
-                a.lines.insert(lastLine + 1);
-            allows.push_back(std::move(a));
-        }
-    }
-    return allows;
-}
 
 // ---------------------------------------------------------------------------
 // Token helpers
@@ -898,7 +753,8 @@ lintFile(std::string_view path, std::string_view content)
     std::vector<Token> toks = Lexer(content).run();
 
     std::vector<Finding> raw;
-    std::vector<Allow> allows = collectSuppressions(toks, raw, path);
+    std::vector<Allow> allows =
+        nxcommon::collectAllows(toks, "nxlint", kRules, raw, path);
 
     checkIncludeGuard(toks, sc, path, raw);
     checkUsingNamespace(toks, sc, path, raw);
@@ -912,25 +768,7 @@ lintFile(std::string_view path, std::string_view content)
     checkTodoTags(toks, path, raw);
 
     std::vector<Finding> out;
-    for (Finding &f : raw) {
-        if (f.rule != "bare-allow" && allowMatches(allows, f.rule, f.line))
-            continue;
-        out.push_back(std::move(f));
-    }
-    // An allow that suppressed nothing is itself a finding — unless an
-    // allow(stale-allow) on the same lines excuses it (e.g. a
-    // suppression kept for a platform-conditional construct).
-    for (size_t ai = 0; ai < allows.size(); ++ai) {
-        const Allow &a = allows[ai];
-        if (a.used || a.rule == "stale-allow")
-            continue;
-        if (allowMatches(allows, "stale-allow", a.commentLine))
-            continue;
-        out.push_back({std::string(path), a.commentLine, "stale-allow",
-                       "allow(" + a.rule +
-                           ") suppresses nothing; delete it or fix the "
-                           "rule id"});
-    }
+    nxcommon::applyAllows(std::move(raw), allows, path, out);
     std::sort(out.begin(), out.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.line != b.line)
@@ -943,64 +781,21 @@ lintFile(std::string_view path, std::string_view content)
 std::vector<Finding>
 lintTree(const std::string &root)
 {
-    namespace fs = std::filesystem;
-    std::vector<Finding> out;
-    std::vector<fs::path> files;
-
-    auto collect = [&files](const fs::path &dir) {
-        std::error_code ec;
-        for (fs::recursive_directory_iterator
-                 it(dir, fs::directory_options::skip_permission_denied,
-                    ec),
-             end;
-             it != end && !ec; it.increment(ec)) {
-            if (!it->is_regular_file(ec))
-                continue;
-            std::string ext = it->path().extension().string();
-            if (ext == ".h" || ext == ".hpp" || ext == ".cc" ||
-                ext == ".cpp")
-                files.push_back(it->path());
-        }
-    };
-
-    bool sawTree = false;
-    for (const char *sub : {"src", "tools", "fuzz", "bench"}) {
-        fs::path dir = fs::path(root) / sub;
-        std::error_code ec;
-        if (fs::is_directory(dir, ec)) {
-            sawTree = true;
-            collect(dir);
-        }
-    }
-    if (!sawTree)
-        collect(root);
-
-    std::sort(files.begin(), files.end());
-    for (const fs::path &p : files) {
-        std::ifstream in(p, std::ios::binary);
-        if (!in) {
-            out.push_back({p.string(), 0, "io-error", "cannot read file"});
-            continue;
-        }
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        std::string content = ss.str();
-        // Lint with a tree-relative label so scoping is stable no
-        // matter where the tool is invoked from.
-        std::error_code ec;
-        fs::path rel = fs::relative(p, root, ec);
-        std::string label = ec ? p.string() : rel.generic_string();
-        for (Finding &f : lintFile(label, content))
+    // Lint with tree-relative labels so scoping is stable no matter
+    // where the tool is invoked from.
+    nxcommon::TreeLoad tl =
+        nxcommon::loadTree(root, {"src", "tools", "fuzz", "bench"});
+    std::vector<Finding> out = std::move(tl.ioErrors);
+    for (const nxcommon::SourceFile &sf : tl.files)
+        for (Finding &f : lintFile(sf.path, sf.content))
             out.push_back(std::move(f));
-    }
     return out;
 }
 
 std::string
 format(const Finding &f)
 {
-    return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
-           f.message;
+    return nxcommon::formatText(f);
 }
 
 } // namespace nxlint

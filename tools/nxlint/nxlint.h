@@ -29,23 +29,15 @@
 #include <string_view>
 #include <vector>
 
+#include "common/diag.h"
+
 namespace nxlint {
 
-/** One diagnostic. */
-struct Finding
-{
-    std::string file;       ///< path as given to the linter
-    int line = 0;           ///< 1-based
-    std::string rule;       ///< rule id, e.g. "narrow-cast"
-    std::string message;
-};
+/** One diagnostic (the shared analyzer-family shape). */
+using Finding = nxcommon::Finding;
 
 /** Rule metadata for --list-rules and the docs. */
-struct RuleInfo
-{
-    std::string_view id;
-    std::string_view summary;
-};
+using RuleInfo = nxcommon::RuleInfo;
 
 /** All rules, in the order they are checked. */
 const std::vector<RuleInfo> &rules();

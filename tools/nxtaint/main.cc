@@ -1,98 +1,28 @@
 /**
  * @file
- * nxtaint CLI.
+ * nxtaint CLI — a thin ToolSpec over the shared analyzer driver
+ * (tools/common/driver.h owns argument parsing, --format=json, file
+ * lists and the 0/1/2 exit-code convention).
  *
  * Usage:
- *   nxtaint [--list-rules] [<repo-root> | <file>...]
+ *   nxtaint [--list-rules] [--format=text|json] [<repo-root> | <file>...]
  *
  * With a directory argument (default: the current directory) the tool
- * analyzes every *.h / *.cc under its src/ subtree — the trees where
- * untrusted compressed input flows. Explicit file arguments are
- * analyzed one by one (how the fixture tests drive it). Exit status:
- * 0 clean, 1 findings, 2 usage or I/O error.
+ * analyzes every *.h / *.cc under its src/ subtree. Explicit file
+ * arguments are analyzed one by one.
  */
 
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
-#include <string>
-#include <vector>
-
+#include "common/driver.h"
 #include "nxtaint/nxtaint.h"
-
-namespace {
-
-int
-listRules()
-{
-    for (const nxtaint::RuleInfo &r : nxtaint::rules())
-        std::printf("%-24s %s\n", std::string(r.id).c_str(),
-                    std::string(r.summary).c_str());
-    return 0;
-}
-
-bool
-analyzeOneFile(const std::string &path, std::vector<nxtaint::Finding> &out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "nxtaint: cannot read %s\n", path.c_str());
-        return false;
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    std::string content = ss.str();
-    for (nxtaint::Finding &f : nxtaint::analyzeFile(path, content))
-        out.push_back(std::move(f));
-    return true;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> args;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (arg == "--list-rules")
-            return listRules();
-        if (arg == "--help" || arg == "-h") {
-            std::printf(
-                "usage: nxtaint [--list-rules] [<repo-root> | <file>...]\n");
-            return 0;
-        }
-        if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "nxtaint: unknown option %s\n",
-                         arg.c_str());
-            return 2;
-        }
-        args.push_back(arg);
-    }
-    if (args.empty())
-        args.push_back(".");
-
-    std::vector<nxtaint::Finding> findings;
-    bool ioOk = true;
-    for (const std::string &arg : args) {
-        std::error_code ec;
-        if (std::filesystem::is_directory(arg, ec)) {
-            for (nxtaint::Finding &f : nxtaint::analyzeTree(arg))
-                findings.push_back(std::move(f));
-        } else {
-            ioOk = analyzeOneFile(arg, findings) && ioOk;
-        }
-    }
-
-    for (const nxtaint::Finding &f : findings)
-        std::printf("%s\n", nxtaint::format(f).c_str());
-    if (!ioOk)
-        return 2;
-    if (!findings.empty()) {
-        std::fprintf(stderr, "nxtaint: %zu finding%s\n", findings.size(),
-                     findings.size() == 1 ? "" : "s");
-        return 1;
-    }
-    return 0;
+    nxcommon::ToolSpec spec;
+    spec.name = "nxtaint";
+    spec.usageArgs = "[<repo-root> | <file>...]";
+    spec.rules = &nxtaint::rules();
+    spec.analyzeFile = nxtaint::analyzeFile;
+    spec.analyzeTree = nxtaint::analyzeTree;
+    return nxcommon::runTool(argc, argv, spec);
 }

@@ -5,10 +5,10 @@
  *
  * The shape of the analysis, front to back:
  *
- *   1. Lex (tools/nxlint/lexer.h), collect `nxtaint: allow(...)`
- *      suppressions from the comment stream, then strip comments and
- *      merge multi-character operators (`<<`, `->`, `==`, ...) that
- *      the lexer emits as single punctuation characters.
+ *   1. Lex (tools/common/lexer.h), collect `nxtaint: allow(...)`
+ *      suppressions from the comment stream (tools/common/allow.h),
+ *      then strip comments and merge multi-character operators (`<<`,
+ *      `->`, `==`, ...) via tools/common/tokens.h.
  *   2. Find function bodies: a `{` whose backward token context
  *      resolves (through trailing `const`/`noexcept`/return types /
  *      constructor-initializer lists) to a `)`. Each body gets a fresh
@@ -30,18 +30,20 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
 
-#include "nxlint/lexer.h"
+#include "common/allow.h"
+#include "common/fileset.h"
+#include "common/lexer.h"
+#include "common/tokens.h"
 
 namespace nxtaint {
 
 namespace {
 
+using nxcommon::Allow;
 using nxlex::Lexer;
 using nxlex::Tok;
 using nxlex::Token;
@@ -73,204 +75,8 @@ const std::vector<RuleInfo> kRules = {
     {"io-error", "file could not be read"},
 };
 
-bool
-knownRule(std::string_view id)
-{
-    for (const RuleInfo &r : kRules)
-        if (r.id == id)
-            return true;
-    return false;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions
-// ---------------------------------------------------------------------------
-
-/**
- * One parsed `nxtaint: allow(rule): why` directive. Same grammar and
- * placement as nxlint: the allow covers the comment's own lines plus
- * the next line when the comment starts its line; before any code it
- * covers the whole file. `used` feeds the stale-allow rule.
- */
-struct Allow
-{
-    std::string rule;
-    bool fileScope = false;
-    std::set<int> lines;
-    int commentLine = 0;
-    bool used = false;
-};
-
-std::vector<Allow>
-collectAllows(const std::vector<Token> &toks, std::vector<Finding> &findings,
-              std::string_view file)
-{
-    std::vector<Allow> allows;
-    bool sawCode = false;
-    for (size_t ti = 0; ti < toks.size(); ++ti) {
-        const Token &t = toks[ti];
-        if (t.kind != Tok::Comment) {
-            if (t.kind != Tok::Pp)
-                sawCode = true;
-            continue;
-        }
-        std::string_view body{t.text};
-        if (body.rfind("//", 0) != 0)
-            continue;
-        body.remove_prefix(2);
-        body = trim(body);
-        if (body.rfind("nxtaint:", 0) != 0)
-            continue;
-        body.remove_prefix(8);
-        size_t pos = 0;
-        while ((pos = body.find("allow(", pos)) != std::string::npos) {
-            std::string_view rest = body.substr(pos);
-            pos += 6;
-            rest.remove_prefix(6);
-            size_t close = rest.find(')');
-            if (close == std::string_view::npos)
-                continue;
-            std::string rule{trim(rest.substr(0, close))};
-            std::string_view tail = trim(rest.substr(close + 1));
-            if (!knownRule(rule) || rule == "bare-allow") {
-                findings.push_back({std::string(file), t.line, "bare-allow",
-                                    "allow() names unknown rule '" + rule +
-                                        "'"});
-                continue;
-            }
-            if (tail.empty() || tail.front() != ':' ||
-                trim(tail.substr(1)).empty()) {
-                findings.push_back(
-                    {std::string(file), t.line, "bare-allow",
-                     "allow(" + rule + ") needs a justification: allow(" +
-                         rule + "): <why>"});
-                continue;
-            }
-            Allow a;
-            a.rule = rule;
-            a.commentLine = t.line;
-            if (!sawCode) {
-                a.fileScope = true;
-            } else {
-                // A justification may run over several `//` lines (each
-                // its own token): the allow covers the whole contiguous
-                // comment block plus, when the block starts its lines,
-                // the first code line after it.
-                int lastLine = t.endLine;
-                for (size_t j = ti + 1;
-                     j < toks.size() && toks[j].kind == Tok::Comment &&
-                     toks[j].firstOnLine && toks[j].line == lastLine + 1;
-                     ++j)
-                    lastLine = toks[j].endLine;
-                for (int l = t.line; l <= lastLine; ++l)
-                    a.lines.insert(l);
-                if (t.firstOnLine)
-                    a.lines.insert(lastLine + 1);
-            }
-            allows.push_back(std::move(a));
-        }
-    }
-    return allows;
-}
-
-bool
-allowMatches(std::vector<Allow> &allows, const std::string &rule, int line)
-{
-    bool hit = false;
-    for (Allow &a : allows) {
-        if (a.rule != rule)
-            continue;
-        if (a.fileScope || a.lines.count(line) != 0) {
-            a.used = true;
-            hit = true;
-        }
-    }
-    return hit;
-}
-
-// ---------------------------------------------------------------------------
-// Token preparation: strip comments/preprocessor, merge operators
-// ---------------------------------------------------------------------------
-
-/**
- * The shared lexer emits one Punct token per character; taint analysis
- * needs `<<` vs `<`, `->` vs `-`, `==` vs `=`. Merge the standard
- * multi-character operators (greedy, longest first). Comments and
- * whole preprocessor directives drop out here: suppressions were
- * already harvested, and macro bodies are not analyzable statements.
- */
-std::vector<Token>
-prepare(const std::vector<Token> &raw)
-{
-    static const std::vector<std::string> kThree = {"<<=", ">>=", "->*",
-                                                    "..."};
-    static const std::vector<std::string> kTwo = {
-        "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->", "::",
-        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--"};
-
-    std::vector<Token> toks;
-    for (const Token &t : raw)
-        if (t.kind != Tok::Comment && t.kind != Tok::Pp)
-            toks.push_back(t);
-
-    std::vector<Token> out;
-    size_t i = 0;
-    auto punct = [&](size_t k) -> char {
-        return k < toks.size() && toks[k].kind == Tok::Punct &&
-                       toks[k].text.size() == 1
-                   ? toks[k].text[0]
-                   : '\0';
-    };
-    while (i < toks.size()) {
-        char a = punct(i);
-        if (a != '\0') {
-            char b = punct(i + 1);
-            char c = punct(i + 2);
-            bool merged = false;
-            if (b != '\0' && c != '\0' && toks[i].line == toks[i + 2].line) {
-                std::string three{a};
-                three += b;
-                three += c;
-                if (std::find(kThree.begin(), kThree.end(), three) !=
-                    kThree.end()) {
-                    Token t = toks[i];
-                    t.text = three;
-                    out.push_back(std::move(t));
-                    i += 3;
-                    merged = true;
-                }
-            }
-            if (!merged && b != '\0' && toks[i].line == toks[i + 1].line) {
-                std::string two{a};
-                two += b;
-                if (std::find(kTwo.begin(), kTwo.end(), two) != kTwo.end()) {
-                    Token t = toks[i];
-                    t.text = two;
-                    out.push_back(std::move(t));
-                    i += 2;
-                    merged = true;
-                }
-            }
-            if (merged)
-                continue;
-        }
-        out.push_back(toks[i]);
-        ++i;
-    }
-    return out;
-}
-
-bool
-isPunct(const std::vector<Token> &t, size_t i, std::string_view s)
-{
-    return i < t.size() && t[i].kind == Tok::Punct && t[i].text == s;
-}
-
-bool
-isIdent(const std::vector<Token> &t, size_t i)
-{
-    return i < t.size() && t[i].kind == Tok::Ident;
-}
+using nxcommon::isIdent;
+using nxcommon::isPunct;
 
 // ---------------------------------------------------------------------------
 // Analyzer
@@ -350,34 +156,13 @@ class Analyzer
     size_t
     matchForward(size_t i, char open, char close) const
     {
-        int depth = 0;
-        std::string o(1, open);
-        std::string c(1, close);
-        for (; i < t_.size(); ++i) {
-            if (isPunct(t_, i, o))
-                ++depth;
-            else if (isPunct(t_, i, c) && --depth == 0)
-                return i;
-        }
-        return t_.size();
+        return nxcommon::matchForward(t_, i, open, close);
     }
 
     size_t
     matchBackward(size_t i, char open, char close) const
     {
-        int depth = 0;
-        std::string o(1, open);
-        std::string c(1, close);
-        while (true) {
-            if (isPunct(t_, i, c))
-                ++depth;
-            else if (isPunct(t_, i, o) && --depth == 0)
-                return i;
-            if (i == 0)
-                break;
-            --i;
-        }
-        return t_.size();
+        return nxcommon::matchBackward(t_, i, open, close);
     }
 
     // -- function detection -------------------------------------------------
@@ -926,23 +711,7 @@ class Analyzer
     splitArgs(size_t b, size_t e,
               std::vector<std::pair<size_t, size_t>> &args) const
     {
-        if (b >= e)
-            return;
-        int depth = 0;
-        size_t start = b;
-        for (size_t i = b; i < e; ++i) {
-            if (isPunct(t_, i, "(") || isPunct(t_, i, "[") ||
-                isPunct(t_, i, "{"))
-                ++depth;
-            else if (isPunct(t_, i, ")") || isPunct(t_, i, "]") ||
-                     isPunct(t_, i, "}"))
-                --depth;
-            else if (depth == 0 && isPunct(t_, i, ",")) {
-                args.emplace_back(start, i);
-                start = i + 1;
-            }
-        }
-        args.emplace_back(start, e);
+        nxcommon::splitArgs(t_, b, e, args);
     }
 
     void
@@ -1034,25 +803,13 @@ analyzeFile(std::string_view path, std::string_view content)
 {
     std::vector<Finding> findings;
     std::vector<Token> raw = Lexer(content).run();
-    std::vector<Allow> allows = collectAllows(raw, findings, path);
-    std::vector<Token> toks = prepare(raw);
+    std::vector<Allow> allows =
+        nxcommon::collectAllows(raw, "nxtaint", kRules, findings, path);
+    std::vector<Token> toks = nxcommon::mergeOperators(raw);
 
     std::vector<Finding> rawFindings;
     Analyzer(path, toks, rawFindings).run();
-    for (Finding &f : rawFindings) {
-        if (allowMatches(allows, f.rule, f.line))
-            continue;
-        findings.push_back(std::move(f));
-    }
-    for (const Allow &a : allows) {
-        if (a.used || a.rule == "stale-allow")
-            continue;
-        Finding sf{std::string(path), a.commentLine, "stale-allow",
-                   "allow(" + a.rule +
-                       ") suppresses nothing; delete it or fix the rule id"};
-        if (!allowMatches(allows, "stale-allow", sf.line))
-            findings.push_back(std::move(sf));
-    }
+    nxcommon::applyAllows(std::move(rawFindings), allows, path, findings);
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
                   return a.line != b.line ? a.line < b.line
@@ -1064,45 +821,18 @@ analyzeFile(std::string_view path, std::string_view content)
 std::vector<Finding>
 analyzeTree(const std::string &root)
 {
-    namespace fs = std::filesystem;
-    std::vector<Finding> findings;
-    std::vector<std::string> files;
-
-    std::error_code ec;
-    fs::path base = fs::path(root) / "src";
-    if (!fs::is_directory(base, ec))
-        base = root;
-    for (fs::recursive_directory_iterator it(base, ec), end;
-         !ec && it != end; it.increment(ec)) {
-        if (!it->is_regular_file(ec))
-            continue;
-        std::string ext = it->path().extension().string();
-        if (ext == ".h" || ext == ".cc")
-            files.push_back(it->path().string());
-    }
-    std::sort(files.begin(), files.end());
-
-    for (const std::string &f : files) {
-        std::ifstream in(f, std::ios::binary);
-        if (!in) {
-            findings.push_back({f, 0, "io-error", "cannot read file"});
-            continue;
-        }
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        std::string content = ss.str();
-        for (Finding &fd : analyzeFile(f, content))
+    nxcommon::TreeLoad tree = nxcommon::loadTree(root, {"src"});
+    std::vector<Finding> findings = std::move(tree.ioErrors);
+    for (const nxcommon::SourceFile &f : tree.files)
+        for (Finding &fd : analyzeFile(f.path, f.content))
             findings.push_back(std::move(fd));
-    }
     return findings;
 }
 
 std::string
 format(const Finding &f)
 {
-    std::ostringstream os;
-    os << f.file << ":" << f.line << ": " << f.rule << ": " << f.message;
-    return os.str();
+    return nxcommon::formatText(f);
 }
 
 } // namespace nxtaint

@@ -6,7 +6,7 @@
  * *values*. Every historical decompressor exploit is the same bug: a
  * length/offset/count decoded from the untrusted bitstream reaches a
  * memory operation without a bounds check. nxtaint walks each function
- * body as a statement stream (built on the shared tools/nxlint/lexer.h
+ * body as a statement stream (built on the shared tools/common/lexer.h
  * tokenizer — deliberately no compiler frontend, same philosophy as
  * its siblings), marks taint sources, propagates through assignments
  * and arithmetic, and flags tainted values reaching memory sinks
@@ -53,23 +53,15 @@
 #include <string_view>
 #include <vector>
 
+#include "common/diag.h"
+
 namespace nxtaint {
 
-/** One diagnostic. */
-struct Finding
-{
-    std::string file;       ///< path as given to the analyzer
-    int line = 0;           ///< 1-based
-    std::string rule;       ///< rule id, e.g. "taint-index"
-    std::string message;
-};
+/** One diagnostic (the shared analyzer-family shape). */
+using Finding = nxcommon::Finding;
 
 /** Rule metadata for --list-rules and the docs. */
-struct RuleInfo
-{
-    std::string_view id;
-    std::string_view summary;
-};
+using RuleInfo = nxcommon::RuleInfo;
 
 /** All rules, in the order they are checked. */
 const std::vector<RuleInfo> &rules();
