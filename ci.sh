@@ -14,13 +14,17 @@
 #                      (tools/nxstate; also a ctest)
 #   6. asan-ubsan      full ctest under ASan+UBSan (no recover)
 #   7. tsan            ThreadSanitizer build; runs the `concurrency`
-#                      ctest label (the core::JobServer dispatch suite)
-#   8. clang-tsa       Clang -Wthread-safety over the lock annotations
+#                      ctest label (the JobServer dispatch suite and
+#                      the multi-session stress suite)
+#   8. coverage        gcov build; runs the `session` ctest label and
+#                      gates src/core/session.cc line coverage against
+#                      tools/coverage_baseline.txt (coverage_gate.sh)
+#   9. clang-tsa       Clang -Wthread-safety over the lock annotations
 #                      (src/util/thread_annotations.h); skipped with a
 #                      notice when clang++ is absent
-#   9. lint            clang-tidy over files changed vs origin/main
+#  10. lint            clang-tidy over files changed vs origin/main
 #                      (skipped with a notice when clang-tidy absent)
-#  10. fuzz smoke      30 s of each fuzz target on the seeded corpus
+#  11. fuzz smoke      30 s of each fuzz target on the seeded corpus
 #                      (libFuzzer with Clang; the standalone driver
 #                      otherwise — see fuzz/standalone_main.cc)
 #
@@ -28,7 +32,7 @@
 # configure, one build, four analyzers. Each stage prints its wall time
 # when it finishes, and a summary table prints at the end.
 #
-# Usage: ./ci.sh [--quick]   --quick skips stages 9 and 10.
+# Usage: ./ci.sh [--quick]   --quick skips stages 10 and 11.
 set -eu
 
 cd "$(dirname "$0")"
@@ -55,34 +59,40 @@ stage_end() {
     fi
 }
 
-stage "ci preset (warnings-as-errors)" "1/10"
+stage "ci preset (warnings-as-errors)" "1/11"
 cmake --preset ci
 cmake --build build-ci -j "$jobs"
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-stage "nxlint (project static analysis)" "2/10"
+stage "nxlint (project static analysis)" "2/11"
 ./build-ci/tools/nxlint/nxlint .
 
-stage "nxdeps (include-graph layering)" "3/10"
+stage "nxdeps (include-graph layering)" "3/11"
 ./build-ci/tools/nxdeps/nxdeps .
 
-stage "nxtaint (untrusted-input dataflow)" "4/10"
+stage "nxtaint (untrusted-input dataflow)" "4/11"
 ./build-ci/tools/nxtaint/nxtaint .
 
-stage "nxstate (typestate + lock order)" "5/10"
+stage "nxstate (typestate + lock order)" "5/11"
 ./build-ci/tools/nxstate/nxstate .
 
-stage "asan-ubsan preset" "6/10"
+stage "asan-ubsan preset" "6/11"
 cmake --preset asan-ubsan
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-stage "tsan preset (concurrency label)" "7/10"
+stage "tsan preset (concurrency label)" "7/11"
 cmake --preset tsan
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$jobs"
 
-stage "clang-tsa (thread-safety annotations)" "8/10"
+stage "coverage (session label + gcov gate)" "8/11"
+cmake --preset coverage
+cmake --build build-coverage -j "$jobs"
+ctest --test-dir build-coverage -L session --output-on-failure -j "$jobs"
+tools/coverage_gate.sh build-coverage
+
+stage "clang-tsa (thread-safety annotations)" "9/11"
 if command -v clang++ >/dev/null 2>&1; then
     cmake --preset clang-tsa
     cmake --build build-clang-tsa -j "$jobs"
@@ -97,7 +107,7 @@ if [ "$quick" = "--quick" ]; then
     exit 0
 fi
 
-stage "clang-tidy on changed files" "9/10"
+stage "clang-tidy on changed files" "10/11"
 if git rev-parse --verify origin/main >/dev/null 2>&1; then
     changed=$(git diff --name-only origin/main -- 'src/*.cc' || true)
 else
@@ -110,10 +120,10 @@ else
     echo "no changed src/*.cc files; skipping clang-tidy"
 fi
 
-stage "fuzz smoke (30 s per target)" "10/10"
+stage "fuzz smoke (30 s per target)" "11/11"
 cmake --preset fuzz
 cmake --build build-fuzz -j "$jobs"
-for t in fuzz_inflate fuzz_gzip fuzz_e842 fuzz_roundtrip; do
+for t in fuzz_inflate fuzz_gzip fuzz_e842 fuzz_roundtrip fuzz_session; do
     echo "--- $t ---"
     # libFuzzer and the standalone driver share this CLI subset; both
     # default to the target's dir under fuzz/corpus when built here.

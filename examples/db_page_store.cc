@@ -5,14 +5,19 @@
  * compression with bounded request latency).
  *
  * The interesting constraint is latency, not just throughput: a page
- * write sits on the commit path. The example compresses a batch of
- * 8/16/32 KiB pages and reports per-page latency and ratio for FHT
- * (latency-optimal) vs sampled DHT (ratio-optimal).
+ * write sits on the commit path. The example drives an nx::Session per
+ * Huffman mode — the same policy-owning layer a DB engine would hold
+ * per table space — compresses a batch of 8/16/32 KiB pages, and
+ * reports per-page latency and ratio for FHT (latency-optimal) vs
+ * sampled DHT (ratio-optimal). All pages sit above the session's
+ * 4 KiB routing threshold, so they ride the accelerator; the session
+ * would transparently complete them in software if the device faulted
+ * or saturated, which the final stats line would show as fallbacks.
  */
 
 #include <cstdio>
 
-#include "core/device.h"
+#include "core/session.h"
 #include "core/topology.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -22,25 +27,32 @@ int
 main()
 {
     auto chip = core::z15Chip();
-    core::NxDevice dev(chip.accel);
 
     util::Table t("db_page_store: page compression on z15 "
                   "(latency on the commit path)");
     t.header({"page size", "mode", "mean latency us", "p99-ish max us",
               "ratio"});
 
+    uint64_t accelPages = 0, fallbackPages = 0;
     for (size_t page_bytes : {size_t{8} << 10, size_t{16} << 10,
                               size_t{32} << 10}) {
         for (auto mode : {core::Mode::Fht, core::Mode::DhtSampled}) {
+            nx::SessionPolicy policy;
+            policy.format = nx::SessionFormat::Zlib;
+            policy.mode = mode;
+            policy.accelThresholdBytes = 4096;
+            nx::Session sess(chip.accel, policy);
+
             util::RunningStat lat;
             uint64_t raw = 0, out = 0;
             for (int p = 0; p < 64; ++p) {
                 workloads::TpcdsConfig cfg;
                 cfg.seed = 9000 + static_cast<uint64_t>(p);
                 auto page = workloads::makeStoreSales(page_bytes, cfg);
-                auto job = dev.compress(page, nx::Framing::Zlib, mode);
-                if (!job.ok()) {
-                    std::fprintf(stderr, "page compress failed\n");
+                auto job = sess.compress(page);
+                if (!job.ok) {
+                    std::fprintf(stderr, "page compress failed: %s\n",
+                                 job.error.c_str());
                     return 1;
                 }
                 lat.add(job.seconds * 1e6);
@@ -48,12 +60,16 @@ main()
                 out += job.data.size();
 
                 // Verify the page decompresses intact.
-                auto back = dev.decompress(job.data, nx::Framing::Zlib);
-                if (!back.ok() || back.data != page) {
+                auto back = sess.decompress(job.data);
+                if (!back.ok || back.data != page) {
                     std::fprintf(stderr, "page verify failed\n");
                     return 1;
                 }
             }
+            auto st = sess.stats();
+            accelPages += st.accelRouted - st.fallbacks;
+            fallbackPages += st.fallbacks;
+            sess.close();
             t.row({util::Table::fmtBytes(page_bytes),
                    mode == core::Mode::Fht ? "FHT" : "DHT(sampled)",
                    util::Table::fmt(lat.mean(), 1),
@@ -65,5 +81,9 @@ main()
     t.note("FHT skips table generation: the right choice on the "
            "commit path; DHT pays ~table-build latency for ratio");
     t.print();
+    std::printf("%llu page requests on the accelerator, %llu completed "
+                "by software fallback\n",
+                static_cast<unsigned long long>(accelPages),
+                static_cast<unsigned long long>(fallbackPages));
     return 0;
 }

@@ -1,54 +1,85 @@
 /**
  * @file
- * Quickstart: open a POWER9 accelerator context, compress a buffer to
- * gzip, decompress it back, and print what happened. This is the
- * 30-second tour of the nxzip public API.
+ * Quickstart: open an nx::Session on a POWER9 chip, compress a buffer
+ * to gzip, decompress it back, and print where each request ran. This
+ * is the 30-second tour of the session API — the policy-owning layer
+ * the production stacks (zlibNX, zEDC, QATzip) put in front of the
+ * accelerator.
  */
 
 #include <cstdio>
 
-#include "core/nxzip.h"
+#include "core/session.h"
+#include "core/topology.h"
 #include "util/table.h"
 #include "workloads/corpus.h"
 
 int
 main()
 {
-    // 1. Open a context on a POWER9 chip (z15Chip() also works).
-    nxzip::Context ctx(core::power9Chip());
+    // 1. Open a session on a POWER9 chip (z15Chip() also works). The
+    //    policy says: gzip streams, and only requests of at least 4 KiB
+    //    go to the accelerator — below that the CRB round trip costs
+    //    more than it saves, so the software codec runs them.
+    nx::SessionPolicy policy;
+    policy.format = nx::SessionFormat::Gzip;
+    policy.accelThresholdBytes = 4096;
+    nx::Session sess(core::power9Chip().accel, policy);
 
     // 2. Some data: 4 MiB of log-like text.
     auto input = workloads::makeLog(4 << 20, 7);
 
-    // 3. Compress. The context routes this to the on-chip accelerator
-    //    (small requests would stay on the core).
-    auto c = ctx.compress(input);
+    // 3. Compress. 4 MiB >= the threshold, so the session pastes this
+    //    to the modelled accelerator (and would fall back to software
+    //    if the device were busy, closed, or faulting).
+    auto c = sess.compress(input);
     if (!c.ok) {
         std::fprintf(stderr, "compress failed: %s\n", c.error.c_str());
         return 1;
     }
-
     std::printf("compressed %zu -> %zu bytes (ratio %.2f) on the %s "
-                "path in %.1f us (modelled)\n",
+                "path in %.1f us%s\n",
                 input.size(), c.data.size(), c.ratio(),
-                c.path == nxzip::Path::Accelerator ? "accelerator"
-                                                   : "software",
-                c.seconds * 1e6);
+                toString(c.backend), c.seconds * 1e6,
+                c.fellBack ? " (after device fallback)" : "");
     std::printf("throughput: %s\n",
                 util::Table::fmtRate(
                     static_cast<double>(input.size()) / c.seconds)
                     .c_str());
 
     // 4. Decompress and verify.
-    auto d = ctx.decompress(c.data);
+    auto d = sess.decompress(c.data);
     if (!d.ok) {
         std::fprintf(stderr, "decompress failed: %s\n",
                      d.error.c_str());
         return 1;
     }
     bool same = d.data == input;
-    std::printf("decompressed %zu bytes in %.1f us — %s\n",
-                d.data.size(), d.seconds * 1e6,
+    std::printf("decompressed %zu bytes on the %s path in %.1f us — %s\n",
+                d.data.size(), toString(d.backend), d.seconds * 1e6,
                 same ? "round trip OK" : "MISMATCH");
+
+    // 5. A tiny request takes the other route: the policy keeps it on
+    //    the software codec, no device round trip.
+    auto tiny = workloads::makeText(512, 1);
+    auto t = sess.compress(tiny);
+    if (!t.ok) {
+        std::fprintf(stderr, "small compress failed: %s\n",
+                     t.error.c_str());
+        return 1;
+    }
+    std::printf("512 B request ran on the %s path (threshold %llu B)\n",
+                toString(t.backend),
+                static_cast<unsigned long long>(
+                    sess.policy().accelThresholdBytes));
+
+    // 6. The session counts every routing decision.
+    auto st = sess.stats();
+    std::printf("session stats: %llu requests, %llu accelerator / %llu "
+                "software, %llu fallbacks\n",
+                static_cast<unsigned long long>(st.requests),
+                static_cast<unsigned long long>(st.accelRouted),
+                static_cast<unsigned long long>(st.softwareRouted),
+                static_cast<unsigned long long>(st.fallbacks));
     return same ? 0 : 1;
 }

@@ -1,0 +1,7 @@
+#include "harness.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    return fuzz::fuzzSession({data, size});
+}

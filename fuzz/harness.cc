@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/fault_injector.h"
+#include "core/session.h"
 #include "deflate/deflate_encoder.h"
 #include "deflate/gzip_stream.h"
 #include "deflate/inflate_decoder.h"
@@ -145,6 +147,137 @@ fuzzRoundtrip(std::span<const uint8_t> data)
                "NX and software decompressed outputs differ");
     FUZZ_CHECK(util::crc32(nxDec.bytes) == util::crc32(payload),
                "round-trip CRC32 mismatch");
+    return 0;
+}
+
+namespace {
+
+/**
+ * Long-lived engine pool + fault hook shared across session execs,
+ * like the static CompressEngine in fuzzRoundtrip: session churn
+ * against a persistent server is exactly the production shape, and
+ * reusing the workers keeps per-exec cost at fuzzing speed.
+ */
+struct SessionRig
+{
+    nx::FaultInjector injector;
+    core::JobServer server;
+
+    SessionRig()
+        : server(nx::NxConfig::power9(), config(&injector))
+    {
+    }
+
+    static core::JobServerConfig
+    config(nx::FaultInjector *inj)
+    {
+        core::JobServerConfig jcfg;
+        jcfg.workers = 2;
+        jcfg.windows = 1;
+        jcfg.window.fifoDepth = 8;
+        jcfg.faultInjector = inj;
+        return jcfg;
+    }
+};
+
+/** Pure-software decode of a session-format stream. */
+std::vector<uint8_t>
+oracleDecode(nx::SessionFormat f, std::span<const uint8_t> stream,
+             bool *ok)
+{
+    if (f == nx::SessionFormat::E842) {
+        auto r = e842::decompress(stream, kMaxOutput);
+        *ok = r.ok;
+        return std::move(r.bytes);
+    }
+    nx::Framing framing = f == nx::SessionFormat::Gzip
+        ? nx::Framing::Gzip
+        : (f == nx::SessionFormat::Zlib ? nx::Framing::Zlib
+                                        : nx::Framing::Raw);
+    core::SoftwareCodec codec(6);
+    auto r = codec.decompress(stream, framing);
+    *ok = r.ok();
+    return std::move(r.data);
+}
+
+} // namespace
+
+int
+fuzzSession(std::span<const uint8_t> data)
+{
+    if (data.size() < 4)
+        return 0;
+    static SessionRig rig;
+
+    nx::SessionPolicy pol;
+    switch (data[0] % 4) {
+      case 0: pol.format = nx::SessionFormat::Gzip; break;
+      case 1: pol.format = nx::SessionFormat::Zlib; break;
+      case 2: pol.format = nx::SessionFormat::RawDeflate; break;
+      default: pol.format = nx::SessionFormat::E842; break;
+    }
+    pol.level = 1 + (data[0] / 4) % 9;
+    pol.accelThresholdBytes = uint64_t{1} << (data[1] % 12);
+    pol.faultRetries = data[2] % 3;
+    pol.maxOutputBytes = kMaxOutput;
+    pol.backoff.maxAttempts = 4;
+    pol.backoff.initialDelay = std::chrono::microseconds(1);
+    pol.backoff.maxDelay = std::chrono::microseconds(10);
+
+    // The fault plan byte programs the shared injector for this exec:
+    // low bits pick one-shot faults (count and condition code), the
+    // high bit adds a periodic failure underneath.
+    uint8_t plan = data[3];
+    rig.injector.reset();
+    if (plan & 0x0F) {
+        nx::CondCode cc = (plan & 0x10) ? nx::CondCode::OutputOverflow
+                                        : nx::CondCode::TranslationFault;
+        rig.injector.failNext(plan & 0x0F, cc);
+    }
+    if (plan & 0x80)
+        rig.injector.failEveryNth(2 + ((plan >> 5) & 0x3));
+
+    auto payload = data.subspan(4);
+    {
+        nx::Session sess(rig.server, pol);
+
+        // Whatever routing/fallback path the policy and faults force,
+        // the produced stream must decode to the payload through the
+        // pure software oracle...
+        auto c = sess.compress(payload);
+        FUZZ_CHECK(c.ok, "session compress failed");
+        FUZZ_CHECK(c.backend == nx::Backend::Software || !pol.forceSoftware,
+                   "forceSoftware violated");
+        bool ok = false;
+        auto decoded = oracleDecode(pol.format, c.data, &ok);
+        FUZZ_CHECK(ok, "session stream rejected by the software oracle");
+        FUZZ_CHECK(decoded.size() == payload.size() &&
+                       std::equal(decoded.begin(), decoded.end(),
+                                  payload.begin()),
+                   "session stream does not decode to the payload");
+
+        // ...and the session must round-trip its own stream, again
+        // regardless of which backend each leg lands on.
+        auto d = sess.decompress(c.data);
+        FUZZ_CHECK(d.ok, "session decompress failed");
+        FUZZ_CHECK(d.data.size() == payload.size() &&
+                       std::equal(d.data.begin(), d.data.end(),
+                                  payload.begin()),
+                   "session round trip mismatch");
+
+        auto st = sess.stats();
+        FUZZ_CHECK(st.requests == 2, "request count wrong");
+        FUZZ_CHECK(st.softwareRouted + st.accelRouted == st.requests,
+                   "routing counters do not add up");
+        FUZZ_CHECK(st.fallbacks <= st.accelRouted,
+                   "more fallbacks than accelerator-routed requests");
+        FUZZ_CHECK(st.pool.releases == st.pool.acquires,
+                   "leaked pool buffers");
+        sess.close();
+    }
+    // Disarm the injector so queued-but-unrelated work and the next
+    // exec start from a clean fault state.
+    rig.injector.reset();
     return 0;
 }
 

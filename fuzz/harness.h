@@ -36,6 +36,17 @@ int fuzzE842(std::span<const uint8_t> data);
  */
 int fuzzRoundtrip(std::span<const uint8_t> data);
 
+/**
+ * nx::Session routing layer under a fuzzer-chosen policy (format,
+ * threshold, retry budget) and fault plan (header-driven
+ * FaultInjector programming against a shared JobServer). The
+ * invariant: whatever the routing and fallback path taken, the
+ * session's compressed output decodes to the payload through the pure
+ * software oracle, and the session round-trips its own stream.
+ * Format: [format][log2 threshold][retries][fault plan][payload...].
+ */
+int fuzzSession(std::span<const uint8_t> data);
+
 } // namespace fuzz
 
 #endif // NXSIM_FUZZ_HARNESS_H

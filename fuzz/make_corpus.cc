@@ -131,5 +131,28 @@ main(int argc, char **argv)
     seedRt("zeros-l6-fht.bin", 6, 0, zeros);
     seedRt("rnd-l0-fht.bin", 0, 0, rnd);
     seedRt("empty-l6-dht.bin", 6, 1, {});
+
+    // --- session: [format][log2 thresh][retries][fault plan][payload]
+    // Seeds cover each format on both sides of its routing threshold
+    // and each fault-plan family (one-shot translation faults, one-shot
+    // terminal faults, periodic faults, clean runs).
+    auto seedSession = [&](const std::string &name, uint8_t format,
+                           uint8_t log2Thresh, uint8_t retries,
+                           uint8_t faultPlan,
+                           std::span<const uint8_t> payload) {
+        std::vector<uint8_t> v = {format, log2Thresh, retries,
+                                  faultPlan};
+        v.insert(v.end(), payload.begin(), payload.end());
+        save(root / "session", name, v);
+    };
+    seedSession("gzip-accel-clean.bin", 0, 8, 1, 0x00, text);
+    seedSession("gzip-sw-clean.bin", 0, 11, 1, 0x00, rnd);
+    seedSession("zlib-accel-xlate-fault.bin", 1, 6, 2, 0x02, log);
+    seedSession("raw-accel-terminal-fault.bin", 2, 4, 1, 0x11, json);
+    seedSession("e842-accel-periodic.bin", 3, 5, 0, 0x80, bin);
+    seedSession("e842-sw-small.bin", 3, 11, 1, 0x00,
+                std::span<const uint8_t>(zeros).first(64));
+    seedSession("gzip-fault-storm.bin", 0, 0, 2, 0xFF, text);
+    seedSession("empty-payload.bin", 0, 4, 1, 0x00, {});
     return 0;
 }

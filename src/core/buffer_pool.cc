@@ -1,0 +1,177 @@
+#include "core/buffer_pool.h"
+
+#include <algorithm>
+#include <new>
+
+#include "util/checked.h"
+#include "util/contracts.h"
+
+namespace nx {
+
+namespace {
+
+/** Round @p n up to a whole number of pages (at least one). */
+size_t
+pageRound(size_t n)
+{
+    size_t pages = n / BufferPool::kPageBytes +
+        (n % BufferPool::kPageBytes != 0 ? 1 : 0);
+    return std::max<size_t>(pages, 1) * BufferPool::kPageBytes;
+}
+
+uint8_t *
+alignedAlloc(size_t bytes)
+{
+    return static_cast<uint8_t *>(::operator new(
+        bytes, std::align_val_t{BufferPool::kPageBytes}));
+}
+
+void
+alignedFree(uint8_t *p)
+{
+    ::operator delete(p, std::align_val_t{BufferPool::kPageBytes});
+}
+
+} // namespace
+
+std::span<uint8_t>
+BufferPool::Lease::prefix(size_t n) const
+{
+    NXSIM_EXPECT(n <= size_, "lease prefix larger than the buffer");
+    return {data_, n};
+}
+
+void
+BufferPool::Lease::release()
+{
+    if (data_ == nullptr)
+        return;
+    if (fromPool_)
+        pool_->releaseSlab(data_);
+    else
+        pool_->releaseHeap(data_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+    fromPool_ = false;
+}
+
+BufferPool::BufferPool(const BufferPoolConfig &cfg)
+    : slabBytes_(pageRound(cfg.slabBytes)), poison_(cfg.poisonOnRelease)
+{
+    nx::MutexLock lk(mu_);
+    slabs_.reserve(cfg.slabCount);
+    slabFree_.assign(cfg.slabCount, true);
+    freeList_.reserve(cfg.slabCount);
+    for (size_t i = 0; i < cfg.slabCount; ++i) {
+        uint8_t *slab = alignedAlloc(slabBytes_);
+        // Pre-fault every page: the model's stand-in for pinning (the
+        // real pool mlocks so the DMA engine never takes a fault).
+        for (size_t off = 0; off < slabBytes_; off += kPageBytes)
+            slab[off] = 0;
+        slabs_.push_back(slab);
+        // Enter every page of the slab into the two-level table.
+        auto base = reinterpret_cast<uintptr_t>(slab);
+        for (size_t off = 0; off < slabBytes_; off += kPageBytes) {
+            uint64_t page = (base + off) >> kPageShift;
+            PageDir &dir = pageTable_[page >> kDirShift];
+            dir.slabOf[page & (kDirEntries - 1)] =
+                nx::checked_cast<int32_t>(i);
+        }
+    }
+    // LIFO free list, lowest slab on top: a released slab is the next
+    // one handed out, which maximises cache reuse across requests.
+    for (size_t i = cfg.slabCount; i > 0; --i)
+        freeList_.push_back(nx::checked_cast<uint32_t>(i - 1));
+}
+
+BufferPool::~BufferPool()
+{
+    nx::MutexLock lk(mu_);
+    NXSIM_EXPECT(freeList_.size() == slabs_.size(),
+                 "buffer pool destroyed with leased slabs outstanding");
+    for (uint8_t *s : slabs_)
+        alignedFree(s);
+}
+
+int32_t
+BufferPool::lookupLocked(const uint8_t *p) const
+{
+    uint64_t page = reinterpret_cast<uintptr_t>(p) >> kPageShift;
+    auto it = pageTable_.find(page >> kDirShift);
+    if (it == pageTable_.end())
+        return -1;
+    return it->second.slabOf[page & (kDirEntries - 1)];
+}
+
+BufferPool::Lease
+BufferPool::acquire(size_t bytes)
+{
+    {
+        nx::MutexLock lk(mu_);
+        ++acquires_;
+        if (bytes <= slabBytes_ && !freeList_.empty()) {
+            uint32_t idx = freeList_.back();
+            freeList_.pop_back();
+            NXSIM_ASSERT(slabFree_[idx], "free list holds a leased slab");
+            slabFree_[idx] = false;
+            ++poolHits_;
+            return Lease(this, slabs_[idx], slabBytes_, true);
+        }
+        ++heapFallbacks_;
+    }
+    // Heap fallback keeps the alignment guarantee so callers can rely
+    // on page alignment regardless of where the buffer came from.
+    size_t rounded = pageRound(bytes);
+    return Lease(this, alignedAlloc(rounded), rounded, false);
+}
+
+void
+BufferPool::releaseSlab(uint8_t *p)
+{
+    nx::MutexLock lk(mu_);
+    int32_t idx = lookupLocked(p);
+    NXSIM_EXPECT(idx >= 0, "release of a pointer the pool does not own");
+    size_t i = nx::checked_cast<size_t>(idx);
+    NXSIM_EXPECT(p == slabs_[i],
+                 "release of an interior pointer, not the slab base");
+    NXSIM_EXPECT(!slabFree_[i], "double release of a pool slab");
+    if (poison_)
+        std::fill(p, p + slabBytes_, kPoisonByte);
+    slabFree_[i] = true;
+    freeList_.push_back(nx::checked_cast<uint32_t>(i));
+    ++releases_;
+}
+
+void
+BufferPool::releaseHeap(uint8_t *p)
+{
+    alignedFree(p);
+    nx::MutexLock lk(mu_);
+    ++releases_;
+}
+
+bool
+BufferPool::owns(const uint8_t *p) const
+{
+    nx::MutexLock lk(mu_);
+    return lookupLocked(p) >= 0;
+}
+
+BufferPoolStats
+BufferPool::stats() const
+{
+    nx::MutexLock lk(mu_);
+    BufferPoolStats s;
+    s.acquires = acquires_;
+    s.releases = releases_;
+    s.poolHits = poolHits_;
+    s.heapFallbacks = heapFallbacks_;
+    s.freeSlabs = freeList_.size();
+    s.slabCount = slabs_.size();
+    s.slabBytes = slabBytes_;
+    s.pinnedBytes = slabs_.size() * slabBytes_;
+    return s;
+}
+
+} // namespace nx

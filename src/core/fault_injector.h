@@ -1,0 +1,119 @@
+/**
+ * @file
+ * FaultInjector — a programmable fault source for the device path.
+ *
+ * Real NX jobs fail: translation faults on unpinned pages, target-DDE
+ * overflow, transient CRB rejects. The modelled engines, fed valid
+ * requests from the session layer, never do — so the fallback logic
+ * that production stacks live on (libnxz retries the CRB, then gives
+ * the job to zlib) would be dead, untested code. This hook makes those
+ * failures injectable and deterministic: tests and the fuzz harness
+ * arm it, the JobServer workers consult it before running each job,
+ * and an injected fault surfaces to the client exactly like a real
+ * engine-reported CSB failure.
+ *
+ * All state is atomic: arming and consuming race freely with the
+ * worker pool, and the injector can be shared by any number of
+ * servers/sessions. A default-constructed injector never fires.
+ */
+
+#ifndef NXSIM_CORE_FAULT_INJECTOR_H
+#define NXSIM_CORE_FAULT_INJECTOR_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "nx/crb.h"
+
+namespace nx {
+
+/** The hook. Armed by tests; consumed by the device path per job. */
+class FaultInjector
+{
+  public:
+    FaultInjector() = default;
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Fail the next @p n jobs that reach the device with @p cc. */
+    void
+    failNext(int n, CondCode cc = CondCode::TranslationFault)
+    {
+        cc_.store(cc, std::memory_order_relaxed);
+        failNext_.store(n, std::memory_order_release);
+    }
+
+    /**
+     * Fail every @p n-th job (1 = every job; 0 disables). Counts from
+     * the next job seen; composes with failNext (either trips it).
+     */
+    void
+    failEveryNth(uint64_t n, CondCode cc = CondCode::TranslationFault)
+    {
+        cc_.store(cc, std::memory_order_relaxed);
+        everyNth_.store(n, std::memory_order_release);
+    }
+
+    /** Disarm and zero the schedule (counters keep their totals). */
+    void
+    reset()
+    {
+        failNext_.store(0, std::memory_order_release);
+        everyNth_.store(0, std::memory_order_release);
+    }
+
+    /**
+     * Device-path check, called once per job about to execute. Returns
+     * true when this job must fail, storing the condition code in
+     * @p cc (when non-null). Each armed failNext() slot is consumed
+     * exactly once even under concurrent callers.
+     */
+    [[nodiscard]] bool
+    shouldFail(CondCode *cc = nullptr)
+    {
+        uint64_t seen =
+            seen_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        bool fail = false;
+        int n = failNext_.load(std::memory_order_acquire);
+        while (n > 0 &&
+               !failNext_.compare_exchange_weak(
+                   n, n - 1, std::memory_order_acq_rel)) {
+        }
+        if (n > 0)
+            fail = true;
+        uint64_t every = everyNth_.load(std::memory_order_acquire);
+        if (every != 0 && seen % every == 0)
+            fail = true;
+        if (fail) {
+            injected_.fetch_add(1, std::memory_order_relaxed);
+            if (cc != nullptr)
+                *cc = cc_.load(std::memory_order_relaxed);
+        }
+        return fail;
+    }
+
+    /** Jobs failed by the injector so far. */
+    uint64_t
+    injected() const
+    {
+        return injected_.load(std::memory_order_acquire);
+    }
+
+    /** Jobs that consulted the injector so far. */
+    uint64_t
+    seen() const
+    {
+        return seen_.load(std::memory_order_acquire);
+    }
+
+  private:
+    std::atomic<int> failNext_{0};
+    std::atomic<uint64_t> everyNth_{0};
+    std::atomic<uint64_t> seen_{0};
+    std::atomic<uint64_t> injected_{0};
+    std::atomic<CondCode> cc_{CondCode::TranslationFault};
+};
+
+} // namespace nx
+
+#endif // NXSIM_CORE_FAULT_INJECTOR_H

@@ -17,6 +17,35 @@ secondsSince(Clock::time_point t0)
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+/** Run one 842 job on @p eng, shaped like the DEFLATE JobResult. */
+JobResult
+runE842Job(const e842::E842Engine &eng, const JobSpec &spec)
+{
+    e842::E842Job job = spec.kind == JobKind::Compress
+        ? eng.compressJob(spec.payload)
+        : eng.decompressJob(spec.payload,
+                            nx::checked_cast<size_t>(spec.maxOutput));
+    JobResult out;
+    out.csb.valid = true;
+    out.csb.cc = job.ok ? nx::CondCode::Success : nx::CondCode::BadData;
+    out.csb.processedBytes = spec.payload.size();
+    out.csb.producedBytes = job.output.size();
+    out.data = std::move(job.output);
+    out.engineCycles = job.cycles;
+    out.seconds = job.seconds;
+    return out;
+}
+
+/** A CSB-failure completion for an injected device fault. */
+JobResult
+faultedResult(nx::CondCode cc)
+{
+    JobResult out;
+    out.csb.valid = true;
+    out.csb.cc = cc;
+    return out;
+}
+
 } // namespace
 
 JobServer::JobServer(const nx::NxConfig &cfg, const JobServerConfig &jcfg)
@@ -35,9 +64,11 @@ JobServer::JobServer(const nx::NxConfig &cfg, const JobServerConfig &jcfg)
     size_t nw = nx::checked_cast<size_t>(workers);
     comp_.reserve(nw);
     decomp_.reserve(nw);
+    e842_.reserve(nw);
     for (size_t i = 0; i < nw; ++i) {
         comp_.push_back(std::make_unique<nx::CompressEngine>(cfg_));
         decomp_.push_back(std::make_unique<nx::DecompressEngine>(cfg_));
+        e842_.push_back(std::make_unique<e842::E842Engine>(jcfg_.e842));
     }
     workerCycles_.assign(nw, 0);
     fifo_.resize(nx::checked_cast<size_t>(jcfg_.windows));
@@ -108,6 +139,12 @@ JobServer::submitWithRetry(const JobSpec &spec, int window,
         std::this_thread::sleep_for(delay);
         delay = std::min(delay * 2, policy.maxDelay);
     }
+    {
+        // The give-up is the event routing layers act on (software
+        // fallback); count it here so they need not re-derive it.
+        nx::MutexLock lk(mu_);
+        ++busyExhausted_;
+    }
     return res;    // still Busy after maxAttempts
 }
 
@@ -147,11 +184,27 @@ JobServer::workerLoop(int w)
             crbSeq = crbSeq_++;
         }
 
-        JobResult r = p.spec.kind == JobKind::Compress
-            ? runCompressJob(*comp_[wi], cfg_, p.spec.payload,
-                             p.spec.framing, p.spec.mode, crbSeq)
-            : runDecompressJob(*decomp_[wi], cfg_, p.spec.payload,
-                               p.spec.framing, p.spec.maxOutput, crbSeq);
+        // The fault hook models engine-reported failures (translation
+        // fault, DDE overflow): the job completes with a failure CSB
+        // and no output, and the requester decides what to do — which
+        // is exactly the contract real faults arrive under.
+        JobResult r;
+        bool injected = false;
+        nx::CondCode injectedCc = nx::CondCode::TranslationFault;
+        if (jcfg_.faultInjector != nullptr &&
+            jcfg_.faultInjector->shouldFail(&injectedCc)) {
+            r = faultedResult(injectedCc);
+            injected = true;
+        } else if (p.spec.codec == Codec::E842) {
+            r = runE842Job(*e842_[wi], p.spec);
+        } else {
+            r = p.spec.kind == JobKind::Compress
+                ? runCompressJob(*comp_[wi], cfg_, p.spec.payload,
+                                 p.spec.framing, p.spec.mode, crbSeq)
+                : runDecompressJob(*decomp_[wi], cfg_, p.spec.payload,
+                                   p.spec.framing, p.spec.maxOutput,
+                                   crbSeq);
+        }
 
         double waited = secondsSince(p.pasteTime);
         waitLatency_.record(waited);
@@ -164,6 +217,10 @@ JobServer::workerLoop(int w)
             bytesOut_ += r.data.size();
             --inFlight_;
             ++completed_;
+            if (!r.ok())
+                ++jobFaults_;
+            if (injected)
+                ++faultsInjected_;
 
             AsyncJob done;
             done.ticket = p.ticket;
@@ -273,6 +330,9 @@ JobServer::stats() const
         s.submitted = accepted_;
         s.completed = completed_;
         s.busyRejects = busyRejects_;
+        s.busyExhausted = busyExhausted_;
+        s.jobFaults = jobFaults_;
+        s.faultsInjected = faultsInjected_;
         s.bytesIn = bytesIn_;
         s.bytesOut = bytesOut_;
         for (sim::Tick c : workerCycles_) {

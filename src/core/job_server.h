@@ -27,6 +27,14 @@
  * - Per-window FIFO order is a hard guarantee: jobs pasted into one
  *   window are dispatched to engines in paste order (completions may
  *   reorder across windows/engines, as on hardware).
+ * - Each worker also owns a modelled 842 engine: a JobSpec selects its
+ *   engine family per CRB (Codec::Deflate / Codec::E842), the way one
+ *   VAS window serves both engine types on the real unit.
+ * - An optional nx::FaultInjector hook (JobServerConfig::faultInjector)
+ *   makes engine-reported failures injectable: a tripped job completes
+ *   with the injected CSB condition code and no output, and is counted
+ *   in stats().jobFaults / faultsInjected — the observable the session
+ *   layer's software-fallback decision rests on.
  *
  * Thread-safety: every public method may be called from any thread.
  * Shutdown (drainAndStop or destruction) completes every accepted job
@@ -54,6 +62,8 @@
 #include <vector>
 
 #include "core/device.h"
+#include "core/fault_injector.h"
+#include "e842/e842_engine.h"
 #include "nx/window.h"
 #include "sim/ticks.h"
 #include "util/latency_recorder.h"
@@ -69,12 +79,24 @@ enum class JobKind
     Decompress,
 };
 
+/**
+ * Which engine family executes a job. The NX unit carries gzip
+ * (DEFLATE) and 842 engines side by side; a window serves both, so
+ * the codec is per-CRB, not per-server.
+ */
+enum class Codec : uint8_t
+{
+    Deflate,   ///< gzip/zlib/raw-deflate engines
+    E842,      ///< 842 memory-compression engines
+};
+
 /** One asynchronous request as pasted into a window FIFO. */
 struct JobSpec
 {
     JobKind kind = JobKind::Compress;
-    Mode mode = Mode::Auto;               ///< compress-only
-    nx::Framing framing = nx::Framing::Gzip;
+    Codec codec = Codec::Deflate;
+    Mode mode = Mode::Auto;               ///< compress-only (Deflate)
+    nx::Framing framing = nx::Framing::Gzip;  ///< Deflate-only
     uint64_t maxOutput = uint64_t{1} << 30;  ///< decompress-only cap
     std::vector<uint8_t> payload;         ///< source or framed stream
 };
@@ -138,6 +160,17 @@ struct JobServerConfig
      * held in reset.
      */
     bool startPaused = false;
+
+    /** 842 engine parameters (one engine per worker, like DEFLATE). */
+    e842::E842EngineConfig e842;
+
+    /**
+     * Optional fault hook, consulted once per job before it runs: an
+     * injected fault completes the job with the injected condition
+     * code and no output, exactly like an engine-reported CSB failure.
+     * Not owned; must outlive the server. Null: never fault.
+     */
+    nx::FaultInjector *faultInjector = nullptr;
 };
 
 /** Aggregate view of the server's thread-safe stats block. */
@@ -146,6 +179,12 @@ struct JobServerStats
     uint64_t submitted = 0;       ///< accepted pastes
     uint64_t completed = 0;
     uint64_t busyRejects = 0;     ///< pastes bounced off a full FIFO
+    /** submitWithRetry calls that exhausted their attempt budget. */
+    uint64_t busyExhausted = 0;
+    /** Jobs completed with a non-success CSB (real or injected). */
+    uint64_t jobFaults = 0;
+    /** Subset of jobFaults produced by the fault-injector hook. */
+    uint64_t faultsInjected = 0;
     uint64_t bytesIn = 0;
     uint64_t bytesOut = 0;
     sim::Tick engineCyclesSum = 0;   ///< total modelled engine occupancy
@@ -253,6 +292,7 @@ class JobServer
     // touched only by worker thread k, so the pool needs no lock.
     std::vector<std::unique_ptr<nx::CompressEngine>> comp_;
     std::vector<std::unique_ptr<nx::DecompressEngine>> decomp_;
+    std::vector<std::unique_ptr<e842::E842Engine>> e842_;
     std::vector<std::thread> workers_;
 
     mutable nx::Mutex mu_;
@@ -283,6 +323,9 @@ class JobServer
     uint64_t accepted_ NXSIM_GUARDED_BY(mu_) = 0;
     uint64_t completed_ NXSIM_GUARDED_BY(mu_) = 0;
     uint64_t busyRejects_ NXSIM_GUARDED_BY(mu_) = 0;
+    uint64_t busyExhausted_ NXSIM_GUARDED_BY(mu_) = 0;
+    uint64_t jobFaults_ NXSIM_GUARDED_BY(mu_) = 0;
+    uint64_t faultsInjected_ NXSIM_GUARDED_BY(mu_) = 0;
     uint64_t bytesIn_ NXSIM_GUARDED_BY(mu_) = 0;
     uint64_t bytesOut_ NXSIM_GUARDED_BY(mu_) = 0;
     std::vector<sim::Tick> workerCycles_ NXSIM_GUARDED_BY(mu_);

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Edge-case suite for nx::BufferPool (ctest label: session).
+ *
+ * The pool's value is in its failure modes: exhaustion must degrade to
+ * counted heap fallbacks (never block, never fail), misuse must abort
+ * at the faulty call (death tests on the contract messages), and the
+ * page-table lookup must resolve exactly the pointers the pool owns.
+ * Alignment and release-poisoning are checked byte-for-byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/buffer_pool.h"
+
+namespace {
+
+using nx::BufferPool;
+using nx::BufferPoolConfig;
+
+uintptr_t
+addr(const uint8_t *p)
+{
+    return reinterpret_cast<uintptr_t>(p);
+}
+
+TEST(BufferPool, EveryBufferIsPageAligned)
+{
+    BufferPoolConfig cfg;
+    cfg.slabBytes = 1000;   // deliberately not a page multiple
+    cfg.slabCount = 4;
+    BufferPool pool(cfg);
+    // Slab size is rounded up to whole pages.
+    EXPECT_EQ(pool.slabBytes() % BufferPool::kPageBytes, 0u);
+    EXPECT_GE(pool.slabBytes(), cfg.slabBytes);
+
+    // Pool-served and heap-fallback buffers alike are page-aligned.
+    std::vector<BufferPool::Lease> leases;
+    for (int i = 0; i < 6; ++i) {
+        leases.push_back(pool.acquire(512));
+        ASSERT_TRUE(leases.back().valid());
+        EXPECT_EQ(addr(leases.back().data()) % BufferPool::kPageBytes,
+                  0u);
+    }
+    auto st = pool.stats();
+    EXPECT_EQ(st.poolHits, 4u);
+    EXPECT_EQ(st.heapFallbacks, 2u);
+}
+
+TEST(BufferPool, ExhaustionFallsBackToHeapAndRecovers)
+{
+    BufferPoolConfig cfg;
+    cfg.slabCount = 2;
+    BufferPool pool(cfg);
+
+    auto a = pool.acquire(64);
+    auto b = pool.acquire(64);
+    EXPECT_TRUE(a.fromPool());
+    EXPECT_TRUE(b.fromPool());
+    EXPECT_EQ(pool.stats().freeSlabs, 0u);
+
+    // Dry pool: acquire still succeeds, from the heap, and is counted.
+    auto c = pool.acquire(64);
+    ASSERT_TRUE(c.valid());
+    EXPECT_FALSE(c.fromPool());
+    EXPECT_FALSE(pool.owns(c.data()));
+    EXPECT_EQ(pool.stats().heapFallbacks, 1u);
+
+    // Returning a slab refills the pool; the next acquire hits again.
+    a.release();
+    auto d = pool.acquire(64);
+    EXPECT_TRUE(d.fromPool());
+    EXPECT_EQ(pool.stats().poolHits, 3u);
+}
+
+TEST(BufferPool, OversizeRequestBypassesThePool)
+{
+    BufferPool pool;   // default 64 KiB slabs
+    auto big = pool.acquire(pool.slabBytes() + 1);
+    ASSERT_TRUE(big.valid());
+    EXPECT_FALSE(big.fromPool());
+    EXPECT_GE(big.size(), pool.slabBytes() + 1);
+    EXPECT_EQ(addr(big.data()) % BufferPool::kPageBytes, 0u);
+    auto st = pool.stats();
+    EXPECT_EQ(st.heapFallbacks, 1u);
+    EXPECT_EQ(st.freeSlabs, st.slabCount);   // pool untouched
+}
+
+TEST(BufferPool, LifoReuseServesTheHotSlab)
+{
+    BufferPoolConfig cfg;
+    cfg.slabCount = 4;
+    BufferPool pool(cfg);
+    uint8_t *first = nullptr;
+    {
+        auto l = pool.acquire(128);
+        first = l.data();
+    }
+    // The just-released slab is the next one handed out (cache-warm
+    // reuse, the point of a LIFO free list).
+    auto l2 = pool.acquire(128);
+    EXPECT_EQ(l2.data(), first);
+}
+
+TEST(BufferPool, ReleasedSlabIsPoisoned)
+{
+    BufferPoolConfig cfg;
+    cfg.slabCount = 1;
+    BufferPool pool(cfg);
+    uint8_t *p = nullptr;
+    {
+        auto l = pool.acquire(256);
+        p = l.data();
+        std::fill(p, p + 256, uint8_t{0x11});
+    }
+    // Same slab comes back; its contents must be the poison pattern,
+    // not the previous request's bytes.
+    auto l2 = pool.acquire(256);
+    ASSERT_EQ(l2.data(), p);
+    EXPECT_TRUE(std::all_of(p, p + pool.slabBytes(), [](uint8_t b) {
+        return b == BufferPool::kPoisonByte;
+    }));
+}
+
+TEST(BufferPool, PoisoningCanBeDisabled)
+{
+    BufferPoolConfig cfg;
+    cfg.slabCount = 1;
+    cfg.poisonOnRelease = false;
+    BufferPool pool(cfg);
+    uint8_t *p = nullptr;
+    {
+        auto l = pool.acquire(16);
+        p = l.data();
+        p[0] = 0x42;
+    }
+    auto l2 = pool.acquire(16);
+    ASSERT_EQ(l2.data(), p);
+    EXPECT_EQ(p[0], 0x42);
+}
+
+TEST(BufferPool, PageTableResolvesInteriorAndForeignPointers)
+{
+    BufferPoolConfig cfg;
+    cfg.slabCount = 3;
+    BufferPool pool(cfg);
+    auto l = pool.acquire(64);
+
+    EXPECT_TRUE(pool.owns(l.data()));
+    EXPECT_TRUE(pool.owns(l.data() + 1));                   // interior
+    EXPECT_TRUE(pool.owns(l.data() + pool.slabBytes() - 1));  // last byte
+    uint8_t stack_byte = 0;
+    EXPECT_FALSE(pool.owns(&stack_byte));
+    EXPECT_FALSE(pool.owns(nullptr));
+
+    auto heap = std::vector<uint8_t>(64);
+    EXPECT_FALSE(pool.owns(heap.data()));
+}
+
+TEST(BufferPool, StatsBalanceAfterChurn)
+{
+    BufferPoolConfig cfg;
+    cfg.slabCount = 3;
+    BufferPool pool(cfg);
+    for (int round = 0; round < 10; ++round) {
+        std::vector<BufferPool::Lease> held;
+        for (int i = 0; i < 5; ++i)   // 3 pool + 2 heap per round
+            held.push_back(pool.acquire(1024));
+    }
+    auto st = pool.stats();
+    EXPECT_EQ(st.acquires, 50u);
+    EXPECT_EQ(st.releases, 50u);
+    EXPECT_EQ(st.poolHits, 30u);
+    EXPECT_EQ(st.heapFallbacks, 20u);
+    EXPECT_EQ(st.freeSlabs, st.slabCount);
+    EXPECT_EQ(st.pinnedBytes, st.slabCount * st.slabBytes);
+}
+
+TEST(BufferPool, MoveTransfersOwnershipWithoutDoubleRelease)
+{
+    BufferPoolConfig cfg;
+    cfg.slabCount = 2;
+    BufferPool pool(cfg);
+    auto a = pool.acquire(32);
+    uint8_t *p = a.data();
+    BufferPool::Lease b = std::move(a);
+    EXPECT_FALSE(a.valid());   // NOLINT(bugprone-use-after-move): moved-from state is specified
+    EXPECT_EQ(b.data(), p);
+    b.release();
+    b.release();   // explicit release is idempotent
+    EXPECT_EQ(pool.stats().releases, 1u);
+    EXPECT_EQ(pool.stats().freeSlabs, pool.stats().slabCount);
+}
+
+TEST(BufferPool, ZeroByteAcquireStillYieldsABuffer)
+{
+    BufferPool pool;
+    auto l = pool.acquire(0);
+    ASSERT_TRUE(l.valid());
+    EXPECT_TRUE(l.fromPool());
+    EXPECT_EQ(l.size(), pool.slabBytes());
+}
+
+TEST(BufferPool, ConcurrentChurnKeepsTheFreeListConsistent)
+{
+    // Smoke-level concurrency (the TSan-labeled stress lives in
+    // test_session_stress.cc): hammer acquire/release from several
+    // threads, then check the books balance.
+    BufferPoolConfig cfg;
+    cfg.slabCount = 4;
+    cfg.slabBytes = 8 << 10;
+    BufferPool pool(cfg);
+    const int kThreads = 8, kIters = 200;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&pool, t] {
+            for (int i = 0; i < kIters; ++i) {
+                auto l = pool.acquire(1024);
+                l.data()[0] = static_cast<uint8_t>(t);
+                l.data()[1023] = static_cast<uint8_t>(i);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    auto st = pool.stats();
+    EXPECT_EQ(st.acquires, static_cast<uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(st.releases, st.acquires);
+    EXPECT_EQ(st.poolHits + st.heapFallbacks, st.acquires);
+    EXPECT_EQ(st.freeSlabs, st.slabCount);
+}
+
+// ---------------------------------------------------------------------------
+// Contract violations (death tests).
+// ---------------------------------------------------------------------------
+
+TEST(BufferPoolDeathTest, DoubleReleaseAborts)
+{
+    BufferPool pool;
+    auto l = pool.acquire(64);
+    uint8_t *p = l.data();
+    l.release();
+    EXPECT_DEATH(pool.releaseSlab(p), "double release of a pool slab");
+}
+
+TEST(BufferPoolDeathTest, InteriorPointerReleaseAborts)
+{
+    BufferPool pool;
+    auto l = pool.acquire(64);
+    EXPECT_DEATH(pool.releaseSlab(l.data() + 1),
+                 "interior pointer");
+}
+
+TEST(BufferPoolDeathTest, ForeignPointerReleaseAborts)
+{
+    BufferPool pool;
+    std::vector<uint8_t> heap(64);
+    EXPECT_DEATH(pool.releaseSlab(heap.data()),
+                 "pointer the pool does not own");
+}
+
+TEST(BufferPoolDeathTest, DestroyingWithOutstandingLeaseAborts)
+{
+    EXPECT_DEATH(
+        {
+            auto *pool = new BufferPool();
+            auto l = pool->acquire(64);
+            delete pool;   // l still outstanding
+        },
+        "destroyed with leased slabs");
+}
+
+} // namespace

@@ -69,3 +69,8 @@ TEST(FuzzRegression, RoundtripCorpus)
 {
     replayDir("roundtrip", fuzz::fuzzRoundtrip);
 }
+
+TEST(FuzzRegression, SessionCorpus)
+{
+    replayDir("session", fuzz::fuzzSession);
+}

@@ -382,6 +382,115 @@ TEST(JobServerBackpressure, SaturatedServerDrainsCleanlyOnShutdown)
 // Stats block
 // ---------------------------------------------------------------------------
 
+TEST(JobServerStats, BusyExhaustionIsCountedServerSide)
+{
+    auto cfg = testChip();
+    JobServerConfig jcfg;
+    jcfg.workers = 1;
+    jcfg.windows = 1;
+    jcfg.window.fifoDepth = 1;
+    jcfg.startPaused = true;
+    JobServer srv(cfg, jcfg);
+    ASSERT_TRUE(
+        srv.submitAsync(compressSpec(workloads::makeText(256, 1)))
+            .accepted());
+
+    core::BackoffPolicy policy;
+    policy.maxAttempts = 2;
+    policy.initialDelay = std::chrono::microseconds(10);
+    policy.maxDelay = std::chrono::microseconds(20);
+    // Two retry helpers give up against the gated full FIFO; a raw
+    // submitAsync busy-reject is NOT an exhaustion.
+    EXPECT_EQ(srv.submitWithRetry(
+                      compressSpec(workloads::makeText(256, 2)), 0,
+                      policy)
+                  .status,
+              nx::PasteStatus::Busy);
+    EXPECT_EQ(srv.submitWithRetry(
+                      compressSpec(workloads::makeText(256, 3)), 0,
+                      policy)
+                  .status,
+              nx::PasteStatus::Busy);
+    EXPECT_EQ(srv.submitAsync(compressSpec(workloads::makeText(256, 4)))
+                  .status,
+              nx::PasteStatus::Busy);
+
+    auto st = srv.stats();
+    EXPECT_EQ(st.busyExhausted, 2u);
+    EXPECT_EQ(st.busyRejects, 5u);   // 2 + 2 + 1 pastes bounced
+
+    srv.resume();
+    srv.drainAndStop();
+}
+
+TEST(JobServerFaults, InjectedFaultCompletesWithInjectedCode)
+{
+    auto cfg = testChip();
+    nx::FaultInjector faults;
+    faults.failNext(1, nx::CondCode::TranslationFault);
+    JobServerConfig jcfg;
+    jcfg.workers = 1;
+    jcfg.faultInjector = &faults;
+    JobServer srv(cfg, jcfg);
+
+    auto r1 = srv.submitAsync(compressSpec(workloads::makeText(512, 1)));
+    ASSERT_TRUE(r1.accepted());
+    auto j1 = srv.wait(r1.ticket);
+    EXPECT_FALSE(j1.result.ok());
+    EXPECT_EQ(j1.result.csb.cc, nx::CondCode::TranslationFault);
+    EXPECT_TRUE(j1.result.data.empty());
+
+    // The injector plan is spent: the same job now succeeds.
+    auto r2 = srv.submitAsync(compressSpec(workloads::makeText(512, 1)));
+    ASSERT_TRUE(r2.accepted());
+    auto j2 = srv.wait(r2.ticket);
+    EXPECT_TRUE(j2.result.ok());
+
+    srv.drainAndStop();
+    auto st = srv.stats();
+    EXPECT_EQ(st.jobFaults, 1u);
+    EXPECT_EQ(st.faultsInjected, 1u);
+    EXPECT_EQ(faults.injected(), 1u);
+    EXPECT_EQ(st.completed, 2u);
+}
+
+TEST(JobServerE842, AsyncJobsMatchTheDirectEngine)
+{
+    auto cfg = testChip();
+    JobServerConfig jcfg;
+    jcfg.workers = 2;
+    JobServer srv(cfg, jcfg);
+
+    auto payload = workloads::makeText(8 * 1024, 9);
+    e842::E842Engine direct;   // same (default) config as the server's
+
+    JobSpec comp;
+    comp.kind = JobKind::Compress;
+    comp.codec = core::Codec::E842;
+    comp.payload = payload;
+    auto rc = srv.submitAsync(comp);
+    ASSERT_TRUE(rc.accepted());
+    auto jc = srv.wait(rc.ticket);
+    ASSERT_TRUE(jc.result.ok());
+    EXPECT_EQ(jc.result.data, direct.compressJob(payload).output);
+    EXPECT_GT(jc.result.engineCycles, 0u);
+
+    JobSpec dec;
+    dec.kind = JobKind::Decompress;
+    dec.codec = core::Codec::E842;
+    dec.payload = jc.result.data;
+    auto rd = srv.submitAsync(dec);
+    ASSERT_TRUE(rd.accepted());
+    auto jd = srv.wait(rd.ticket);
+    ASSERT_TRUE(jd.result.ok());
+    EXPECT_EQ(jd.result.data, payload);
+
+    srv.drainAndStop();
+    auto st = srv.stats();
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.jobFaults, 0u);
+}
+
 TEST(JobServerStats, RecordsDepthLatencyAndEngineCycles)
 {
     auto cfg = testChip();
