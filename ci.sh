@@ -59,40 +59,57 @@ stage_end() {
     fi
 }
 
-stage "ci preset (warnings-as-errors)" "1/11"
+# Run one whole-tree analyzer under the 30 s wall-time budget. The
+# analyzers gate every push via tools/analyze_changed.sh, so a slow
+# analyzer is itself a CI failure, not a curiosity.
+analyzer_budget=30
+analyzer() {
+    a_t0=$(date +%s)
+    "./build-ci/tools/$1/$1" .
+    a_dt=$(( $(date +%s) - a_t0 ))
+    if [ "$a_dt" -gt "$analyzer_budget" ]; then
+        echo "FAIL: $1 took ${a_dt}s (budget: ${analyzer_budget}s)" >&2
+        exit 1
+    fi
+}
+
+stage "ci preset (warnings-as-errors)" "1/12"
 cmake --preset ci
 cmake --build build-ci -j "$jobs"
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-stage "nxlint (project static analysis)" "2/11"
-./build-ci/tools/nxlint/nxlint .
+stage "nxlint (project static analysis)" "2/12"
+analyzer nxlint
 
-stage "nxdeps (include-graph layering)" "3/11"
-./build-ci/tools/nxdeps/nxdeps .
+stage "nxdeps (include-graph layering)" "3/12"
+analyzer nxdeps
 
-stage "nxtaint (untrusted-input dataflow)" "4/11"
-./build-ci/tools/nxtaint/nxtaint .
+stage "nxtaint (untrusted-input dataflow)" "4/12"
+analyzer nxtaint
 
-stage "nxstate (typestate + lock order)" "5/11"
-./build-ci/tools/nxstate/nxstate .
+stage "nxstate (typestate + lock order)" "5/12"
+analyzer nxstate
 
-stage "asan-ubsan preset" "6/11"
+stage "nxown (resource ownership)" "6/12"
+analyzer nxown
+
+stage "asan-ubsan preset" "7/12"
 cmake --preset asan-ubsan
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-stage "tsan preset (concurrency label)" "7/11"
+stage "tsan preset (concurrency label)" "8/12"
 cmake --preset tsan
 cmake --build build-tsan -j "$jobs"
 ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$jobs"
 
-stage "coverage (session label + gcov gate)" "8/11"
+stage "coverage (session label + gcov gate)" "9/12"
 cmake --preset coverage
 cmake --build build-coverage -j "$jobs"
 ctest --test-dir build-coverage -L session --output-on-failure -j "$jobs"
 tools/coverage_gate.sh build-coverage
 
-stage "clang-tsa (thread-safety annotations)" "9/11"
+stage "clang-tsa (thread-safety annotations)" "10/12"
 if command -v clang++ >/dev/null 2>&1; then
     cmake --preset clang-tsa
     cmake --build build-clang-tsa -j "$jobs"
@@ -107,7 +124,7 @@ if [ "$quick" = "--quick" ]; then
     exit 0
 fi
 
-stage "clang-tidy on changed files" "10/11"
+stage "clang-tidy on changed files" "11/12"
 if git rev-parse --verify origin/main >/dev/null 2>&1; then
     changed=$(git diff --name-only origin/main -- 'src/*.cc' || true)
 else
@@ -120,7 +137,7 @@ else
     echo "no changed src/*.cc files; skipping clang-tidy"
 fi
 
-stage "fuzz smoke (30 s per target)" "11/11"
+stage "fuzz smoke (30 s per target)" "12/12"
 cmake --preset fuzz
 cmake --build build-fuzz -j "$jobs"
 for t in fuzz_inflate fuzz_gzip fuzz_e842 fuzz_roundtrip fuzz_session; do

@@ -278,6 +278,21 @@ fuzzSession(std::span<const uint8_t> data)
     // Disarm the injector so queued-but-unrelated work and the next
     // exec start from a clean fault state.
     rig.injector.reset();
+
+    // Exercise the raw ticket discipline below the session layer once
+    // per exec: paste directly, claim the ticket with wait(). The
+    // not-accepted early-out and the wait() are exactly the
+    // acquire/release pair nxown checks against the job_ticket
+    // annotations.
+    core::JobSpec spec;
+    spec.kind = core::JobKind::Compress;
+    spec.payload.assign(payload.begin(), payload.end());
+    auto r = rig.server.submitWithRetry(spec, 0, pol.backoff);
+    if (!r.accepted())
+        return 0;
+    core::AsyncJob job = rig.server.wait(r.ticket);
+    FUZZ_CHECK(job.ticket == r.ticket,
+               "wait() claimed a different ticket than it was given");
     return 0;
 }
 

@@ -42,6 +42,7 @@
 #include <span>
 #include <vector>
 
+#include "util/ownership.h"
 #include "util/thread_annotations.h"
 
 namespace nx {
@@ -106,7 +107,7 @@ class BufferPool
             }
             return *this;
         }
-        ~Lease() { release(); }
+        ~Lease() NXSIM_RELEASES(pool_buffer) { release(); }
 
         Lease(const Lease &) = delete;
         Lease &operator=(const Lease &) = delete;
@@ -132,7 +133,7 @@ class BufferPool
         bool valid() const { return data_ != nullptr; }
 
         /** Return the buffer now; idempotent. */
-        void release();
+        void release() NXSIM_RELEASES(pool_buffer);
 
       private:
         friend class BufferPool;
@@ -167,7 +168,8 @@ class BufferPool
      * a page-aligned heap allocation (counted as a heap fallback).
      * Never fails for sane sizes; @p bytes may be 0 (smallest buffer).
      */
-    [[nodiscard]] Lease acquire(size_t bytes) NXSIM_EXCLUDES(mu_);
+    [[nodiscard]] Lease acquire(size_t bytes) NXSIM_EXCLUDES(mu_)
+        NXSIM_ACQUIRES(pool_buffer);
 
     /**
      * Return slab @p p to the free list, resolving which slab it is
@@ -177,7 +179,8 @@ class BufferPool
      * is a contract violation (abort) — the double-free is reported at
      * the faulty release, not as later free-list corruption.
      */
-    void releaseSlab(uint8_t *p) NXSIM_EXCLUDES(mu_);
+    void releaseSlab(uint8_t *p) NXSIM_EXCLUDES(mu_)
+        NXSIM_RELEASES(pool_buffer);
 
     /**
      * True when @p p points anywhere inside pool-owned slab memory

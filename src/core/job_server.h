@@ -67,6 +67,7 @@
 #include "nx/window.h"
 #include "sim/ticks.h"
 #include "util/latency_recorder.h"
+#include "util/ownership.h"
 #include "util/protocol.h"
 #include "util/thread_annotations.h"
 
@@ -223,7 +224,7 @@ class JobServer
      */
     [[nodiscard]] SubmitResult submitAsync(const JobSpec &spec,
                                            int window = 0)
-        NXSIM_EXCLUDES(mu_);
+        NXSIM_EXCLUDES(mu_) NXSIM_ACQUIRES(job_ticket);
 
     /**
      * Paste with the paper's RC-busy loop: on Busy, back off
@@ -232,7 +233,8 @@ class JobServer
      */
     [[nodiscard]] SubmitResult submitWithRetry(
         const JobSpec &spec, int window = 0,
-        const BackoffPolicy &policy = {}) NXSIM_EXCLUDES(mu_);
+        const BackoffPolicy &policy = {}) NXSIM_EXCLUDES(mu_)
+        NXSIM_ACQUIRES(job_ticket);
 
     /**
      * Non-blocking completion check. Returns true once @p t has
@@ -243,13 +245,15 @@ class JobServer
         NXSIM_EXCLUDES(mu_);
 
     /** Block until @p t completes and claim its record. */
-    [[nodiscard]] AsyncJob wait(Ticket t) NXSIM_EXCLUDES(mu_);
+    [[nodiscard]] AsyncJob wait(Ticket t) NXSIM_EXCLUDES(mu_)
+        NXSIM_RELEASES(job_ticket);
 
     /**
      * Batch drain: block until every accepted job has completed, then
      * claim all still-unclaimed records, sorted by ticket.
      */
-    std::vector<AsyncJob> drain() NXSIM_EXCLUDES(mu_);
+    std::vector<AsyncJob> drain() NXSIM_EXCLUDES(mu_)
+        NXSIM_RELEASES(job_ticket);
 
     /**
      * Stop accepting work (subsequent pastes return Closed), finish
@@ -257,7 +261,7 @@ class JobServer
      * records stay claimable via poll/drain. Idempotent; the
      * destructor calls it.
      */
-    void drainAndStop() NXSIM_EXCLUDES(mu_);
+    void drainAndStop() NXSIM_EXCLUDES(mu_) NXSIM_RELEASES(job_ticket);
 
     /** Release the engine pool when constructed with startPaused. */
     void resume() NXSIM_EXCLUDES(mu_);

@@ -50,6 +50,7 @@
 
 #include "core/buffer_pool.h"
 #include "core/job_server.h"
+#include "util/ownership.h"
 #include "util/protocol.h"
 #include "util/thread_annotations.h"
 
@@ -217,7 +218,7 @@ class Session
      * shared server is left running. Idempotent (the destructor
      * closes an open session).
      */
-    void close() NXSIM_EXCLUDES(mu_);
+    void close() NXSIM_EXCLUDES(mu_) NXSIM_RELEASES(job_ticket);
 
     /** One consistent snapshot of the counters. */
     [[nodiscard]] SessionStats stats() const NXSIM_EXCLUDES(mu_);

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Call-graph construction edge cases (tools/common/callgraph.h): the
+ * definition scanner across free/method/out-of-line/constructor forms,
+ * overload resolution by arity, receiver typing through references and
+ * pointers, recursion and mutual-recursion SCCs with the bottom-up
+ * fixpoint, and the degrade-to-unknown contract for externals —
+ * unresolved must mean target < 0, never a wrong edge.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/callgraph.h"
+
+namespace {
+
+using nxcommon::CallGraph;
+using nxcommon::CallSite;
+using nxcommon::FunctionDef;
+using nxcommon::SourceFile;
+
+CallGraph
+graphOf(const std::string &content)
+{
+    return CallGraph::build({SourceFile{"src/x.cc", content}});
+}
+
+const FunctionDef *
+fn(const CallGraph &g, std::string_view name, std::string_view cls = "")
+{
+    for (const FunctionDef &f : g.functions())
+        if (f.name == name && f.cls == cls)
+            return &f;
+    return nullptr;
+}
+
+int
+idOf(const CallGraph &g, std::string_view name, std::string_view cls = "")
+{
+    for (size_t i = 0; i < g.functions().size(); ++i)
+        if (g.functions()[i].name == name && g.functions()[i].cls == cls)
+            return static_cast<int>(i);
+    return -1;
+}
+
+/** The resolved callee name set of @p caller — matched by name alone,
+ * so class members work too ("" entries mean unresolved). */
+std::vector<std::string>
+calleesOf(const CallGraph &g, std::string_view caller)
+{
+    std::vector<std::string> out;
+    int id = -1;
+    for (size_t i = 0; i < g.functions().size(); ++i)
+        if (g.functions()[i].name == caller)
+            id = static_cast<int>(i);
+    if (id < 0)
+        return out;
+    for (const CallSite &cs : g.callsOf(id))
+        out.push_back(cs.target < 0
+                          ? std::string{}
+                          : g.functions()[static_cast<size_t>(cs.target)]
+                                .name);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// definitions
+// ---------------------------------------------------------------------------
+
+TEST(CallgraphDefs, FreeMethodAndOutOfLineForms)
+{
+    auto g = graphOf(
+        "int twice(int x) { return x * 2; }\n"
+        "class Codec {\n"
+        "  public:\n"
+        "    int encode(int v) { return v; }\n"
+        "    int decode(int v);\n"
+        "};\n"
+        "int Codec::decode(int v) { return v; }\n");
+    ASSERT_NE(fn(g, "twice"), nullptr);
+    EXPECT_EQ(fn(g, "twice")->returnType, "int");
+    EXPECT_EQ(fn(g, "twice")->params, std::vector<std::string>{"x"});
+    ASSERT_NE(fn(g, "encode", "Codec"), nullptr);
+    ASSERT_NE(fn(g, "decode", "Codec"), nullptr)
+        << "out-of-line Codec::decode must carry its class";
+    EXPECT_EQ(fn(g, "decode", "Codec")->line, 7);
+}
+
+TEST(CallgraphDefs, ConstructorInitializerListAndDestructor)
+{
+    auto g = graphOf(
+        "class Pool {\n"
+        "  public:\n"
+        "    Pool(int n, int k) : n_(n), k_{k} { setup(); }\n"
+        "    ~Pool() { teardown(); }\n"
+        "  private:\n"
+        "    void setup() {}\n"
+        "    void teardown() {}\n"
+        "    int n_;\n"
+        "    int k_;\n"
+        "};\n");
+    const FunctionDef *ctor = fn(g, "Pool", "Pool");
+    ASSERT_NE(ctor, nullptr);
+    EXPECT_EQ(ctor->params, (std::vector<std::string>{"n", "k"}));
+    ASSERT_NE(fn(g, "~Pool", "Pool"), nullptr);
+    // Bodies behind an initializer list still get their calls.
+    EXPECT_EQ(calleesOf(g, "Pool"),
+              std::vector<std::string>{"setup"});
+}
+
+TEST(CallgraphDefs, TrailingReturnTypeAndQualifiers)
+{
+    auto g = graphOf(
+        "struct S {\n"
+        "    auto size() const noexcept -> unsigned { return 0; }\n"
+        "};\n"
+        "std::vector<int> make() { return {}; }\n");
+    ASSERT_NE(fn(g, "size", "S"), nullptr);
+    ASSERT_NE(fn(g, "make"), nullptr);
+    EXPECT_EQ(fn(g, "make")->returnType, "vector");
+}
+
+TEST(CallgraphDefs, ControlBlocksAreNotFunctions)
+{
+    auto g = graphOf(
+        "void f(int n) {\n"
+        "    if (n > 0) { n = 1; }\n"
+        "    for (int i = 0; i < n; ++i) { n += i; }\n"
+        "    while (n) { --n; }\n"
+        "    switch (n) { default: break; }\n"
+        "}\n");
+    EXPECT_EQ(g.functions().size(), 1u);
+}
+
+TEST(CallgraphDefs, DefaultArgumentsLowerMinArity)
+{
+    auto g = graphOf("void send(int a, int b = 0, int c = 1) {}\n");
+    const FunctionDef *f = fn(g, "send");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->params.size(), 3u);
+    EXPECT_EQ(f->minArity, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// resolution
+// ---------------------------------------------------------------------------
+
+TEST(CallgraphResolve, OverloadsByArity)
+{
+    auto g = graphOf(
+        "int enc(int a) { return a; }\n"
+        "int enc(int a, int b) { return a + b; }\n"
+        "int use() { return enc(1) + enc(1, 2); }\n");
+    int one = idOf(g, "use");
+    ASSERT_GE(one, 0);
+    const auto &calls = g.callsOf(one);
+    ASSERT_EQ(calls.size(), 2u);
+    ASSERT_GE(calls[0].target, 0);
+    ASSERT_GE(calls[1].target, 0);
+    EXPECT_EQ(g.functions()[static_cast<size_t>(calls[0].target)]
+                  .params.size(),
+              1u);
+    EXPECT_EQ(g.functions()[static_cast<size_t>(calls[1].target)]
+                  .params.size(),
+              2u);
+}
+
+TEST(CallgraphResolve, AmbiguousArityDegradesToUnknown)
+{
+    auto g = graphOf(
+        "int enc(int a) { return a; }\n"
+        "int enc(long a) { return 0; }\n"
+        "int use() { return enc(1); }\n");
+    const auto &calls = g.callsOf(idOf(g, "use"));
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_LT(calls[0].target, 0)
+        << "two same-arity candidates must not resolve arbitrarily";
+}
+
+TEST(CallgraphResolve, MethodCallsThroughReferencesAndPointers)
+{
+    auto g = graphOf(
+        "class Codec {\n"
+        "  public:\n"
+        "    int encode(int v) { return v; }\n"
+        "};\n"
+        "int byRef(Codec &c) { return c.encode(1); }\n"
+        "int byPtr(Codec *c) { return c->encode(2); }\n"
+        "int byLocal() {\n"
+        "    Codec c;\n"
+        "    return c.encode(3);\n"
+        "}\n");
+    for (const char *caller : {"byRef", "byPtr", "byLocal"}) {
+        auto callees = calleesOf(g, caller);
+        ASSERT_EQ(callees.size(), 1u) << caller;
+        EXPECT_EQ(callees[0], "encode") << caller;
+    }
+}
+
+TEST(CallgraphResolve, ThisAndUnqualifiedCallsResolveInClass)
+{
+    auto g = graphOf(
+        "class Srv {\n"
+        "  public:\n"
+        "    void run() {\n"
+        "        step();\n"
+        "        this->step();\n"
+        "    }\n"
+        "  private:\n"
+        "    void step() {}\n"
+        "};\n");
+    auto callees = calleesOf(g, "run");
+    ASSERT_EQ(callees.size(), 2u);
+    EXPECT_EQ(callees[0], "step");
+    EXPECT_EQ(callees[1], "step");
+}
+
+TEST(CallgraphResolve, UnresolvedExternalsDegradeToUnknownCallee)
+{
+    auto g = graphOf(
+        "void f(std::vector<int> &v, int n) {\n"
+        "    v.resize(n);\n"
+        "    std::sort(v.begin(), v.end());\n"
+        "    memcpy(nullptr, nullptr, 0);\n"
+        "    NXSIM_EXPECT(n > 0, \"positive\");\n"
+        "}\n");
+    const auto &calls = g.callsOf(idOf(g, "f"));
+    ASSERT_GE(calls.size(), 4u);
+    for (const CallSite &cs : calls)
+        EXPECT_LT(cs.target, 0) << cs.name
+                                << " has no in-tree definition";
+}
+
+TEST(CallgraphResolve, DeclarationsAreNotCalls)
+{
+    auto g = graphOf(
+        "class Codec { public: int encode(int v) { return v; } };\n"
+        "void f() {\n"
+        "    Codec c;\n"
+        "    int encode = 0;\n"
+        "    (void)encode;\n"
+        "}\n"
+        "int g2() { Codec helper(); return 0; }\n");
+    // `Codec helper()` is the most-vexing-parse declaration: an ident
+    // directly before the name means declaration, not call.
+    EXPECT_TRUE(g.callsOf(idOf(g, "g2")).empty());
+    EXPECT_TRUE(g.callsOf(idOf(g, "f")).empty());
+}
+
+TEST(CallgraphResolve, CrossFileOutOfLineResolution)
+{
+    auto g = CallGraph::build(
+        {SourceFile{"src/a.h",
+                    "class Pump {\n"
+                    "  public:\n"
+                    "    void fill(int n);\n"
+                    "    void spin() { fill(1); }\n"
+                    "};\n"},
+         SourceFile{"src/a.cc",
+                    "void Pump::fill(int n) { (void)n; }\n"
+                    "void drive(Pump &p) { p.fill(2); }\n"}});
+    int spin = idOf(g, "spin", "Pump");
+    int drive = idOf(g, "drive");
+    int fill = idOf(g, "fill", "Pump");
+    ASSERT_GE(spin, 0);
+    ASSERT_GE(drive, 0);
+    ASSERT_GE(fill, 0);
+    ASSERT_EQ(g.callsOf(spin).size(), 1u);
+    EXPECT_EQ(g.callsOf(spin)[0].target, fill);
+    ASSERT_EQ(g.callsOf(drive).size(), 1u);
+    EXPECT_EQ(g.callsOf(drive)[0].target, fill);
+}
+
+// ---------------------------------------------------------------------------
+// SCCs and the bottom-up fixpoint
+// ---------------------------------------------------------------------------
+
+TEST(CallgraphScc, BottomUpOrderPutsCalleesFirst)
+{
+    auto g = graphOf(
+        "int leaf() { return 1; }\n"
+        "int mid() { return leaf(); }\n"
+        "int top() { return mid(); }\n");
+    std::map<int, size_t> sccOrder;
+    for (size_t i = 0; i < g.sccs().size(); ++i)
+        for (int id : g.sccs()[i])
+            sccOrder[id] = i;
+    EXPECT_LT(sccOrder[idOf(g, "leaf")], sccOrder[idOf(g, "mid")]);
+    EXPECT_LT(sccOrder[idOf(g, "mid")], sccOrder[idOf(g, "top")]);
+}
+
+TEST(CallgraphScc, MutualRecursionSharesOneScc)
+{
+    auto g = graphOf(
+        "int odd(int n);\n"
+        "int even(int n) { return n == 0 ? 1 : odd(n - 1); }\n"
+        "int odd(int n) { return n == 0 ? 0 : even(n - 1); }\n"
+        "int self(int n) { return n ? self(n - 1) : 0; }\n");
+    std::map<int, size_t> sccOf;
+    for (size_t i = 0; i < g.sccs().size(); ++i)
+        for (int id : g.sccs()[i])
+            sccOf[id] = i;
+    EXPECT_EQ(sccOf[idOf(g, "even")], sccOf[idOf(g, "odd")]);
+    EXPECT_NE(sccOf[idOf(g, "even")], sccOf[idOf(g, "self")]);
+    // Every function lands in exactly one SCC.
+    size_t members = 0;
+    for (const auto &scc : g.sccs())
+        members += scc.size();
+    EXPECT_EQ(members, g.functions().size());
+}
+
+TEST(CallgraphScc, FixpointIteratesRecursiveSccToConvergence)
+{
+    auto g = graphOf(
+        "int sink() { return 9; }\n"
+        "int odd(int n);\n"
+        "int even(int n) { return n == 0 ? sink() : odd(n - 1); }\n"
+        "int odd(int n) { return n == 0 ? 0 : even(n - 1); }\n");
+    // Summary: "reaches sink()" — true directly for even, and only
+    // discoverable for odd through a second round over the SCC.
+    std::map<int, bool> reaches;
+    g.forEachBottomUp([&](int id) {
+        bool now = false;
+        for (const CallSite &cs : g.callsOf(id)) {
+            if (cs.target < 0)
+                continue;
+            if (g.functions()[static_cast<size_t>(cs.target)].name ==
+                    "sink" ||
+                reaches[cs.target])
+                now = true;
+        }
+        bool changed = now && !reaches[id];
+        reaches[id] = reaches[id] || now;
+        return changed;
+    });
+    EXPECT_TRUE(reaches[idOf(g, "even")]);
+    EXPECT_TRUE(reaches[idOf(g, "odd")])
+        << "SCC fixpoint must propagate through mutual recursion";
+    EXPECT_FALSE(reaches[idOf(g, "sink")]);
+}
+
+// ---------------------------------------------------------------------------
+// lookups
+// ---------------------------------------------------------------------------
+
+TEST(CallgraphLookup, FunctionAtAndCallAt)
+{
+    auto g = graphOf(
+        "int helper() { return 1; }\n"
+        "int use() { return helper(); }\n");
+    int use = idOf(g, "use");
+    ASSERT_GE(use, 0);
+    const auto &calls = g.callsOf(use);
+    ASSERT_EQ(calls.size(), 1u);
+    EXPECT_EQ(g.functionAt(0, calls[0].nameIdx), use);
+    const CallSite *cs = g.callAt(0, calls[0].nameIdx);
+    ASSERT_NE(cs, nullptr);
+    EXPECT_EQ(cs->name, "helper");
+    EXPECT_EQ(g.callAt(0, 0), nullptr);
+}
+
+TEST(CallgraphLookup, RealTreeBuildsAndResolvesSomething)
+{
+    // Smoke over the actual sources: the graph must build, find a
+    // healthy number of definitions, and resolve at least some edges.
+    auto load = nxcommon::loadTree(NXSIM_SOURCE_DIR,
+                                   {"src", "tools", "fuzz"});
+    auto g = CallGraph::build(load.files);
+    EXPECT_GT(g.functions().size(), 200u);
+    size_t resolved = 0;
+    size_t total = 0;
+    for (size_t i = 0; i < g.functions().size(); ++i)
+        for (const CallSite &cs : g.callsOf(static_cast<int>(i))) {
+            ++total;
+            if (cs.target >= 0)
+                ++resolved;
+        }
+    EXPECT_GT(total, 500u);
+    EXPECT_GT(resolved, 100u);
+}
+
+} // namespace

@@ -505,6 +505,166 @@ TEST(NxtaintSuppression, MentionInProseDoesNotSuppress)
 }
 
 // ---------------------------------------------------------------------------
+// cross-function propagation (call-graph summaries)
+// ---------------------------------------------------------------------------
+
+TEST(NxtaintCross, TaintedArgReachingCalleeSinkFlagsCallSite)
+{
+    auto fs = analyzeFile(
+        "src/deflate/x.cc",
+        "void copyBody(uint8_t *dst, const uint8_t *src, size_t n) {\n"
+        "    memcpy(dst, src, n);\n"
+        "}\n"
+        "void f(util::BitReader &br, uint8_t *dst, const uint8_t *s) {\n"
+        "    size_t n = br.readBits(16);\n"
+        "    copyBody(dst, s, n);\n"
+        "}\n");
+    ASSERT_TRUE(fired(fs, "taint-copy-size")) << dump(fs);
+    const Finding *cross = nullptr;
+    for (const Finding &f : fs)
+        if (f.line == 6)
+            cross = &f;
+    ASSERT_NE(cross, nullptr) << dump(fs);
+    EXPECT_NE(cross->message.find("call chain"), std::string::npos);
+    EXPECT_NE(cross->message.find("copyBody -> memcpy"),
+              std::string::npos)
+        << cross->message;
+}
+
+TEST(NxtaintCross, HelperReturningSourceTaintsCaller)
+{
+    auto fs = analyzeFile(
+        "src/deflate/x.cc",
+        "unsigned readLen(util::BitReader &br) {\n"
+        "    return br.readBits(16);\n"
+        "}\n"
+        "void f(util::BitReader &br, std::vector<uint8_t> &out) {\n"
+        "    out.resize(readLen(br));\n"
+        "}\n");
+    ASSERT_TRUE(fired(fs, "taint-alloc-size")) << dump(fs);
+    EXPECT_EQ(fs[0].line, 5);
+}
+
+TEST(NxtaintCross, ArgFlowsThroughToResult)
+{
+    auto fs = analyzeFile(
+        "src/deflate/x.cc",
+        "size_t scaled(size_t v) { return v * 2; }\n"
+        "void f(util::BitReader &br, std::vector<uint8_t> &out) {\n"
+        "    size_t n = br.readBits(12);\n"
+        "    out.resize(scaled(n));\n"
+        "}\n");
+    ASSERT_TRUE(fired(fs, "taint-alloc-size")) << dump(fs);
+}
+
+TEST(NxtaintCross, CalleeWithInternalCheckIsCleanAtCallSite)
+{
+    auto fs = analyzeFile(
+        "src/deflate/x.cc",
+        "void copyChecked(uint8_t *dst, const uint8_t *s, size_t n) {\n"
+        "    if (n > kMaxBlock)\n"
+        "        return;\n"
+        "    memcpy(dst, s, n);\n"
+        "}\n"
+        "void f(util::BitReader &br, uint8_t *dst, const uint8_t *s) {\n"
+        "    size_t n = br.readBits(16);\n"
+        "    copyChecked(dst, s, n);\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(NxtaintCross, ResolvedCalleeNotReturningArgIsClean)
+{
+    // Before summaries, `headerCost(n)` was conservatively tainted
+    // because n is; the summary proves the result ignores its arg.
+    auto fs = analyzeFile(
+        "src/deflate/x.cc",
+        "size_t headerCost(size_t n) { (void)n; return 4; }\n"
+        "void f(util::BitReader &br, std::vector<uint8_t> &out) {\n"
+        "    size_t n = br.readBits(16);\n"
+        "    out.resize(headerCost(n));\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(NxtaintCross, UnresolvedExternalStaysConservative)
+{
+    auto fs = analyzeFile(
+        "src/deflate/x.cc",
+        "void f(util::BitReader &br, std::vector<uint8_t> &out) {\n"
+        "    size_t n = br.readBits(16);\n"
+        "    out.resize(externalTransform(n));\n"
+        "}\n");
+    ASSERT_TRUE(fired(fs, "taint-alloc-size")) << dump(fs);
+}
+
+TEST(NxtaintCross, TwoHopChainIsReported)
+{
+    auto fs = analyzeFile(
+        "src/deflate/x.cc",
+        "void leafCopy(uint8_t *d, const uint8_t *s, size_t n) {\n"
+        "    memcpy(d, s, n);\n"
+        "}\n"
+        "void midCopy(uint8_t *d, const uint8_t *s, size_t n) {\n"
+        "    leafCopy(d, s, n);\n"
+        "}\n"
+        "void f(util::BitReader &br, uint8_t *d, const uint8_t *s) {\n"
+        "    size_t n = br.readBits(16);\n"
+        "    midCopy(d, s, n);\n"
+        "}\n");
+    ASSERT_TRUE(fired(fs, "taint-copy-size")) << dump(fs);
+    bool chained = false;
+    for (const Finding &f : fs)
+        if (f.message.find("midCopy -> leafCopy -> memcpy") !=
+            std::string::npos)
+            chained = true;
+    EXPECT_TRUE(chained) << dump(fs);
+}
+
+TEST(NxtaintCross, LaunderingAcrossFilesIsCaught)
+{
+    auto fs = nxtaint::analyzeFiles(
+        {{"src/deflate/helper.cc",
+          "void rawFill(std::vector<uint8_t> &out, size_t n) {\n"
+          "    out.resize(n);\n"
+          "}\n"},
+         {"src/deflate/user.cc",
+          "void f(util::BitReader &br, std::vector<uint8_t> &out) {\n"
+          "    rawFill(out, br.readBits(16));\n"
+          "}\n"}});
+    ASSERT_TRUE(fired(fs, "taint-alloc-size")) << dump(fs);
+    EXPECT_EQ(fs[0].file, "src/deflate/user.cc");
+    EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(NxtaintCross, VulnerableFixtureHelperLaunderedTaint)
+{
+    // The acceptance fixture: a deliberately vulnerable decoder that
+    // launders every hop through helpers — each flow must still fire.
+    auto fs = analyzeFile(
+        "src/deflate/vuln.cc",
+        "static size_t decodeCount(util::BitReader &br) {\n"
+        "    return br.readBits(16);\n"
+        "}\n"
+        "static void storeAt(std::vector<uint8_t> &v, size_t i) {\n"
+        "    v[i] = 0;\n"
+        "}\n"
+        "static void growTo(std::vector<uint8_t> &v, size_t n) {\n"
+        "    v.reserve(n);\n"
+        "}\n"
+        "void decode(util::BitReader &br, std::vector<uint8_t> &out) {\n"
+        "    size_t count = decodeCount(br);\n"
+        "    growTo(out, count);\n"
+        "    storeAt(out, count);\n"
+        "}\n");
+    EXPECT_TRUE(fired(fs, "taint-alloc-size")) << dump(fs);
+    EXPECT_TRUE(fired(fs, "taint-index")) << dump(fs);
+    // Both findings land in decode(), at the laundering call sites.
+    for (const Finding &f : fs)
+        EXPECT_GE(f.line, 11) << dump(fs);
+}
+
+// ---------------------------------------------------------------------------
 // plumbing + the real tree
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SARIF output tests. The interesting property is byte-for-byte
+ * stability: CI uploads the analyzer runs to code-scanning backends
+ * that diff on content, so the serializer is held to a golden file
+ * (tests/golden/sarif.json) rather than to spot-checked substrings.
+ */
+
+#include "common/diag.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fileset.h"
+
+namespace {
+
+using nxcommon::Finding;
+using nxcommon::RuleInfo;
+
+std::vector<RuleInfo>
+demoRules()
+{
+    return {
+        {"demo-rule", "a demonstration rule"},
+        {"io-error", "file could not be read"},
+    };
+}
+
+std::vector<Finding>
+demoFindings()
+{
+    return {
+        {"src/a.cc", 12, "demo-rule",
+         "message with \"quotes\" and\nnewline"},
+        // line 0 (whole-file finding) must clamp to startLine 1.
+        {"src/whole_file.cc", 0, "io-error", "cannot read file"},
+    };
+}
+
+TEST(Sarif, MatchesGoldenFile)
+{
+    std::string golden;
+    ASSERT_TRUE(nxcommon::loadFile(
+        std::string(NXSIM_SOURCE_DIR) + "/tests/golden/sarif.json",
+        golden));
+    EXPECT_EQ(nxcommon::formatSarif("nxtool", demoRules(), demoFindings()),
+              golden);
+}
+
+TEST(Sarif, EmptyRunStillCarriesToolAndSchema)
+{
+    std::string out = nxcommon::formatSarif("nxempty", {}, {});
+    EXPECT_NE(out.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\": \"nxempty\""), std::string::npos);
+    EXPECT_NE(out.find("\"rules\": []"), std::string::npos);
+    EXPECT_NE(out.find("\"results\": []"), std::string::npos);
+    EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Sarif, LineZeroClampsToOne)
+{
+    std::string out = nxcommon::formatSarif(
+        "nxtool", demoRules(),
+        {{"src/x.cc", 0, "demo-rule", "whole-file"}});
+    EXPECT_NE(out.find("\"startLine\": 1"), std::string::npos);
+    EXPECT_EQ(out.find("\"startLine\": 0"), std::string::npos);
+}
+
+} // namespace

@@ -1,17 +1,24 @@
 #!/usr/bin/env sh
-# Run all four in-tree analyzers (nxlint, nxdeps, nxtaint, nxstate)
-# over just the files changed on this branch — the incremental
+# Run all five in-tree analyzers (nxlint, nxdeps, nxtaint, nxstate,
+# nxown) over just the files changed on this branch — the incremental
 # pre-push loop. Whole-tree checks (include graph, lock order,
-# protocol declarations in headers) still see the entire tree; only
-# the *reported* findings are filtered to the changed files, so a
-# change can never silently break something it doesn't touch without
-# CI's full sweep catching it.
+# protocol declarations in headers, interprocedural summaries) still
+# see the entire tree; only the *reported* findings are filtered to
+# the changed files, so a change can never silently break something
+# it doesn't touch without CI's full sweep catching it.
 #
 # Usage: tools/analyze_changed.sh [<base-ref>] [-- <analyzer-args>...]
 #
-#   base-ref   diff base (default: origin/main when it exists,
-#              HEAD~1 otherwise). Uncommitted changes are always
-#              included.
+#   base-ref        diff base (default: origin/main when it exists,
+#                   HEAD~1 otherwise). Uncommitted changes are always
+#                   included.
+#   analyzer-args   everything after `--` is forwarded verbatim to
+#                   every analyzer invocation (e.g. -- --format=sarif).
+#
+# Environment:
+#   NXSIM_ANALYZE_BINDIR   build tree holding the analyzer binaries
+#                          (default: first of build, build-ci that has
+#                          them).
 #
 # Exit status: 0 when every analyzer is clean on the changed files,
 # 1 when any reported findings, 2 on usage/build errors.
@@ -19,7 +26,22 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-base=${1:-}
+# Operands: an optional base ref, then `--` + analyzer args. After
+# this block "$@" holds exactly the forwarded analyzer args.
+base=""
+if [ $# -gt 0 ] && [ "$1" != "--" ]; then
+    base=$1
+    shift
+fi
+if [ $# -gt 0 ]; then
+    if [ "$1" = "--" ]; then
+        shift
+    else
+        echo "analyze_changed: unexpected operand '$1' (usage: tools/analyze_changed.sh [<base-ref>] [-- <analyzer-args>...])" >&2
+        exit 2
+    fi
+fi
+
 if [ -z "$base" ]; then
     if git rev-parse --verify origin/main >/dev/null 2>&1; then
         base=origin/main
@@ -29,40 +51,57 @@ if [ -z "$base" ]; then
 fi
 
 # Changed + uncommitted source files, analyzer extensions only,
-# deduplicated, still existing (deletions drop out).
-changed=$( { git diff --name-only "$base" 2>/dev/null || true; \
-             git diff --name-only 2>/dev/null || true; \
-             git diff --name-only --cached 2>/dev/null || true; } |
-    grep -E '\.(h|hpp|cc|cpp)$' | sort -u) || true
-existing=""
-for f in $changed; do
-    [ -f "$f" ] && existing="$existing $f"
-done
+# deduplicated, still existing (deletions drop out). The list is
+# appended to the positional parameters via `set --` so names with
+# spaces survive intact; -z/NUL would be cleaner but POSIX sh cannot
+# split on NUL, and newline-safe is enough for a source tree that
+# forbids newlines in filenames.
+tmplist=$(mktemp)
+trap 'rm -f "$tmplist"' EXIT INT TERM
+{ git diff --name-only "$base" 2>/dev/null || true
+  git diff --name-only 2>/dev/null || true
+  git diff --name-only --cached 2>/dev/null || true
+} | grep -E '\.(h|hpp|cc|cpp)$' | sort -u > "$tmplist" || true
 
-if [ -z "$existing" ]; then
+nfiles=0
+while IFS= read -r f; do
+    if [ -f "$f" ]; then
+        nfiles=$((nfiles + 1))
+        set -- "$@" "$f"
+    fi
+done < "$tmplist"
+
+if [ "$nfiles" = 0 ]; then
     echo "analyze_changed: no changed source files vs $base"
     exit 0
 fi
 
-# Any configured build tree works; prefer the dev one.
-bindir=""
-for d in build build-ci; do
-    if [ -x "$d/tools/nxlint/nxlint" ]; then
-        bindir=$d
-        break
-    fi
-done
+# Any configured build tree works; prefer an explicit override, then
+# the dev one.
+bindir=${NXSIM_ANALYZE_BINDIR:-}
+if [ -n "$bindir" ] && [ ! -x "$bindir/tools/nxlint/nxlint" ]; then
+    echo "analyze_changed: NXSIM_ANALYZE_BINDIR=$bindir has no built analyzers" >&2
+    exit 2
+fi
+if [ -z "$bindir" ]; then
+    for d in build build-ci; do
+        if [ -x "$d/tools/nxlint/nxlint" ]; then
+            bindir=$d
+            break
+        fi
+    done
+fi
 if [ -z "$bindir" ]; then
     echo "analyze_changed: no built analyzers found (run: cmake -B build -S . && cmake --build build)" >&2
     exit 2
 fi
 
-echo "analyze_changed: $(echo "$existing" | wc -w) files vs $base"
+echo "analyze_changed: $nfiles files vs $base"
 status=0
-for tool in nxlint nxdeps nxtaint nxstate; do
+for tool in nxlint nxdeps nxtaint nxstate nxown; do
     echo "--- $tool ---"
-    # shellcheck disable=SC2086
-    if ! "$bindir/tools/$tool/$tool" --root=. $existing; then
+    # "$@" = forwarded analyzer args followed by the changed files.
+    if ! "$bindir/tools/$tool/$tool" --root=. "$@"; then
         status=1
     fi
 done

@@ -76,6 +76,48 @@ formatJson(std::string_view tool, const std::vector<Finding> &findings)
     return os.str();
 }
 
+std::string
+formatSarif(std::string_view tool, const std::vector<RuleInfo> &rules,
+            const std::vector<Finding> &findings)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+          "master/Schemata/sarif-schema-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"" << jsonEscape(tool) << "\",\n"
+       << "          \"rules\": [";
+    for (size_t i = 0; i < rules.size(); ++i)
+        os << (i == 0 ? "\n" : ",\n")
+           << "            {\"id\": \"" << jsonEscape(rules[i].id)
+           << "\", \"shortDescription\": {\"text\": \""
+           << jsonEscape(rules[i].summary) << "\"}}";
+    os << (rules.empty() ? "]\n" : "\n          ]\n")
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [";
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i == 0 ? "\n" : ",\n")
+           << "        {\"ruleId\": \"" << jsonEscape(f.rule)
+           << "\", \"level\": \"error\", \"message\": {\"text\": \""
+           << jsonEscape(f.message) << "\"}, \"locations\": [{"
+           << "\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+           << jsonEscape(f.file) << "\"}, \"region\": {\"startLine\": "
+           << (f.line > 0 ? f.line : 1) << "}}}]}";
+    }
+    os << (findings.empty() ? "]\n" : "\n      ]\n")
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
+    return os.str();
+}
+
 void
 sortFindings(std::vector<Finding> &findings)
 {

@@ -56,6 +56,17 @@ struct RuleInfo
 [[nodiscard]] std::string formatJson(std::string_view tool,
                                      const std::vector<Finding> &findings);
 
+/**
+ * Serialize a whole run as SARIF 2.1.0 (the GitHub code-scanning
+ * ingestion format): one run, the tool's rule table under
+ * tool.driver.rules, one result per finding with the rule id, message
+ * and physical location. Whole-file findings (line 0) clamp to line 1
+ * — SARIF requires startLine >= 1.
+ */
+[[nodiscard]] std::string
+formatSarif(std::string_view tool, const std::vector<RuleInfo> &rules,
+            const std::vector<Finding> &findings);
+
 /** Deterministic report order: (file, line, rule, message). */
 void sortFindings(std::vector<Finding> &findings);
 

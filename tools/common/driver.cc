@@ -38,7 +38,13 @@ normalizeArg(std::string_view arg)
 int
 runTool(int argc, char **argv, const ToolSpec &spec)
 {
-    bool json = false;
+    enum class Format
+    {
+        Text,
+        Json,
+        Sarif
+    };
+    Format format = Format::Text;
     std::string rootFlag = ".";
     std::function<int(const std::string &)> mode;
     std::vector<std::string> args;
@@ -48,7 +54,8 @@ runTool(int argc, char **argv, const ToolSpec &spec)
         if (arg == "--list-rules")
             return listRules(spec);
         if (arg == "--help" || arg == "-h") {
-            std::string flags = "[--list-rules] [--format=text|json]";
+            std::string flags =
+                "[--list-rules] [--format=text|json|sarif]";
             for (const auto &m : spec.modes)
                 flags += " [" + m.first + "]";
             std::printf("usage: %s %s %s\n", spec.name.c_str(),
@@ -56,11 +63,15 @@ runTool(int argc, char **argv, const ToolSpec &spec)
             return 0;
         }
         if (arg == "--format=json") {
-            json = true;
+            format = Format::Json;
+            continue;
+        }
+        if (arg == "--format=sarif") {
+            format = Format::Sarif;
             continue;
         }
         if (arg == "--format=text") {
-            json = false;
+            format = Format::Text;
             continue;
         }
         if (arg.rfind("--root=", 0) == 0) {
@@ -138,8 +149,12 @@ runTool(int argc, char **argv, const ToolSpec &spec)
     for (const Finding &f : findings)
         ioError = ioError || f.rule == "io-error";
 
-    if (json) {
+    if (format == Format::Json) {
         std::fputs(formatJson(spec.name, findings).c_str(), stdout);
+    } else if (format == Format::Sarif) {
+        std::fputs(
+            formatSarif(spec.name, *spec.rules, findings).c_str(),
+            stdout);
     } else {
         for (const Finding &f : findings)
             std::printf("%s\n", formatText(f).c_str());

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * nxown CLI — a thin ToolSpec over the shared analyzer driver
+ * (tools/common/driver.h owns argument parsing, --format=json/sarif,
+ * file lists and the 0/1/2 exit-code convention).
+ *
+ * Usage:
+ *   nxown [--list-rules] [--format=text|json|sarif]
+ *         [--root=<dir>] [<repo-root> | <file>...]
+ *
+ * nxown is a whole-tree tool: ownership annotations live in headers
+ * and the call graph only means something globally, so explicit file
+ * arguments analyze the tree at --root (default ".") and report only
+ * findings landing in those files.
+ */
+
+#include <string>
+
+#include "common/driver.h"
+#include "nxown/nxown.h"
+
+int
+main(int argc, char **argv)
+{
+    nxcommon::ToolSpec spec;
+    spec.name = "nxown";
+    spec.usageArgs = "[--root=<dir>] [<repo-root> | <file>...]";
+    spec.rules = &nxown::rules();
+    spec.analyzeTree = [](const std::string &root) {
+        return nxown::analyzeTree(root);
+    };
+    return nxcommon::runTool(argc, argv, spec);
+}

@@ -21,9 +21,25 @@
  *      for the decode-loop idiom this tree is written in, and every
  *      deliberate exception carries an allow() with a justification.
  *
- * The walk is intra-procedural by design: cross-function flows are the
- * annotation's job (NXSIM_UNTRUSTED at the trust boundary), and member
- * state resets per function. See nxtaint.h for the rule table.
+ * The statement walk stays intra-procedural; cross-function flow rides
+ * on the shared call graph (tools/common/callgraph.h). analyzeFiles()
+ * computes one TaintSummary per function in bottom-up SCC order — the
+ * same Analyzer runs in summary mode with every parameter seeded
+ * tainted, and whatever reaches a sink or a `return` is recorded as a
+ * per-param flow instead of a finding. The findings pass then consults
+ * those summaries at every resolved call site:
+ *
+ *   - an argument flowing into a parameter whose summary reaches a
+ *     sink unchecked is a finding at the call site, with the call
+ *     chain printed (`readHdr -> copyBody -> memcpy`);
+ *   - a call whose summary returns taint (its own sources reach
+ *     `return`, or a tainted argument flows through to the result)
+ *     taints the enclosing expression;
+ *   - a resolved call whose summary does neither is *clean*, which
+ *     removes the old "unknown call is conservatively tainted"
+ *     behavior for in-tree callees — unresolved externals keep it.
+ *
+ * See nxtaint.h for the rule table.
  */
 
 #include "nxtaint/nxtaint.h"
@@ -35,6 +51,7 @@
 #include <sstream>
 
 #include "common/allow.h"
+#include "common/callgraph.h"
 #include "common/fileset.h"
 #include "common/lexer.h"
 #include "common/tokens.h"
@@ -82,12 +99,37 @@ using nxcommon::isPunct;
 // Analyzer
 // ---------------------------------------------------------------------------
 
-/** Why a value is tainted: the original source line and description. */
+/** Why a value is tainted: the original source line and description.
+ * In summary mode @p param records which parameter the taint came from
+ * (-1 = one of the function's own sources). */
 struct TaintInfo
 {
     int line = 0;
     std::string what;
+    int param = -1;
 };
+
+/** One way a parameter reaches a sink inside (or below) a function:
+ * the rule that fires and the call chain down to the sink. */
+struct SinkFlow
+{
+    std::string rule;
+    std::string chain;    ///< "readHdr -> copyBody -> memcpy"
+};
+
+/** Per-function taint summary, computed bottom-up over the call
+ * graph's SCCs. Monotone: flows are only ever added, so the SCC
+ * fixpoint converges. */
+struct TaintSummary
+{
+    std::vector<std::vector<SinkFlow>> paramSinks;   ///< per parameter
+    std::vector<bool> paramToReturn;   ///< arg taint flows to result
+    bool returnsTaint = false;         ///< own sources reach return
+};
+
+/** Chains longer than this stop growing (recursive SCCs would
+ * otherwise append forever; anything deeper is noise anyway). */
+constexpr int kMaxChainHops = 6;
 
 /** Member calls whose result is attacker-controlled. */
 const std::set<std::string, std::less<>> kSourceMethods = {
@@ -129,6 +171,46 @@ class Analyzer
              std::vector<Finding> &out)
         : file_(file), t_(toks), out_(out)
     {
+    }
+
+    /** Enable cross-function mode: call sites of file @p fileIdx are
+     * resolved through @p graph and checked against @p sums. */
+    void
+    setGraph(const nxcommon::CallGraph *graph, size_t fileIdx,
+             const std::vector<TaintSummary> *sums)
+    {
+        graph_ = graph;
+        fileIdx_ = fileIdx;
+        sums_ = sums;
+    }
+
+    /**
+     * Summary mode: walk @p fn's body with every parameter seeded
+     * tainted, recording param-to-sink flows and return taint into
+     * @p sum instead of findings. Returns true when @p sum grew —
+     * the change signal for the SCC fixpoint.
+     */
+    bool
+    computeSummary(const nxcommon::FunctionDef &fn, TaintSummary &sum)
+    {
+        summaryMode_ = true;
+        sum_ = &sum;
+        sumChanged_ = false;
+        fnName_ = fn.name;
+        if (sum.paramSinks.size() != fn.params.size()) {
+            sum.paramSinks.resize(fn.params.size());
+            sum.paramToReturn.resize(fn.params.size(), false);
+        }
+        beginFunction(fn.paramOpen, fn.paramClose);
+        for (size_t p = 0; p < fn.params.size(); ++p)
+            if (!fn.params[p].empty())
+                env_[fn.params[p]] = {fn.line,
+                                      "parameter '" + fn.params[p] + "'",
+                                      static_cast<int>(p)};
+        analyzeBody(fn.bodyBegin);
+        summaryMode_ = false;
+        sum_ = nullptr;
+        return sumChanged_;
     }
 
     void
@@ -393,7 +475,8 @@ class Analyzer
                            "loop bound compares against " + ti.what +
                                " (tainted at line " +
                                std::to_string(ti.line) +
-                               ") before any bounds check");
+                               ") before any bounds check",
+                           ti, "loop-bound");
             }
             sanitizeIdents(lb, i);
             sanitizeIdents(i + 1, rb);
@@ -497,6 +580,29 @@ class Analyzer
         }
         checkSinks(b, e);
         applyAssignment(b, e);
+        if (summaryMode_ && (isIdent(t_, b, "return") ||
+                             isIdent(t_, b, "co_return"))) {
+            TaintInfo ti;
+            if (findTaint(b + 1, e, ti))
+                recordReturn(ti);
+        }
+    }
+
+    /** Summary mode: a tainted value reached `return`. */
+    void
+    recordReturn(const TaintInfo &ti)
+    {
+        if (ti.param >= 0) {
+            size_t p = static_cast<size_t>(ti.param);
+            if (p < sum_->paramToReturn.size() &&
+                !sum_->paramToReturn[p]) {
+                sum_->paramToReturn[p] = true;
+                sumChanged_ = true;
+            }
+        } else if (!sum_->returnsTaint) {
+            sum_->returnsTaint = true;
+            sumChanged_ = true;
+        }
     }
 
     void
@@ -577,6 +683,38 @@ class Analyzer
                 if (kSourceMethods.count(m) != 0) {
                     out = {t_[i + 2].line, m + "() result"};
                     return true;
+                }
+            }
+            // Resolved call with a summary: the result is tainted when
+            // the callee's own sources reach its return, or when a
+            // tainted argument flows through to the result. Otherwise
+            // the call is clean and the whole expression is skipped —
+            // only *unresolved* callees stay conservatively tainted.
+            if (sums_ != nullptr && isPunct(t_, i + 1, "(")) {
+                const nxcommon::CallSite *cs =
+                    graph_->callAt(fileIdx_, i);
+                if (cs != nullptr && cs->target >= 0) {
+                    const TaintSummary &S =
+                        (*sums_)[static_cast<size_t>(cs->target)];
+                    if (S.returnsTaint) {
+                        out = {t_[i].line,
+                               name + "() result (returns untrusted "
+                                      "data)"};
+                        return true;
+                    }
+                    for (size_t a = 0;
+                         a < cs->args.size() &&
+                         a < S.paramToReturn.size();
+                         ++a) {
+                        if (!S.paramToReturn[a])
+                            continue;
+                        if (findTaint(cs->args[a].first,
+                                      std::min(cs->args[a].second, e),
+                                      out))
+                            return true;
+                    }
+                    i = matchForward(i + 1, '(', ')') + 1;
+                    continue;
                 }
             }
             auto it = env_.find(name);
@@ -696,14 +834,53 @@ class Analyzer
                 argIdx = 1;
                 rule = "taint-alloc-size";
             }
-            if (rule == nullptr || argIdx >= args.size())
+            if (rule != nullptr && argIdx < args.size()) {
+                TaintInfo ti;
+                if (findTaint(args[argIdx].first, args[argIdx].second,
+                              ti))
+                    report(rule, t_[i].line,
+                           name + "() count argument derives from " +
+                               ti.what + " (tainted at line " +
+                               std::to_string(ti.line) +
+                               ") without a bounds check",
+                           ti, name);
+                continue;
+            }
+            checkSummarySinks(i, name, args);
+        }
+    }
+
+    /**
+     * Cross-function sink: the call resolves to a function whose
+     * summary says parameter N reaches a sink unchecked — a tainted
+     * argument in position N is a finding at this call site, with the
+     * call chain printed.
+     */
+    void
+    checkSummarySinks(size_t i, const std::string &name,
+                      const std::vector<std::pair<size_t, size_t>> &args)
+    {
+        if (sums_ == nullptr)
+            return;
+        const nxcommon::CallSite *cs = graph_->callAt(fileIdx_, i);
+        if (cs == nullptr || cs->target < 0)
+            return;
+        const TaintSummary &S = (*sums_)[static_cast<size_t>(cs->target)];
+        for (size_t a = 0; a < args.size() && a < S.paramSinks.size();
+             ++a) {
+            if (S.paramSinks[a].empty())
                 continue;
             TaintInfo ti;
-            if (findTaint(args[argIdx].first, args[argIdx].second, ti))
-                report(rule, t_[i].line,
-                       name + "() count argument derives from " + ti.what +
-                           " (tainted at line " + std::to_string(ti.line) +
-                           ") without a bounds check");
+            if (!findTaint(args[a].first, args[a].second, ti))
+                continue;
+            const SinkFlow &fl = S.paramSinks[a][0];
+            report(fl.rule, t_[i].line,
+                   "argument " + std::to_string(a + 1) + " of " + name +
+                       "() derives from " + ti.what +
+                       " (tainted at line " + std::to_string(ti.line) +
+                       ") and reaches an unchecked sink (call chain: " +
+                       fl.chain + ")",
+                   ti, fl.chain);
         }
     }
 
@@ -731,7 +908,8 @@ class Analyzer
                 report("taint-index", t_[i].line,
                        "subscript derives from " + ti.what +
                            " (tainted at line " + std::to_string(ti.line) +
-                           ") without a bounds check");
+                           ") without a bounds check",
+                       ti, "subscript");
         }
     }
 
@@ -769,13 +947,43 @@ class Analyzer
                 report("taint-shift", t_[i].line,
                        "shift amount derives from " + ti.what +
                            " (tainted at line " + std::to_string(ti.line) +
-                           ") without a bounds check");
+                           ") without a bounds check",
+                       ti, "shift");
         }
     }
 
+    /**
+     * Emit a finding — or, in summary mode, record the flow: a sink
+     * reached from parameter N becomes a SinkFlow on that parameter
+     * (chain extended with this function's name); sinks fed by the
+     * function's own sources are dropped here because the findings
+     * pass reports them directly.
+     */
     void
-    report(const std::string &rule, int line, const std::string &msg)
+    report(const std::string &rule, int line, const std::string &msg,
+           const TaintInfo &ti, const std::string &chainTail)
     {
+        if (summaryMode_) {
+            if (ti.param < 0 ||
+                static_cast<size_t>(ti.param) >= sum_->paramSinks.size())
+                return;
+            int hops = 1;
+            for (size_t p = chainTail.find(" -> ");
+                 p != std::string::npos;
+                 p = chainTail.find(" -> ", p + 4))
+                ++hops;
+            if (hops >= kMaxChainHops)
+                return;
+            std::string chain = fnName_ + " -> " + chainTail;
+            auto &flows =
+                sum_->paramSinks[static_cast<size_t>(ti.param)];
+            for (const SinkFlow &fl : flows)
+                if (fl.rule == rule && fl.chain == chain)
+                    return;
+            flows.push_back({rule, chain});
+            sumChanged_ = true;
+            return;
+        }
         out_.push_back({std::string(file_), line, rule, msg});
     }
 
@@ -784,6 +992,15 @@ class Analyzer
     std::vector<Finding> &out_;
     std::map<std::string, TaintInfo, std::less<>> env_;
     std::set<std::string, std::less<>> clean_;
+
+    // Cross-function mode (setGraph) and summary mode (computeSummary).
+    const nxcommon::CallGraph *graph_ = nullptr;
+    size_t fileIdx_ = 0;
+    const std::vector<TaintSummary> *sums_ = nullptr;
+    bool summaryMode_ = false;
+    TaintSummary *sum_ = nullptr;
+    std::string fnName_;
+    bool sumChanged_ = false;
 };
 
 } // namespace
@@ -799,23 +1016,64 @@ rules()
 }
 
 std::vector<Finding>
+analyzeFiles(const std::vector<nxcommon::SourceFile> &files)
+{
+    size_t n = files.size();
+    std::vector<std::string> paths;
+    std::vector<std::vector<Token>> merged;
+    std::vector<std::vector<Allow>> allows(n);
+    std::vector<std::vector<Finding>> pre(n);
+    paths.reserve(n);
+    merged.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<Token> raw = Lexer(files[i].content).run();
+        allows[i] = nxcommon::collectAllows(raw, "nxtaint", kRules,
+                                            pre[i], files[i].path);
+        merged.push_back(nxcommon::mergeOperators(raw));
+        paths.push_back(files[i].path);
+    }
+
+    const nxcommon::CallGraph graph =
+        nxcommon::CallGraph::build(std::move(paths), std::move(merged));
+
+    // Summaries, callees before callers; SCCs iterate to a fixpoint.
+    std::vector<TaintSummary> sums(graph.functions().size());
+    std::vector<Finding> scratch;
+    graph.forEachBottomUp([&](int id) {
+        const nxcommon::FunctionDef &fn =
+            graph.functions()[static_cast<size_t>(id)];
+        Analyzer a(graph.paths()[fn.fileIdx], graph.tokens(fn.fileIdx),
+                   scratch);
+        a.setGraph(&graph, fn.fileIdx, &sums);
+        return a.computeSummary(fn, sums[static_cast<size_t>(id)]);
+    });
+
+    // Findings pass, summaries in hand.
+    std::vector<Finding> findings;
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<Finding> fileFindings = std::move(pre[i]);
+        std::vector<Finding> rawFindings;
+        Analyzer a(files[i].path, graph.tokens(i), rawFindings);
+        a.setGraph(&graph, i, &sums);
+        a.run();
+        nxcommon::applyAllows(std::move(rawFindings), allows[i],
+                              files[i].path, fileFindings);
+        std::sort(fileFindings.begin(), fileFindings.end(),
+                  [](const Finding &a2, const Finding &b2) {
+                      return a2.line != b2.line ? a2.line < b2.line
+                                                : a2.rule < b2.rule;
+                  });
+        for (Finding &fd : fileFindings)
+            findings.push_back(std::move(fd));
+    }
+    return findings;
+}
+
+std::vector<Finding>
 analyzeFile(std::string_view path, std::string_view content)
 {
-    std::vector<Finding> findings;
-    std::vector<Token> raw = Lexer(content).run();
-    std::vector<Allow> allows =
-        nxcommon::collectAllows(raw, "nxtaint", kRules, findings, path);
-    std::vector<Token> toks = nxcommon::mergeOperators(raw);
-
-    std::vector<Finding> rawFindings;
-    Analyzer(path, toks, rawFindings).run();
-    nxcommon::applyAllows(std::move(rawFindings), allows, path, findings);
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  return a.line != b.line ? a.line < b.line
-                                          : a.rule < b.rule;
-              });
-    return findings;
+    return analyzeFiles(
+        {{std::string(path), std::string(content)}});
 }
 
 std::vector<Finding>
@@ -823,9 +1081,8 @@ analyzeTree(const std::string &root)
 {
     nxcommon::TreeLoad tree = nxcommon::loadTree(root, {"src"});
     std::vector<Finding> findings = std::move(tree.ioErrors);
-    for (const nxcommon::SourceFile &f : tree.files)
-        for (Finding &fd : analyzeFile(f.path, f.content))
-            findings.push_back(std::move(fd));
+    for (Finding &fd : analyzeFiles(tree.files))
+        findings.push_back(std::move(fd));
     return findings;
 }
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * nxtaint — intra-procedural taint analysis of untrusted input values.
+ * nxtaint — taint analysis of untrusted input values, cross-function
+ * via per-function summaries over the shared call graph.
  *
  * nxlint checks tokens and nxdeps checks include edges; nxtaint checks
  * *values*. Every historical decompressor exploit is the same bug: a
@@ -11,6 +12,18 @@
  * its siblings), marks taint sources, propagates through assignments
  * and arithmetic, and flags tainted values reaching memory sinks
  * without passing a sanitizer.
+ *
+ * On top of the statement walk, analyzeFiles()/analyzeTree() build the
+ * project call graph (tools/common/callgraph.h) and compute one
+ * summary per function in bottom-up SCC order: which parameters reach
+ * a sink unchecked, which flow through to the return value, and
+ * whether the function's own sources escape via `return`. Call sites
+ * that resolve (by name + arity, receivers by declared type) are then
+ * checked against the callee's summary — passing a tainted length to a
+ * helper that memcpy's it unchecked is a finding at the call site with
+ * the call chain printed, and a helper returning `br.readBits(16)`
+ * taints its callers. Unresolved externals stay conservatively
+ * tainted, exactly as before.
  *
  * Sources
  *   - results of BitReader-style member calls: readBits, peekBits,
@@ -54,6 +67,7 @@
 #include <vector>
 
 #include "common/diag.h"
+#include "common/fileset.h"
 
 namespace nxtaint {
 
@@ -66,9 +80,16 @@ using RuleInfo = nxcommon::RuleInfo;
 /** All rules, in the order they are checked. */
 const std::vector<RuleInfo> &rules();
 
-/** Analyze one file given as an in-memory buffer. */
+/** Analyze one file given as an in-memory buffer (a one-file
+ * analyzeFiles: cross-function flow still works within the file). */
 std::vector<Finding> analyzeFile(std::string_view path,
                                  std::string_view content);
+
+/** Analyze a set of files together: one call graph, per-function
+ * summaries bottom-up, then the findings pass with summaries in
+ * hand. Findings are grouped by file in input order. */
+std::vector<Finding>
+analyzeFiles(const std::vector<nxcommon::SourceFile> &files);
 
 /**
  * Walk @p root's src/ tree (or @p root itself when it is a bare
