@@ -1,0 +1,135 @@
+/**
+ * @file
+ * L1 [extension] — traffic-scale serving: many client sessions over
+ * one shared dispatch layer, driven by open-loop Poisson, bursty and
+ * closed-loop arrival processes across a serving-shaped request mix.
+ *
+ * Where A6 measured the raw dispatch path with identical jobs, L1
+ * measures the *served* system: nx::Session routing (software below
+ * the crossover, accelerator above, fallback under pressure) under a
+ * sweep of workers x windows x fifoDepth, reporting throughput,
+ * p50/p99/p999 wall latency, busy-reject and fallback rates, and
+ * per-client fairness.
+ *
+ * Modes:
+ *   (default)        full sweep, human tables
+ *   --smoke          the scaled-down CI sweep (load::l1SmokeScenarios)
+ *   --json           machine mode: print the schema-versioned JSON to
+ *                    stdout instead of tables
+ *   --out PATH       also persist the JSON to PATH (the repo-root
+ *                    BENCH_l1_serving.json convention; see DESIGN.md)
+ *   --chip NAME      power9 (default) or z15
+ *   --clients N      clients for the full sweep (default 8)
+ *
+ * Fixed seeds make the request schedule deterministic: the same flags
+ * always plan identical traffic (pinned by each scenario's
+ * schedule_digest in the JSON); only wall-clock timings vary.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_common.h"
+#include "load/scenarios.h"
+#include "load/slo_report.h"
+
+namespace {
+
+struct Options
+{
+    bool smoke = false;
+    bool json = false;
+    std::string out;
+    std::string chip = "power9";
+    int clients = 8;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--smoke] [--json] [--out PATH] "
+                 "[--chip power9|z15] [--clients N]\n",
+                 argv0);
+    return 2;
+}
+
+bool
+parse(int argc, char **argv, Options *opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--smoke") {
+            opt->smoke = true;
+        } else if (a == "--json") {
+            opt->json = true;
+        } else if (a == "--out" && i + 1 < argc) {
+            opt->out = argv[++i];
+        } else if (a == "--chip" && i + 1 < argc) {
+            opt->chip = argv[++i];
+        } else if (a == "--clients" && i + 1 < argc) {
+            opt->clients = std::stoi(argv[++i]);
+            if (opt->clients <= 0)
+                return false;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parse(argc, argv, &opt))
+        return usage(argv[0]);
+
+    core::ChipTopology chip;
+    if (opt.chip == "power9") {
+        chip = core::power9Chip();
+    } else if (opt.chip == "z15") {
+        chip = core::z15Chip();
+    } else {
+        return usage(argv[0]);
+    }
+
+    if (!opt.json)
+        bench::banner("L1", "traffic-scale serving over nx::Session (" +
+                                chip.name +
+                                (opt.smoke ? ", smoke sweep)" :
+                                             ", full sweep)"));
+
+    auto scenarios = opt.smoke ? load::l1SmokeScenarios()
+                               : load::l1FullScenarios(opt.clients);
+    std::vector<load::NamedReport> runs;
+    runs.reserve(scenarios.size());
+    for (const load::Scenario &sc : scenarios) {
+        load::LoadGen gen(sc.cfg);
+        load::LoadReport rep = gen.run(chip.accel);
+        if (!opt.json)
+            load::printReport(sc.name, rep);
+        runs.emplace_back(sc.name, std::move(rep));
+    }
+
+    load::BenchRunInfo info;
+    info.chip = chip.name;
+    info.smoke = opt.smoke;
+    std::string json = load::benchJson(info, runs);
+
+    if (opt.json)
+        std::fputs(json.c_str(), stdout);
+    if (!opt.out.empty()) {
+        std::ofstream f(opt.out, std::ios::binary | std::ios::trunc);
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+            return 1;
+        }
+        f << json;
+    }
+    return 0;
+}

@@ -14,17 +14,21 @@
 #                      (tools/nxstate; also a ctest)
 #   6. asan-ubsan      full ctest under ASan+UBSan (no recover)
 #   7. tsan            ThreadSanitizer build; runs the `concurrency`
-#                      ctest label (the JobServer dispatch suite and
-#                      the multi-session stress suite)
-#   8. coverage        gcov build; runs the `session` ctest label and
-#                      gates src/core/session.cc line coverage against
-#                      tools/coverage_baseline.txt (coverage_gate.sh)
+#                      and `load` ctest labels (JobServer dispatch,
+#                      multi-session stress, load-generator suites)
+#   8. coverage        gcov build; runs the `session` and `load` ctest
+#                      labels and gates src/core/session.cc line
+#                      coverage against tools/coverage_baseline.txt
 #   9. clang-tsa       Clang -Wthread-safety over the lock annotations
 #                      (src/util/thread_annotations.h); skipped with a
 #                      notice when clang++ is absent
-#  10. lint            clang-tidy over files changed vs origin/main
+#  10. bench smoke     bench_l1_serving --smoke --json out of build-ci:
+#                      schema-checks the emitted BENCH json and diffs
+#                      its scenario names/digests against the committed
+#                      BENCH_l1_serving.json (plan determinism)
+#  11. lint            clang-tidy over files changed vs origin/main
 #                      (skipped with a notice when clang-tidy absent)
-#  11. fuzz smoke      30 s of each fuzz target on the seeded corpus
+#  12. fuzz smoke      30 s of each fuzz target on the seeded corpus
 #                      (libFuzzer with Clang; the standalone driver
 #                      otherwise — see fuzz/standalone_main.cc)
 #
@@ -32,7 +36,7 @@
 # configure, one build, four analyzers. Each stage prints its wall time
 # when it finishes, and a summary table prints at the end.
 #
-# Usage: ./ci.sh [--quick]   --quick skips stages 10 and 11.
+# Usage: ./ci.sh [--quick]   --quick skips stages 12 and 13.
 set -eu
 
 cd "$(dirname "$0")"
@@ -73,48 +77,65 @@ analyzer() {
     fi
 }
 
-stage "ci preset (warnings-as-errors)" "1/12"
+stage "ci preset (warnings-as-errors)" "1/13"
 cmake --preset ci
 cmake --build build-ci -j "$jobs"
 ctest --test-dir build-ci --output-on-failure -j "$jobs"
 
-stage "nxlint (project static analysis)" "2/12"
+stage "nxlint (project static analysis)" "2/13"
 analyzer nxlint
 
-stage "nxdeps (include-graph layering)" "3/12"
+stage "nxdeps (include-graph layering)" "3/13"
 analyzer nxdeps
 
-stage "nxtaint (untrusted-input dataflow)" "4/12"
+stage "nxtaint (untrusted-input dataflow)" "4/13"
 analyzer nxtaint
 
-stage "nxstate (typestate + lock order)" "5/12"
+stage "nxstate (typestate + lock order)" "5/13"
 analyzer nxstate
 
-stage "nxown (resource ownership)" "6/12"
+stage "nxown (resource ownership)" "6/13"
 analyzer nxown
 
-stage "asan-ubsan preset" "7/12"
+stage "asan-ubsan preset" "7/13"
 cmake --preset asan-ubsan
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-stage "tsan preset (concurrency label)" "8/12"
+stage "tsan preset (concurrency|load labels)" "8/13"
 cmake --preset tsan
 cmake --build build-tsan -j "$jobs"
-ctest --test-dir build-tsan -L concurrency --output-on-failure -j "$jobs"
+ctest --test-dir build-tsan -L 'concurrency|load' --output-on-failure -j "$jobs"
 
-stage "coverage (session label + gcov gate)" "9/12"
+stage "coverage (session|load labels + gcov gate)" "9/13"
 cmake --preset coverage
 cmake --build build-coverage -j "$jobs"
-ctest --test-dir build-coverage -L session --output-on-failure -j "$jobs"
+ctest --test-dir build-coverage -L 'session|load' --output-on-failure -j "$jobs"
 tools/coverage_gate.sh build-coverage
 
-stage "clang-tsa (thread-safety annotations)" "10/12"
+stage "clang-tsa (thread-safety annotations)" "10/13"
 if command -v clang++ >/dev/null 2>&1; then
     cmake --preset clang-tsa
     cmake --build build-clang-tsa -j "$jobs"
 else
     echo "clang++ not found; skipping clang-tsa stage"
+fi
+
+stage "bench smoke (L1 serving harness)" "11/13"
+./build-ci/bench/bench_l1_serving --smoke --json \
+    > build-ci/bench_l1_smoke.json
+grep -q '"schema_version": 1' build-ci/bench_l1_smoke.json
+grep -q '"bench": "bench_l1_serving"' build-ci/bench_l1_smoke.json
+# Plan determinism: a fresh smoke run must agree with the committed
+# trajectory file on scenario names, arrival kinds and schedule
+# digests. Measured numbers (latency, throughput) may differ.
+if grep -q '"smoke": true' BENCH_l1_serving.json; then
+    for f in build-ci/bench_l1_smoke.json BENCH_l1_serving.json; do
+        grep -E '"(name|arrival|schedule_digest)":' "$f" \
+            > "build-ci/$(basename "$f").schema"
+    done
+    diff -u build-ci/BENCH_l1_serving.json.schema \
+        build-ci/bench_l1_smoke.json.schema
 fi
 
 if [ "$quick" = "--quick" ]; then
@@ -124,7 +145,7 @@ if [ "$quick" = "--quick" ]; then
     exit 0
 fi
 
-stage "clang-tidy on changed files" "11/12"
+stage "clang-tidy on changed files" "12/13"
 if git rev-parse --verify origin/main >/dev/null 2>&1; then
     changed=$(git diff --name-only origin/main -- 'src/*.cc' || true)
 else
@@ -137,7 +158,7 @@ else
     echo "no changed src/*.cc files; skipping clang-tidy"
 fi
 
-stage "fuzz smoke (30 s per target)" "12/12"
+stage "fuzz smoke (30 s per target)" "13/13"
 cmake --preset fuzz
 cmake --build build-fuzz -j "$jobs"
 for t in fuzz_inflate fuzz_gzip fuzz_e842 fuzz_roundtrip fuzz_session; do

@@ -73,6 +73,7 @@ JobServer::JobServer(const nx::NxConfig &cfg, const JobServerConfig &jcfg)
     workerCycles_.assign(nw, 0);
     fifo_.resize(nx::checked_cast<size_t>(jcfg_.windows));
     windowPastes_.assign(fifo_.size(), 0);
+    windowBusyRejects_.assign(fifo_.size(), 0);
     paused_ = jcfg_.startPaused;
 
     workers_.reserve(nw);
@@ -102,6 +103,7 @@ JobServer::submitAsync(const JobSpec &spec, int window)
             fifo_[w].size() >=
                 nx::checked_cast<size_t>(jcfg_.window.fifoDepth)) {
             ++busyRejects_;
+            ++windowBusyRejects_[w];
             out.status = nx::PasteStatus::Busy;
             return out;
         }
@@ -115,6 +117,7 @@ JobServer::submitAsync(const JobSpec &spec, int window)
         ++queuedTotal_;
         ++accepted_;
         queueDepth_.add(static_cast<double>(queuedTotal_));
+        queueHighWater_ = std::max<uint64_t>(queueHighWater_, queuedTotal_);
         out.status = nx::PasteStatus::Accepted;
         out.ticket = nextTicket_ - 1;
     }
@@ -340,6 +343,8 @@ JobServer::stats() const
             s.engineCyclesMax = std::max(s.engineCyclesMax, c);
         }
         s.meanQueueDepth = queueDepth_.mean();
+        s.queueDepthHighWater = queueHighWater_;
+        s.windowBusyRejects = windowBusyRejects_;
     }
     s.wait = waitLatency_.snapshot();
     s.service = serviceCycles_.snapshot();

@@ -191,6 +191,10 @@ struct JobServerStats
     sim::Tick engineCyclesSum = 0;   ///< total modelled engine occupancy
     sim::Tick engineCyclesMax = 0;   ///< busiest worker (parallel makespan)
     double meanQueueDepth = 0.0;     ///< sampled at each accepted paste
+    /** Deepest total backlog (all FIFOs) seen at any accepted paste. */
+    uint64_t queueDepthHighWater = 0;
+    /** Busy rejects per VAS window (who bounced off which FIFO). */
+    std::vector<uint64_t> windowBusyRejects;
     util::LatencyRecorder::Snapshot wait;      ///< wall seconds, paste->CSB
     util::LatencyRecorder::Snapshot service;   ///< modelled cycles per job
 
@@ -327,6 +331,8 @@ class JobServer
     uint64_t accepted_ NXSIM_GUARDED_BY(mu_) = 0;
     uint64_t completed_ NXSIM_GUARDED_BY(mu_) = 0;
     uint64_t busyRejects_ NXSIM_GUARDED_BY(mu_) = 0;
+    std::vector<uint64_t> windowBusyRejects_ NXSIM_GUARDED_BY(mu_);
+    uint64_t queueHighWater_ NXSIM_GUARDED_BY(mu_) = 0;
     uint64_t busyExhausted_ NXSIM_GUARDED_BY(mu_) = 0;
     uint64_t jobFaults_ NXSIM_GUARDED_BY(mu_) = 0;
     uint64_t faultsInjected_ NXSIM_GUARDED_BY(mu_) = 0;

@@ -261,6 +261,10 @@ Session::stats() const
         s.bytesOut = bytesOut_;
     }
     s.pool = pool_.stats();
+    core::JobServerStats js = server_->stats();
+    s.serverBusyRejects = js.busyRejects;
+    s.serverQueueDepthHighWater = js.queueDepthHighWater;
+    s.serverWindowBusyRejects = std::move(js.windowBusyRejects);
     return s;
 }
 

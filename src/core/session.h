@@ -170,6 +170,16 @@ struct SessionStats
 
     /** Staging-pool counters (see BufferPool). */
     BufferPoolStats pool;
+
+    // Dispatch-layer view behind this session. On a shared JobServer
+    // these aggregate every session's traffic, not just this one's —
+    // the operator-facing saturation signals of the serving report.
+    /** Pastes bounced off a full window FIFO. */
+    uint64_t serverBusyRejects = 0;
+    /** Deepest total FIFO backlog any accepted paste observed. */
+    uint64_t serverQueueDepthHighWater = 0;
+    /** Busy rejects split per VAS window. */
+    std::vector<uint64_t> serverWindowBusyRejects;
 };
 
 /** The session. Thread-safe; non-copyable. */

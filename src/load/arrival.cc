@@ -1,0 +1,106 @@
+#include "load/arrival.h"
+
+#include "util/contracts.h"
+
+namespace load {
+
+const char *
+toString(ArrivalKind k)
+{
+    switch (k) {
+      case ArrivalKind::OpenPoisson: return "open-poisson";
+      case ArrivalKind::Bursty: return "bursty";
+      case ArrivalKind::ClosedLoop: return "closed-loop";
+    }
+    return "?";
+}
+
+double
+ArrivalConfig::meanRatePerSec() const
+{
+    switch (kind) {
+      case ArrivalKind::OpenPoisson:
+        return ratePerSec;
+      case ArrivalKind::Bursty:
+        return burstRatePerSec * dutyCycle();
+      case ArrivalKind::ClosedLoop:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig &cfg, uint64_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+    switch (cfg_.kind) {
+      case ArrivalKind::OpenPoisson:
+        NXSIM_EXPECT(cfg_.ratePerSec > 0.0,
+                     "Poisson arrivals need a positive rate");
+        break;
+      case ArrivalKind::Bursty:
+        NXSIM_EXPECT(cfg_.burstOnSeconds > 0.0 &&
+                         cfg_.burstOffSeconds > 0.0,
+                     "bursty arrivals need positive dwell means");
+        NXSIM_EXPECT(cfg_.burstRatePerSec > 0.0,
+                     "bursty arrivals need a positive burst rate");
+        // The stream starts at the beginning of an ON dwell: the
+        // first request of a bursty client is part of a burst, not a
+        // coin flip on the modulation state.
+        dwellLeft_ = rng_.exponential(cfg_.burstOnSeconds);
+        break;
+      case ArrivalKind::ClosedLoop:
+        NXSIM_EXPECT(cfg_.thinkSeconds > 0.0,
+                     "closed-loop arrivals need a positive think time");
+        break;
+    }
+}
+
+double
+ArrivalProcess::nextDelaySeconds()
+{
+    switch (cfg_.kind) {
+      case ArrivalKind::OpenPoisson:
+        return rng_.exponential(1.0 / cfg_.ratePerSec);
+      case ArrivalKind::ClosedLoop:
+        return rng_.exponential(cfg_.thinkSeconds);
+      case ArrivalKind::Bursty:
+        break;
+    }
+
+    // Markov-modulated Poisson: spend ON dwell time emitting
+    // exponential gaps; when a gap would cross the dwell boundary,
+    // charge the remainder, serve the OFF dwell in full, and continue
+    // the draw in the next ON dwell.
+    double delay = 0.0;
+    for (;;) {
+        if (!on_) {
+            delay += dwellLeft_;
+            on_ = true;
+            dwellLeft_ = rng_.exponential(cfg_.burstOnSeconds);
+            continue;
+        }
+        double gap = rng_.exponential(1.0 / cfg_.burstRatePerSec);
+        if (gap <= dwellLeft_) {
+            dwellLeft_ -= gap;
+            return delay + gap;
+        }
+        delay += dwellLeft_;
+        on_ = false;
+        dwellLeft_ = rng_.exponential(cfg_.burstOffSeconds);
+    }
+}
+
+std::vector<double>
+ArrivalProcess::schedule(size_t n)
+{
+    std::vector<double> at;
+    at.reserve(n);
+    double t = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        t += nextDelaySeconds();
+        at.push_back(t);
+    }
+    return at;
+}
+
+} // namespace load

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Seeded deterministic arrival-process generators for the serving
+ * load harness.
+ *
+ * The paper's headline is shared-queue scaling under *traffic*, not
+ * single-stream speed, and traffic has a shape: steady open-loop
+ * services see Poisson arrivals, batchy clients (Spark shuffle
+ * spills, log shippers) arrive in on/off bursts, and interactive
+ * clients are closed loops that think between requests. Each shape
+ * stresses the VAS window FIFOs differently — Poisson probes the
+ * steady-state queue, bursts probe the busy-reject path, closed loops
+ * self-throttle and probe fairness — so the harness models all three:
+ *
+ *  - OpenPoisson: exponential inter-arrivals at a configured mean
+ *    rate; the client fires on schedule regardless of completions.
+ *  - Bursty: a two-state Markov-modulated process — exponentially
+ *    distributed ON dwells emitting Poisson arrivals at a burst rate,
+ *    separated by silent OFF dwells. Long-run rate is
+ *    burstRate x dutyCycle().
+ *  - ClosedLoop: no schedule; the generator emits exponential think
+ *    times the client sleeps between a completion and its next
+ *    request (the classic interactive-client model).
+ *
+ * Everything derives from one util::Xoshiro256 seed: the same seed
+ * always yields the identical delay sequence, which is what lets the
+ * bench pin a schedule digest into BENCH_l1_serving.json and lets
+ * tests replay a run exactly.
+ */
+
+#ifndef NXSIM_LOAD_ARRIVAL_H
+#define NXSIM_LOAD_ARRIVAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.h"
+
+namespace load {
+
+/** Traffic shape a simulated client follows. */
+enum class ArrivalKind : uint8_t
+{
+    OpenPoisson,   ///< open loop, exponential inter-arrivals
+    Bursty,        ///< open loop, Markov-modulated on/off Poisson
+    ClosedLoop,    ///< request -> completion -> think -> request
+};
+
+/** Human-readable arrival-kind name (stable: appears in BENCH json). */
+const char *toString(ArrivalKind k);
+
+/** Parameters of one client's arrival process. */
+struct ArrivalConfig
+{
+    ArrivalKind kind = ArrivalKind::OpenPoisson;
+
+    /** OpenPoisson: mean arrivals per second per client. */
+    double ratePerSec = 2000.0;
+
+    /** Bursty: mean ON-dwell seconds (arrivals flow). */
+    double burstOnSeconds = 0.005;
+    /** Bursty: mean OFF-dwell seconds (silence). */
+    double burstOffSeconds = 0.015;
+    /** Bursty: arrival rate while ON, per second. */
+    double burstRatePerSec = 8000.0;
+
+    /** ClosedLoop: mean think seconds between completion and next. */
+    double thinkSeconds = 0.0005;
+
+    /** Long-run ON fraction of the bursty process. */
+    double
+    dutyCycle() const
+    {
+        return burstOnSeconds / (burstOnSeconds + burstOffSeconds);
+    }
+
+    /**
+     * Long-run mean arrival rate of the open-loop shapes (ClosedLoop
+     * has no offered rate; it is completion-driven).
+     */
+    double meanRatePerSec() const;
+};
+
+/**
+ * One client's deterministic delay stream. Construction validates the
+ * config (positive rates/dwells) by contract.
+ */
+class ArrivalProcess
+{
+  public:
+    ArrivalProcess(const ArrivalConfig &cfg, uint64_t seed);
+
+    /**
+     * Next delay in seconds: inter-arrival gap for the open-loop
+     * kinds, think time for ClosedLoop.
+     */
+    double nextDelaySeconds();
+
+    /**
+     * The next @p n delays, accumulated into absolute offsets from
+     * zero (an open-loop client's paste schedule; for ClosedLoop the
+     * cumulative think budget). Advances the stream.
+     */
+    std::vector<double> schedule(size_t n);
+
+    const ArrivalConfig &config() const { return cfg_; }
+
+  private:
+    ArrivalConfig cfg_;
+    util::Xoshiro256 rng_;
+    bool on_ = true;          ///< bursty modulation state
+    double dwellLeft_ = 0.0;  ///< seconds left in the current dwell
+};
+
+} // namespace load
+
+#endif // NXSIM_LOAD_ARRIVAL_H

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Multi-client serving load generator over nx::Session.
+ *
+ * The measurement layer ROADMAP item 3 calls for: N simulated clients
+ * — each an nx::Session sharing one core::JobServer engine pool, the
+ * paper's many-requesters/one-shared-queue shape — driven by a seeded
+ * arrival process (load/arrival.h) over a request mix drawn from the
+ * corpus generators (load/workload_mix.h), with SLO-grade aggregation
+ * of what happened:
+ *
+ *  - throughput (requests/s and bytes/s over the measured window),
+ *  - wall-latency percentiles p50/p99/p999 via util::LatencyRecorder
+ *    — for open-loop clients, latency is measured from the *scheduled*
+ *    arrival, not the actual issue time, so queueing delay behind a
+ *    slow response is charged to the SLO instead of silently dropped
+ *    (the coordinated-omission correction),
+ *  - busy-reject and software-fallback rates from the dispatch layer,
+ *  - per-client fairness as the min/max completed-request ratio,
+ *  - the JobServer's queue-depth high-water mark and per-window
+ *    busy-reject counters (surfaced for exactly this report).
+ *
+ * Determinism: the full request plan — who sends what, when — is
+ * derived from LoadGenConfig::seed before any thread starts, and
+ * summarised as an FNV-1a scheduleDigest. The same config always
+ * plans the same traffic; only wall-clock timings vary run to run.
+ * Tests replay plans exactly; BENCH_l1_serving.json pins the digest
+ * so CI notices if the schedule ever drifts.
+ *
+ * Each client's first warmupFraction of requests is excluded from the
+ * latency/throughput windows (counters still see them), the standard
+ * warmup/measure split.
+ */
+
+#ifndef NXSIM_LOAD_LOAD_GEN_H
+#define NXSIM_LOAD_LOAD_GEN_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/job_server.h"
+#include "core/session.h"
+#include "load/arrival.h"
+#include "load/workload_mix.h"
+#include "util/latency_recorder.h"
+#include "util/thread_annotations.h"
+
+namespace load {
+
+/** One load run: traffic shape, mix, and system-under-test geometry. */
+struct LoadGenConfig
+{
+    int clients = 8;              ///< simulated clients (one thread each)
+    int requestsPerClient = 64;   ///< fixed request budget per client
+    /** Leading fraction of each client's requests excluded from SLOs. */
+    double warmupFraction = 0.125;
+
+    ArrivalConfig arrival;
+    WorkloadMixConfig mix = defaultServingMix();
+    uint64_t seed = 1;
+
+    /** Geometry for run(chip); ignored when an external server is given. */
+    int workers = 4;
+    int windows = 4;
+    int fifoDepth = 16;
+
+    /**
+     * Base per-client session policy. A session speaks one stream
+     * format, so each client opens one session per distinct format in
+     * the mix (the qzSession-per-format shape) and picks by request;
+     * the policy's format field is overridden accordingly, and the
+     * window is overridden round-robin per client so traffic spreads
+     * across all FIFOs.
+     */
+    nx::SessionPolicy policy;
+
+    /** Retain per-request outputs for differential tests (memory!). */
+    bool captureResults = false;
+};
+
+/** One retained request outcome (captureResults mode). */
+struct CapturedResult
+{
+    int client = 0;
+    size_t requestIndex = 0;      ///< position in the client's plan
+    size_t classIndex = 0;
+    size_t variantIndex = 0;
+    core::JobKind kind = core::JobKind::Compress;
+    bool ok = false;
+    bool fellBack = false;
+    nx::Backend backend = nx::Backend::Software;
+    std::vector<uint8_t> data;
+};
+
+/** Everything one run measured. */
+struct LoadReport
+{
+    // --- config echo (what BENCH json readers key on) ---
+    int clients = 0;
+    int requestsPerClient = 0;
+    ArrivalKind arrival = ArrivalKind::OpenPoisson;
+    uint64_t seed = 0;
+    int workers = 0;
+    int windows = 0;
+    int fifoDepth = 0;
+    uint64_t scheduleDigest = 0;
+
+    // --- totals ---
+    double elapsedSeconds = 0.0;   ///< gate-open to last join
+    uint64_t submitted = 0;        ///< requests issued (incl. warmup)
+    uint64_t completed = 0;        ///< requests that returned ok
+    uint64_t failed = 0;
+    uint64_t measured = 0;         ///< requests in the SLO window
+    uint64_t bytesIn = 0;
+    uint64_t bytesOut = 0;
+    double throughputRps = 0.0;    ///< completed / elapsed
+    double throughputBps = 0.0;    ///< bytesIn / elapsed
+
+    /** Wall seconds per measured request (p50/p90/p99/p999). */
+    util::LatencyRecorder::Snapshot latency;
+
+    // --- dispatch layer ---
+    uint64_t pasteAttempts = 0;    ///< accepted + busy-rejected pastes
+    uint64_t busyRejects = 0;
+    double busyRejectRate = 0.0;   ///< busyRejects / pasteAttempts
+    uint64_t accelRouted = 0;
+    uint64_t softwareRouted = 0;
+    uint64_t fallbacks = 0;
+    double fallbackRate = 0.0;     ///< fallbacks / accelRouted
+    uint64_t deviceFaults = 0;
+    uint64_t queueDepthHighWater = 0;
+    std::vector<uint64_t> windowBusyRejects;   ///< per VAS window
+
+    // --- fairness ---
+    std::vector<uint64_t> perClientCompleted;
+    /** min/max of perClientCompleted in [0, 1]; 1 = perfectly fair. */
+    double fairnessMinOverMax = 0.0;
+
+    /** Filled only in captureResults mode. */
+    std::vector<CapturedResult> captured;
+};
+
+/**
+ * FNV-1a digest of the traffic plan @p cfg generates — every client's
+ * request identities, sizes and arrival offsets — without running
+ * anything. Fixed seed => fixed digest, on any thread count.
+ */
+[[nodiscard]] uint64_t planScheduleDigest(const LoadGenConfig &cfg);
+
+/** The generator. One instance plans and runs one configuration. */
+class LoadGen
+{
+  public:
+    explicit LoadGen(const LoadGenConfig &cfg);
+
+    /**
+     * Run against a private JobServer built from the config geometry
+     * on @p chip; the server is drained and stopped before returning.
+     */
+    [[nodiscard]] LoadReport run(const nx::NxConfig &chip);
+
+    /**
+     * Run against an external (possibly shared, possibly startPaused)
+     * @p server. A paused server is resumed once every client thread
+     * is at the start gate, so acceptance order is deterministic up to
+     * per-window FIFO order. The server is left running.
+     */
+    [[nodiscard]] LoadReport run(core::JobServer &server);
+
+    const LoadGenConfig &config() const { return cfg_; }
+
+    /** Digest of the planned traffic (see planScheduleDigest). */
+    [[nodiscard]] uint64_t scheduleDigest() const { return digest_; }
+
+  private:
+    /** One planned request: when, and what. */
+    struct Planned
+    {
+        double at = 0.0;   ///< open-loop: offset from gate; closed: think
+        SampledRequest req;
+    };
+
+    void buildPlan();
+    void clientLoop(
+        int client,
+        const std::vector<std::unique_ptr<nx::Session>> &sessions,
+        std::vector<CapturedResult> *capture);
+    [[nodiscard]] LoadReport finish(core::JobServer &server,
+                                    double elapsed);
+
+    LoadGenConfig cfg_;
+    WorkloadMix mix_;
+    /** Distinct formats in the mix, in first-appearance order. */
+    std::vector<nx::SessionFormat> formats_;
+    std::vector<std::vector<Planned>> plan_;   ///< [client][request]
+    uint64_t digest_ = 0;
+
+    util::LatencyRecorder latency_;
+
+    // Start gate: clients block until the main thread opens it, so
+    // thread-spawn cost never skews the first arrivals.
+    mutable nx::Mutex mu_;
+    nx::CondVar gateCv_;
+    bool gateOpen_ NXSIM_GUARDED_BY(mu_) = false;
+    std::chrono::steady_clock::time_point t0_ NXSIM_GUARDED_BY(mu_);
+
+    // Per-client outcome slots; each is touched by exactly one client
+    // thread between gate-open and join, then read by the main thread.
+    struct ClientOutcome
+    {
+        uint64_t submitted = 0;
+        uint64_t completed = 0;
+        uint64_t failed = 0;
+        uint64_t measured = 0;
+    };
+    std::vector<ClientOutcome> outcomes_;
+};
+
+} // namespace load
+
+#endif // NXSIM_LOAD_LOAD_GEN_H

@@ -1,0 +1,138 @@
+#include "load/scenarios.h"
+
+namespace load {
+
+namespace {
+
+/** Grid axes shared by both sweeps (>= 3x3 workers x fifoDepth). */
+constexpr int kSmokeWorkers[] = {1, 2, 4};
+constexpr int kSmokeFifos[] = {2, 4, 8};
+constexpr int kFullWorkers[] = {2, 4, 8};
+constexpr int kFullFifos[] = {4, 8, 16};
+constexpr int kFullWindows[] = {1, 2, 8};
+
+std::string
+gridName(const char *prefix, int workers, int fifo)
+{
+    return std::string(prefix) + "-w" + std::to_string(workers) + "-f" +
+        std::to_string(fifo);
+}
+
+ArrivalConfig
+bursty()
+{
+    ArrivalConfig a;
+    a.kind = ArrivalKind::Bursty;
+    return a;
+}
+
+ArrivalConfig
+closedLoop()
+{
+    ArrivalConfig a;
+    a.kind = ArrivalKind::ClosedLoop;
+    return a;
+}
+
+} // namespace
+
+std::vector<Scenario>
+l1SmokeScenarios()
+{
+    // Scaled so the whole sweep finishes in seconds on one core while
+    // still crossing every code path: software + accelerator routes,
+    // both engine families, busy rejects at fifo 2, all three arrival
+    // shapes. Seeds are per-scenario constants so digests distinguish
+    // the points.
+    LoadGenConfig base;
+    base.clients = 6;
+    base.requestsPerClient = 12;
+    base.windows = 2;
+    base.mix.variantsPerClass = 2;
+    base.arrival.ratePerSec = 1500.0;
+
+    std::vector<Scenario> out;
+    uint64_t seed = 0x511;
+    for (int w : kSmokeWorkers) {
+        for (int f : kSmokeFifos) {
+            LoadGenConfig cfg = base;
+            cfg.workers = w;
+            cfg.fifoDepth = f;
+            cfg.seed = seed++;
+            out.push_back({gridName("poisson", w, f), cfg});
+        }
+    }
+    {
+        LoadGenConfig cfg = base;
+        cfg.workers = 2;
+        cfg.fifoDepth = 4;
+        cfg.windows = 4;
+        cfg.seed = seed++;
+        out.push_back({"poisson-win4", cfg});
+    }
+    {
+        LoadGenConfig cfg = base;
+        cfg.arrival = bursty();
+        cfg.workers = 2;
+        cfg.fifoDepth = 4;
+        cfg.seed = seed++;
+        out.push_back({"bursty-w2-f4", cfg});
+    }
+    {
+        LoadGenConfig cfg = base;
+        cfg.arrival = closedLoop();
+        cfg.workers = 2;
+        cfg.fifoDepth = 4;
+        cfg.seed = seed++;
+        out.push_back({"closed-w2-f4", cfg});
+    }
+    return out;
+}
+
+std::vector<Scenario>
+l1FullScenarios(int clients)
+{
+    LoadGenConfig base;
+    base.clients = clients;
+    base.requestsPerClient = 128;
+    base.windows = 4;
+
+    std::vector<Scenario> out;
+    uint64_t seed = 0xF011;
+    for (int w : kFullWorkers) {
+        for (int f : kFullFifos) {
+            LoadGenConfig cfg = base;
+            cfg.workers = w;
+            cfg.fifoDepth = f;
+            cfg.seed = seed++;
+            out.push_back({gridName("poisson", w, f), cfg});
+        }
+    }
+    for (int win : kFullWindows) {
+        LoadGenConfig cfg = base;
+        cfg.workers = 4;
+        cfg.fifoDepth = 8;
+        cfg.windows = win;
+        cfg.seed = seed++;
+        out.push_back({"poisson-win" + std::to_string(win), cfg});
+    }
+    {
+        LoadGenConfig cfg = base;
+        cfg.arrival = bursty();
+        cfg.workers = 4;
+        cfg.fifoDepth = 8;
+        cfg.seed = seed++;
+        out.push_back({"bursty-w4-f8", cfg});
+    }
+    {
+        LoadGenConfig cfg = base;
+        cfg.arrival = closedLoop();
+        cfg.workers = 4;
+        cfg.fifoDepth = 8;
+        cfg.seed = seed++;
+        out.push_back({"closed-w4-f8", cfg});
+    }
+    return out;
+}
+
+} // namespace load

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Canonical L1 serving scenario sets, shared by bench_l1_serving and
+ * the bench-json tests.
+ *
+ * The bench and the golden-schema test must agree on what "the smoke
+ * sweep" is — the test recomputes each scenario's schedule digest from
+ * the config and checks it against the persisted BENCH_l1_serving.json
+ * — so the scenario definitions live here, in the library, not in the
+ * bench binary.
+ */
+
+#ifndef NXSIM_LOAD_SCENARIOS_H
+#define NXSIM_LOAD_SCENARIOS_H
+
+#include <string>
+#include <vector>
+
+#include "load/load_gen.h"
+
+namespace load {
+
+/** One named point of the sweep. */
+struct Scenario
+{
+    std::string name;
+    LoadGenConfig cfg;
+};
+
+/**
+ * The CI smoke sweep: a 3x3 workers x fifoDepth grid under Poisson
+ * arrivals plus one bursty and one closed-loop scenario, all scaled to
+ * finish in seconds. Deterministic: fixed seeds, fixed mixes.
+ */
+std::vector<Scenario> l1SmokeScenarios();
+
+/**
+ * The full sweep the paper-style serving table comes from: the same
+ * grid shape at @p clients clients with a full request budget.
+ */
+std::vector<Scenario> l1FullScenarios(int clients);
+
+} // namespace load
+
+#endif // NXSIM_LOAD_SCENARIOS_H

@@ -1,0 +1,175 @@
+#include "load/slo_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/table.h"
+
+namespace load {
+
+namespace {
+
+/** Shortest round-trippable-enough stable double rendering. */
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+    return buf;
+}
+
+void
+kv(std::string &out, int indent, const char *key, const std::string &val,
+   bool last = false)
+{
+    out.append(static_cast<size_t>(indent), ' ');
+    out += "\"";
+    out += key;
+    out += "\": ";
+    out += val;
+    out += last ? "\n" : ",\n";
+}
+
+std::string
+quoted(const std::string &s)
+{
+    // Keys and values here are internal identifiers (no quotes or
+    // control characters by construction); quoting stays trivial.
+    return "\"" + s + "\"";
+}
+
+std::string
+u64(uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+arr(const std::vector<uint64_t> &vs)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < vs.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += std::to_string(vs[i]);
+    }
+    out += "]";
+    return out;
+}
+
+void
+scenarioJson(std::string &out, const NamedReport &nr, bool last)
+{
+    const LoadReport &r = nr.second;
+    out += "    {\n";
+    kv(out, 6, "name", quoted(nr.first));
+    out += "      \"config\": {\n";
+    kv(out, 8, "arrival", quoted(toString(r.arrival)));
+    kv(out, 8, "clients", std::to_string(r.clients));
+    kv(out, 8, "requests_per_client",
+       std::to_string(r.requestsPerClient));
+    kv(out, 8, "seed", u64(r.seed));
+    kv(out, 8, "workers", std::to_string(r.workers));
+    kv(out, 8, "windows", std::to_string(r.windows));
+    kv(out, 8, "fifo_depth", std::to_string(r.fifoDepth), true);
+    out += "      },\n";
+    kv(out, 6, "schedule_digest", quoted(hex64(r.scheduleDigest)));
+    out += "      \"results\": {\n";
+    kv(out, 8, "elapsed_seconds", num(r.elapsedSeconds));
+    kv(out, 8, "submitted", u64(r.submitted));
+    kv(out, 8, "completed", u64(r.completed));
+    kv(out, 8, "failed", u64(r.failed));
+    kv(out, 8, "measured", u64(r.measured));
+    kv(out, 8, "bytes_in", u64(r.bytesIn));
+    kv(out, 8, "bytes_out", u64(r.bytesOut));
+    kv(out, 8, "throughput_rps", num(r.throughputRps));
+    kv(out, 8, "throughput_bps", num(r.throughputBps));
+    out += "        \"latency_seconds\": {\n";
+    kv(out, 10, "count", u64(r.latency.count));
+    kv(out, 10, "mean", num(r.latency.mean));
+    kv(out, 10, "min", num(r.latency.min));
+    kv(out, 10, "max", num(r.latency.max));
+    kv(out, 10, "p50", num(r.latency.p50));
+    kv(out, 10, "p90", num(r.latency.p90));
+    kv(out, 10, "p99", num(r.latency.p99));
+    kv(out, 10, "p999", num(r.latency.p999), true);
+    out += "        },\n";
+    kv(out, 8, "paste_attempts", u64(r.pasteAttempts));
+    kv(out, 8, "busy_rejects", u64(r.busyRejects));
+    kv(out, 8, "busy_reject_rate", num(r.busyRejectRate));
+    kv(out, 8, "accel_routed", u64(r.accelRouted));
+    kv(out, 8, "software_routed", u64(r.softwareRouted));
+    kv(out, 8, "fallbacks", u64(r.fallbacks));
+    kv(out, 8, "fallback_rate", num(r.fallbackRate));
+    kv(out, 8, "device_faults", u64(r.deviceFaults));
+    kv(out, 8, "queue_depth_high_water", u64(r.queueDepthHighWater));
+    kv(out, 8, "window_busy_rejects", arr(r.windowBusyRejects));
+    kv(out, 8, "fairness_min_over_max", num(r.fairnessMinOverMax));
+    kv(out, 8, "per_client_completed", arr(r.perClientCompleted), true);
+    out += "      }\n";
+    out += last ? "    }\n" : "    },\n";
+}
+
+} // namespace
+
+std::string
+benchJson(const BenchRunInfo &info, const std::vector<NamedReport> &runs)
+{
+    std::string out = "{\n";
+    kv(out, 2, "schema_version",
+       std::to_string(kBenchJsonSchemaVersion));
+    kv(out, 2, "bench", quoted(info.bench));
+    kv(out, 2, "chip", quoted(info.chip));
+    kv(out, 2, "smoke", info.smoke ? "true" : "false");
+    if (runs.empty()) {
+        out += "  \"scenarios\": []\n";
+    } else {
+        out += "  \"scenarios\": [\n";
+        for (size_t i = 0; i < runs.size(); ++i)
+            scenarioJson(out, runs[i], i + 1 == runs.size());
+        out += "  ]\n";
+    }
+    out += "}\n";
+    return out;
+}
+
+void
+printReport(const std::string &name, const LoadReport &r)
+{
+    util::Table t("L1: " + name + " (" + toString(r.arrival) + ", " +
+                  std::to_string(r.clients) + " clients x " +
+                  std::to_string(r.requestsPerClient) + " reqs, " +
+                  std::to_string(r.workers) + "w/" +
+                  std::to_string(r.windows) + "win/fifo " +
+                  std::to_string(r.fifoDepth) + ")");
+    t.header({"metric", "value"});
+    t.row({"throughput", util::Table::fmt(r.throughputRps, 0) +
+                             " req/s, " +
+                             util::Table::fmtRate(r.throughputBps)});
+    t.row({"latency p50/p99/p999 us",
+           util::Table::fmt(r.latency.p50 * 1e6, 1) + " / " +
+               util::Table::fmt(r.latency.p99 * 1e6, 1) + " / " +
+               util::Table::fmt(r.latency.p999 * 1e6, 1)});
+    t.row({"completed/submitted", std::to_string(r.completed) + "/" +
+                                      std::to_string(r.submitted)});
+    t.row({"busy-reject rate",
+           util::Table::fmt(100.0 * r.busyRejectRate, 2) + "% (" +
+               std::to_string(r.busyRejects) + ")"});
+    t.row({"fallback rate",
+           util::Table::fmt(100.0 * r.fallbackRate, 2) + "% (" +
+               std::to_string(r.fallbacks) + " of " +
+               std::to_string(r.accelRouted) + " accel-routed)"});
+    t.row({"fairness min/max", util::Table::fmt(r.fairnessMinOverMax, 3)});
+    t.row({"queue high-water", std::to_string(r.queueDepthHighWater)});
+    t.print();
+}
+
+} // namespace load

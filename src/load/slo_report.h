@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Machine-readable SLO report: the BENCH_*.json emission layer.
+ *
+ * The repo's perf trajectory convention: every serving-class bench
+ * persists one schema-versioned JSON file at the repository root
+ * (BENCH_<bench>.json) so future PRs diff a measured trajectory
+ * instead of rediscovering numbers. The format is hand-rolled and
+ * byte-stable — fixed key order, fixed indentation, "%.9g" doubles —
+ * and held to a golden file (tests/golden/bench_l1.json) exactly like
+ * the SARIF serializer, because downstream tooling diffs on content.
+ *
+ * Schema contract (checked by tests/test_bench_json.cc):
+ *  - top level: schema_version, bench, chip, smoke, scenarios[]
+ *  - per scenario: name, config echo, schedule_digest (hex string),
+ *    results with latency_seconds.{p50,p90,p99,p999} monotone
+ *    non-decreasing.
+ *
+ * Bump kBenchJsonSchemaVersion on any key change; readers key on it.
+ */
+
+#ifndef NXSIM_LOAD_SLO_REPORT_H
+#define NXSIM_LOAD_SLO_REPORT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "load/load_gen.h"
+
+namespace load {
+
+/** Version stamp of the BENCH json layout. */
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
+/** Run-level metadata echoed at the top of the file. */
+struct BenchRunInfo
+{
+    std::string bench = "bench_l1_serving";
+    std::string chip;          ///< modelled chip name ("POWER9"/"z15")
+    bool smoke = false;        ///< scaled-down CI sweep
+};
+
+/** One named scenario and what it measured. */
+using NamedReport = std::pair<std::string, LoadReport>;
+
+/**
+ * Serialize a whole run. Output is deterministic for deterministic
+ * inputs and ends with a newline.
+ */
+[[nodiscard]] std::string benchJson(const BenchRunInfo &info,
+                                    const std::vector<NamedReport> &runs);
+
+/** Render one scenario's report as a human table block (stdout mode). */
+void printReport(const std::string &name, const LoadReport &r);
+
+} // namespace load
+
+#endif // NXSIM_LOAD_SLO_REPORT_H

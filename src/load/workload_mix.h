@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Request sampling for the serving load harness.
+ *
+ * Production compression traffic is not one buffer repeated: sizes,
+ * formats and compressibility all vary per request, and the routing
+ * layer's behaviour (software below the crossover, accelerator above,
+ * 842 vs DEFLATE engines) depends on exactly that variation. A
+ * WorkloadMix turns a declarative set of weighted request classes —
+ * each naming a corpus-generator content family, a size range, a
+ * session format and a compress/decompress split — into a prepared
+ * pool of concrete request payloads, then serves deterministic samples
+ * from it.
+ *
+ * Payloads are prepared once at construction (including the
+ * pre-compressed streams that decompress requests replay), so the
+ * driving threads only index into immutable data: sampling is a few
+ * PRNG draws, never a corpus-generator call, and the mix can be shared
+ * read-only by thousands of clients.
+ */
+
+#ifndef NXSIM_LOAD_WORKLOAD_MIX_H
+#define NXSIM_LOAD_WORKLOAD_MIX_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/job_server.h"
+#include "core/session.h"
+#include "util/prng.h"
+
+namespace load {
+
+/** Content family a class draws from (workloads/corpus.h generators). */
+enum class Content : uint8_t
+{
+    Text,     ///< Zipfian word salad
+    Log,      ///< templated server-log lines
+    Json,     ///< recurring-schema documents
+    Binary,   ///< packed records, correlated fields
+    Random,   ///< incompressible
+    Zeros,    ///< maximally compressible
+    Mixed,    ///< fixed-proportion blend
+};
+
+/** Human-readable content name (stable: appears in BENCH json). */
+const char *toString(Content c);
+
+/** One weighted request class in the mix. */
+struct MixClass
+{
+    std::string name;          ///< label for reports
+    double weight = 1.0;       ///< relative sampling weight (> 0)
+    nx::SessionFormat format = nx::SessionFormat::Gzip;
+    Content content = Content::Mixed;
+    size_t minBytes = 1024;    ///< request size range, inclusive
+    size_t maxBytes = 64 * 1024;
+    /** Fraction of this class's requests that are decompress. */
+    double decompressFraction = 0.0;
+};
+
+/** The whole mix. */
+struct WorkloadMixConfig
+{
+    std::vector<MixClass> classes;
+    /** Distinct prepared payloads per class (size/content variants). */
+    int variantsPerClass = 4;
+    uint64_t seed = 0x10ad;
+};
+
+/**
+ * A serving-shaped default: small hot text, bulk logs, JSON documents,
+ * 842 memory pages, and an incompressible tail, with a decompress
+ * share on the read-heavy classes.
+ */
+WorkloadMixConfig defaultServingMix();
+
+/** One sampled request, pointing into the mix's prepared pool. */
+struct SampledRequest
+{
+    size_t classIndex = 0;
+    size_t variantIndex = 0;
+    core::JobKind kind = core::JobKind::Compress;
+    nx::SessionFormat format = nx::SessionFormat::Gzip;
+    /** Bytes to submit: source for compress, stream for decompress. */
+    const std::vector<uint8_t> *payload = nullptr;
+    /** For decompress requests, the original source (oracle checks). */
+    const std::vector<uint8_t> *original = nullptr;
+};
+
+/** Prepared, immutable-after-construction sampling pool. */
+class WorkloadMix
+{
+  public:
+    explicit WorkloadMix(const WorkloadMixConfig &cfg);
+
+    /**
+     * Draw one request using @p rng. Thread-safe for concurrent
+     * callers with private generators (the pool is read-only).
+     */
+    [[nodiscard]] SampledRequest sample(util::Xoshiro256 &rng) const;
+
+    const WorkloadMixConfig &config() const { return cfg_; }
+    size_t classCount() const { return cfg_.classes.size(); }
+
+    /** Prepared source payload of (class, variant). */
+    const std::vector<uint8_t> &variant(size_t cls, size_t var) const;
+
+  private:
+    struct Variant
+    {
+        std::vector<uint8_t> source;       ///< generated payload
+        std::vector<uint8_t> compressed;   ///< its session-format stream
+    };
+
+    WorkloadMixConfig cfg_;
+    std::vector<std::vector<Variant>> pool_;   ///< [class][variant]
+    std::vector<double> cumWeight_;            ///< sampling CDF
+    double totalWeight_ = 0.0;
+};
+
+} // namespace load
+
+#endif // NXSIM_LOAD_WORKLOAD_MIX_H

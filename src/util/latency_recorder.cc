@@ -23,6 +23,7 @@ LatencyRecorder::snapshot() const
         s.p50 = pct_.percentile(50);
         s.p90 = pct_.percentile(90);
         s.p99 = pct_.percentile(99);
+        s.p999 = pct_.percentile(99.9);
     }
     return s;
 }

@@ -43,6 +43,7 @@ class LatencyRecorder
         double p50 = 0.0;
         double p90 = 0.0;
         double p99 = 0.0;
+        double p999 = 0.0;   ///< tail SLO percentile (99.9th)
     };
 
     /** Take a snapshot (any thread; locks out recorders briefly). */

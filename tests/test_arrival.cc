@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Statistical property tests for the load-harness arrival processes
+ * (load/arrival.h): seeded determinism, Poisson mean within tolerance
+ * over large draws, bursty duty-cycle bounds, and closed-loop
+ * think-time correctness.
+ *
+ * Statistical assertions use fixed seeds, so the observed sample means
+ * are deterministic — the tolerances guard against implementation
+ * drift, not against run-to-run flakiness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "load/arrival.h"
+
+namespace {
+
+using load::ArrivalConfig;
+using load::ArrivalKind;
+using load::ArrivalProcess;
+
+ArrivalConfig
+poisson(double rate)
+{
+    ArrivalConfig a;
+    a.kind = ArrivalKind::OpenPoisson;
+    a.ratePerSec = rate;
+    return a;
+}
+
+ArrivalConfig
+bursty(double on, double off, double rate)
+{
+    ArrivalConfig a;
+    a.kind = ArrivalKind::Bursty;
+    a.burstOnSeconds = on;
+    a.burstOffSeconds = off;
+    a.burstRatePerSec = rate;
+    return a;
+}
+
+ArrivalConfig
+closedLoop(double think)
+{
+    ArrivalConfig a;
+    a.kind = ArrivalKind::ClosedLoop;
+    a.thinkSeconds = think;
+    return a;
+}
+
+double
+meanDelay(ArrivalProcess &p, size_t n)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        sum += p.nextDelaySeconds();
+    return sum / static_cast<double>(n);
+}
+
+TEST(Arrival, KindNamesAreStable)
+{
+    // These strings appear in BENCH_*.json; renaming them is a schema
+    // change.
+    EXPECT_STREQ(toString(ArrivalKind::OpenPoisson), "open-poisson");
+    EXPECT_STREQ(toString(ArrivalKind::Bursty), "bursty");
+    EXPECT_STREQ(toString(ArrivalKind::ClosedLoop), "closed-loop");
+}
+
+TEST(Arrival, DutyCycleMatchesDwellMeans)
+{
+    auto a = bursty(0.005, 0.015, 8000.0);
+    EXPECT_DOUBLE_EQ(a.dutyCycle(), 0.25);
+    auto b = bursty(0.010, 0.010, 1000.0);
+    EXPECT_DOUBLE_EQ(b.dutyCycle(), 0.5);
+}
+
+TEST(Arrival, MeanRatePerSecPerKind)
+{
+    EXPECT_DOUBLE_EQ(poisson(2000.0).meanRatePerSec(), 2000.0);
+    // Bursty long-run rate is burstRate x dutyCycle.
+    EXPECT_DOUBLE_EQ(bursty(0.005, 0.015, 8000.0).meanRatePerSec(),
+                     2000.0);
+    // Closed loops have no offered rate: completion-driven.
+    EXPECT_DOUBLE_EQ(closedLoop(0.001).meanRatePerSec(), 0.0);
+}
+
+TEST(Arrival, SameSeedSameDelaySequence)
+{
+    for (const auto &cfg : {poisson(500.0), bursty(0.01, 0.02, 3000.0),
+                            closedLoop(0.002)}) {
+        ArrivalProcess a(cfg, 42);
+        ArrivalProcess b(cfg, 42);
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_DOUBLE_EQ(a.nextDelaySeconds(), b.nextDelaySeconds())
+                << toString(cfg.kind) << " draw " << i;
+    }
+}
+
+TEST(Arrival, DifferentSeedsDiverge)
+{
+    ArrivalProcess a(poisson(500.0), 1);
+    ArrivalProcess b(poisson(500.0), 2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.nextDelaySeconds() == b.nextDelaySeconds())
+            ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Arrival, DelaysAreStrictlyPositive)
+{
+    for (const auto &cfg : {poisson(10000.0),
+                            bursty(0.001, 0.001, 50000.0),
+                            closedLoop(0.0001)}) {
+        ArrivalProcess p(cfg, 7);
+        for (int i = 0; i < 10000; ++i)
+            ASSERT_GT(p.nextDelaySeconds(), 0.0) << toString(cfg.kind);
+    }
+}
+
+TEST(Arrival, PoissonMeanWithinTolerance)
+{
+    // 100k exponential draws at rate 2000/s: sample mean of the
+    // inter-arrival time converges on 1/2000 s. 2% tolerance is ~6
+    // standard errors at this sample size.
+    const double rate = 2000.0;
+    ArrivalProcess p(poisson(rate), 0xA11CE);
+    double mean = meanDelay(p, 100000);
+    EXPECT_NEAR(mean, 1.0 / rate, 0.02 / rate);
+}
+
+TEST(Arrival, PoissonMeanScalesWithRate)
+{
+    ArrivalProcess slow(poisson(100.0), 9);
+    ArrivalProcess fast(poisson(10000.0), 9);
+    double mSlow = meanDelay(slow, 20000);
+    double mFast = meanDelay(fast, 20000);
+    EXPECT_NEAR(mSlow / mFast, 100.0, 5.0);
+}
+
+TEST(Arrival, BurstyLongRunRateMatchesDutyCycle)
+{
+    // ON 5 ms / OFF 15 ms at 8000/s while ON: the long-run rate is
+    // 8000 x 0.25 = 2000/s, so the mean delay over a horizon spanning
+    // many dwell cycles is 0.5 ms. 100k draws cover ~12k ON dwells.
+    auto cfg = bursty(0.005, 0.015, 8000.0);
+    ArrivalProcess p(cfg, 0xB0B);
+    double mean = meanDelay(p, 100000);
+    double expect = 1.0 / cfg.meanRatePerSec();
+    EXPECT_NEAR(mean, expect, 0.05 * expect);
+}
+
+TEST(Arrival, BurstyDelaysBoundedByModulation)
+{
+    // Duty-cycle bounds: the long-run mean delay must sit strictly
+    // between the pure-ON mean (1/burstRate: as if OFF never happened)
+    // and a slack multiple of the modulated mean.
+    auto cfg = bursty(0.004, 0.012, 5000.0);
+    ArrivalProcess p(cfg, 3);
+    double mean = meanDelay(p, 50000);
+    EXPECT_GT(mean, 1.0 / cfg.burstRatePerSec);
+    double modulated = 1.0 / cfg.meanRatePerSec();
+    EXPECT_GT(mean, 0.8 * modulated);
+    EXPECT_LT(mean, 1.2 * modulated);
+}
+
+TEST(Arrival, BurstyEmitsGapsSpanningOffDwells)
+{
+    // Some inter-arrival gaps must cross an OFF dwell: far larger than
+    // anything a pure Poisson stream at the burst rate would plausibly
+    // produce in this many draws.
+    auto cfg = bursty(0.002, 0.020, 10000.0);
+    ArrivalProcess p(cfg, 11);
+    double biggest = 0.0;
+    for (int i = 0; i < 10000; ++i)
+        biggest = std::max(biggest, p.nextDelaySeconds());
+    EXPECT_GT(biggest, cfg.burstOffSeconds / 2.0);
+}
+
+TEST(Arrival, ClosedLoopThinkTimeMeanWithinTolerance)
+{
+    const double think = 0.0005;
+    ArrivalProcess p(closedLoop(think), 0xC105ED);
+    double mean = meanDelay(p, 100000);
+    EXPECT_NEAR(mean, think, 0.02 * think);
+}
+
+TEST(Arrival, ScheduleIsCumulativeAndMonotone)
+{
+    ArrivalProcess a(poisson(1000.0), 21);
+    auto at = a.schedule(500);
+    ASSERT_EQ(at.size(), 500u);
+    // Strictly increasing absolute offsets...
+    for (size_t i = 1; i < at.size(); ++i)
+        ASSERT_GT(at[i], at[i - 1]);
+    // ...equal to the running sum of the raw delay stream.
+    ArrivalProcess b(poisson(1000.0), 21);
+    double t = 0.0;
+    for (size_t i = 0; i < at.size(); ++i) {
+        t += b.nextDelaySeconds();
+        ASSERT_DOUBLE_EQ(at[i], t);
+    }
+}
+
+TEST(Arrival, ScheduleAdvancesTheStream)
+{
+    ArrivalProcess p(poisson(1000.0), 5);
+    auto first = p.schedule(100);
+    auto second = p.schedule(100);
+    // The second batch continues where the first stopped, so its first
+    // offset restarts from zero but reflects *later* draws.
+    ArrivalProcess fresh(poisson(1000.0), 5);
+    auto freshFirst = fresh.schedule(100);
+    EXPECT_EQ(first, freshFirst);
+    EXPECT_NE(second, freshFirst);
+}
+
+TEST(Arrival, BurstyFirstArrivalIsPartOfABurst)
+{
+    // The modulation starts in an ON dwell, so the first delay is a
+    // burst-rate gap — over many seeds its mean tracks 1/burstRate,
+    // not the modulated long-run mean. A long ON dwell makes the
+    // probability of crossing into an OFF dwell on draw one negligible.
+    auto cfg = bursty(10.0, 0.150, 1000.0);
+    double sum = 0.0;
+    const int kSeeds = 2000;
+    for (int s = 0; s < kSeeds; ++s) {
+        ArrivalProcess p(cfg, static_cast<uint64_t>(s));
+        sum += p.nextDelaySeconds();
+    }
+    double mean = sum / kSeeds;
+    EXPECT_NEAR(mean, 1.0 / cfg.burstRatePerSec,
+                0.1 / cfg.burstRatePerSec);
+}
+
+TEST(ArrivalDeathTest, InvalidConfigsAreContractViolations)
+{
+    EXPECT_DEATH(ArrivalProcess(poisson(0.0), 1), "positive rate");
+    EXPECT_DEATH(ArrivalProcess(bursty(0.0, 0.01, 100.0), 1),
+                 "positive dwell");
+    EXPECT_DEATH(ArrivalProcess(closedLoop(0.0), 1), "positive think");
+}
+
+} // namespace

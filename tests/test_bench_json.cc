@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Golden-file and schema tests for the BENCH_*.json emission layer
+ * (load/slo_report.h).
+ *
+ * Two layers of pinning:
+ *
+ *  1. Byte-exact golden: a synthetic, fully hand-filled pair of
+ *     LoadReports serializes to exactly tests/golden/bench_l1.json.
+ *     Any formatting or key-order drift — which would break downstream
+ *     diff tooling — fails here first. Regenerate deliberately with
+ *     NXSIM_REGEN_GOLDEN=1 after bumping kBenchJsonSchemaVersion.
+ *
+ *  2. The persisted repo-root BENCH_l1_serving.json is schema-valid:
+ *     right version, required keys, monotone latency percentiles, and
+ *     every scenario's schedule_digest matches a recomputation from
+ *     the canonical scenario set (load/scenarios.h) — so the committed
+ *     trajectory provably came from the committed traffic plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "load/scenarios.h"
+#include "load/slo_report.h"
+
+#ifndef NXSIM_SOURCE_DIR
+#error "tests/CMakeLists.txt must define NXSIM_SOURCE_DIR"
+#endif
+
+namespace {
+
+using load::BenchRunInfo;
+using load::LoadReport;
+using load::NamedReport;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return {};
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** All values of `"key": <value>` in @p json, as raw value strings. */
+std::vector<std::string>
+values(const std::string &json, const std::string &key)
+{
+    std::vector<std::string> out;
+    const std::string needle = "\"" + key + "\": ";
+    size_t pos = 0;
+    while ((pos = json.find(needle, pos)) != std::string::npos) {
+        size_t start = pos + needle.size();
+        size_t end = json.find_first_of(",\n", start);
+        out.push_back(json.substr(start, end - start));
+        pos = end;
+    }
+    return out;
+}
+
+/**
+ * A synthetic report with every field set to a distinct, readable
+ * value: the golden file doubles as format documentation.
+ */
+LoadReport
+syntheticReport(uint64_t seed)
+{
+    LoadReport r;
+    r.clients = 6;
+    r.requestsPerClient = 12;
+    r.arrival = seed % 2 == 0 ? load::ArrivalKind::OpenPoisson
+                              : load::ArrivalKind::Bursty;
+    r.seed = seed;
+    r.workers = 2;
+    r.windows = 2;
+    r.fifoDepth = 4;
+    r.scheduleDigest = 0x0123456789abcdefull ^ seed;
+
+    r.elapsedSeconds = 0.125;
+    r.submitted = 72;
+    r.completed = 72;
+    r.failed = 0;
+    r.measured = 66;
+    r.bytesIn = 1 << 20;
+    r.bytesOut = 1 << 18;
+    r.throughputRps = 576.0;
+    r.throughputBps = 8388608.0;
+
+    r.latency.count = 66;
+    r.latency.mean = 0.00125;
+    r.latency.min = 0.0001;
+    r.latency.max = 0.01;
+    r.latency.p50 = 0.001;
+    r.latency.p90 = 0.002;
+    r.latency.p99 = 0.004;
+    r.latency.p999 = 0.008;
+
+    r.pasteAttempts = 80;
+    r.busyRejects = 8;
+    r.busyRejectRate = 0.1;
+    r.accelRouted = 48;
+    r.softwareRouted = 24;
+    r.fallbacks = 3;
+    r.fallbackRate = 0.0625;
+    r.deviceFaults = 1;
+    r.queueDepthHighWater = 5;
+    r.windowBusyRejects = {5, 3};
+    r.perClientCompleted = {12, 12, 12, 12, 12, 12};
+    r.fairnessMinOverMax = 1.0;
+    return r;
+}
+
+std::string
+syntheticJson()
+{
+    BenchRunInfo info;
+    info.chip = "POWER9";
+    info.smoke = true;
+    std::vector<NamedReport> runs;
+    runs.emplace_back("poisson-w2-f4", syntheticReport(2));
+    runs.emplace_back("bursty-w2-f4", syntheticReport(3));
+    return benchJson(info, runs);
+}
+
+const std::string kGoldenPath =
+    std::string(NXSIM_SOURCE_DIR) + "/tests/golden/bench_l1.json";
+const std::string kBenchPath =
+    std::string(NXSIM_SOURCE_DIR) + "/BENCH_l1_serving.json";
+
+TEST(BenchJsonGolden, ByteExactAgainstGoldenFile)
+{
+    std::string actual = syntheticJson();
+    if (std::getenv("NXSIM_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(kGoldenPath, std::ios::binary);
+        out << actual;
+        GTEST_SKIP() << "regenerated " << kGoldenPath;
+    }
+    std::string golden = slurp(kGoldenPath);
+    ASSERT_FALSE(golden.empty()) << "missing golden: " << kGoldenPath;
+    EXPECT_EQ(actual, golden)
+        << "benchJson output drifted from the golden file. If the "
+           "schema change is intentional, bump kBenchJsonSchemaVersion "
+           "and rerun with NXSIM_REGEN_GOLDEN=1.";
+}
+
+TEST(BenchJsonGolden, EndsWithSingleNewline)
+{
+    std::string s = syntheticJson();
+    ASSERT_GE(s.size(), 2u);
+    EXPECT_EQ(s.back(), '\n');
+    EXPECT_NE(s[s.size() - 2], '\n');
+}
+
+TEST(BenchJsonGolden, EmptyRunListSerializes)
+{
+    BenchRunInfo info;
+    info.chip = "z15";
+    std::string s = benchJson(info, {});
+    EXPECT_NE(s.find("\"scenarios\": []"), std::string::npos);
+    EXPECT_NE(s.find("\"chip\": \"z15\""), std::string::npos);
+    EXPECT_NE(s.find("\"smoke\": false"), std::string::npos);
+}
+
+TEST(BenchJsonGolden, DigestRendersAsFixedWidthHex)
+{
+    auto ds = values(syntheticJson(), "schedule_digest");
+    ASSERT_EQ(ds.size(), 2u);
+    for (const auto &d : ds) {
+        // "0x" + 16 hex digits inside quotes.
+        ASSERT_EQ(d.size(), 20u) << d;
+        EXPECT_EQ(d.substr(0, 3), "\"0x");
+        EXPECT_EQ(d.back(), '"');
+    }
+}
+
+TEST(BenchJsonGolden, SchemaVersionIsCurrent)
+{
+    auto vs = values(syntheticJson(), "schema_version");
+    ASSERT_EQ(vs.size(), 1u);
+    EXPECT_EQ(vs[0], std::to_string(load::kBenchJsonSchemaVersion));
+}
+
+// ---------------------------------------------------------------------------
+// The persisted repo-root trajectory file.
+// ---------------------------------------------------------------------------
+
+class PersistedBench : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        json_ = slurp(kBenchPath);
+        ASSERT_FALSE(json_.empty())
+            << "missing " << kBenchPath
+            << " — run tools/bench_to_json.sh to regenerate";
+    }
+
+    std::string json_;
+};
+
+TEST_F(PersistedBench, HasVersionedHeader)
+{
+    auto ver = values(json_, "schema_version");
+    ASSERT_EQ(ver.size(), 1u);
+    EXPECT_EQ(ver[0], std::to_string(load::kBenchJsonSchemaVersion));
+    auto bench = values(json_, "bench");
+    ASSERT_EQ(bench.size(), 1u);
+    EXPECT_EQ(bench[0], "\"bench_l1_serving\"");
+    auto chip = values(json_, "chip");
+    ASSERT_EQ(chip.size(), 1u);
+    EXPECT_TRUE(chip[0] == "\"POWER9\"" || chip[0] == "\"z15\"")
+        << chip[0];
+}
+
+TEST_F(PersistedBench, EveryScenarioCarriesRequiredKeys)
+{
+    size_t n = values(json_, "name").size();
+    ASSERT_GE(n, 1u);
+    for (const char *key :
+         {"arrival", "clients", "requests_per_client", "seed", "workers",
+          "windows", "fifo_depth", "schedule_digest", "elapsed_seconds",
+          "submitted", "completed", "failed", "measured", "bytes_in",
+          "bytes_out", "throughput_rps", "throughput_bps", "count",
+          "mean", "p50", "p90", "p99", "p999", "paste_attempts",
+          "busy_rejects", "busy_reject_rate", "accel_routed",
+          "software_routed", "fallbacks", "fallback_rate",
+          "device_faults", "queue_depth_high_water",
+          "window_busy_rejects", "fairness_min_over_max",
+          "per_client_completed"}) {
+        EXPECT_EQ(values(json_, key).size(), n) << key;
+    }
+}
+
+TEST_F(PersistedBench, LatencyPercentilesAreMonotone)
+{
+    auto p50 = values(json_, "p50");
+    auto p90 = values(json_, "p90");
+    auto p99 = values(json_, "p99");
+    auto p999 = values(json_, "p999");
+    ASSERT_EQ(p50.size(), p999.size());
+    for (size_t i = 0; i < p50.size(); ++i) {
+        double a = std::stod(p50[i]), b = std::stod(p90[i]),
+               c = std::stod(p99[i]), d = std::stod(p999[i]);
+        EXPECT_LE(a, b) << "scenario " << i;
+        EXPECT_LE(b, c) << "scenario " << i;
+        EXPECT_LE(c, d) << "scenario " << i;
+        EXPECT_GT(a, 0.0) << "scenario " << i;
+    }
+}
+
+TEST_F(PersistedBench, EveryScenarioCompletedItsTraffic)
+{
+    auto sub = values(json_, "submitted");
+    auto comp = values(json_, "completed");
+    auto fail = values(json_, "failed");
+    ASSERT_EQ(sub.size(), comp.size());
+    for (size_t i = 0; i < sub.size(); ++i) {
+        EXPECT_EQ(sub[i], comp[i]) << "scenario " << i;
+        EXPECT_EQ(fail[i], "0") << "scenario " << i;
+    }
+}
+
+TEST_F(PersistedBench, DigestsMatchTheCanonicalScenarioPlans)
+{
+    // The "smoke" field names which canonical sweep produced the file;
+    // recompute every plan digest from load/scenarios.h and require
+    // name and digest to appear paired, in order.
+    auto smoke = values(json_, "smoke");
+    ASSERT_EQ(smoke.size(), 1u);
+    auto clients = values(json_, "clients");
+    ASSERT_GE(clients.size(), 1u);
+    auto scenarios = smoke[0] == "true"
+        ? load::l1SmokeScenarios()
+        : load::l1FullScenarios(std::stoi(clients[0]));
+
+    auto names = values(json_, "name");
+    auto digests = values(json_, "schedule_digest");
+    ASSERT_EQ(names.size(), scenarios.size());
+    ASSERT_EQ(digests.size(), scenarios.size());
+    for (size_t i = 0; i < scenarios.size(); ++i) {
+        EXPECT_EQ(names[i], "\"" + scenarios[i].name + "\"");
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "\"0x%016llx\"",
+                      static_cast<unsigned long long>(
+                          load::planScheduleDigest(scenarios[i].cfg)));
+        EXPECT_EQ(digests[i], buf) << scenarios[i].name;
+    }
+}
+
+TEST_F(PersistedBench, SweepShapeMeetsTheAcceptanceFloor)
+{
+    // >= 3x3 workers x fifoDepth grid and all three arrival kinds.
+    auto workers = values(json_, "workers");
+    auto fifos = values(json_, "fifo_depth");
+    std::set<std::pair<std::string, std::string>> grid;
+    for (size_t i = 0; i < workers.size(); ++i)
+        grid.insert({workers[i], fifos[i]});
+    EXPECT_GE(grid.size(), 9u);
+    EXPECT_NE(json_.find("\"open-poisson\""), std::string::npos);
+    EXPECT_NE(json_.find("\"bursty\""), std::string::npos);
+    EXPECT_NE(json_.find("\"closed-loop\""), std::string::npos);
+}
+
+} // namespace

@@ -536,4 +536,69 @@ TEST(JobServerStats, RecordsDepthLatencyAndEngineCycles)
               cfg.peakCompressBps() * srv.workerCount() * 1.01);
 }
 
+TEST(JobServerStats, QueueHighWaterTracksTheDeepestBacklog)
+{
+    // Deterministic backlog: gate the engines, paste N jobs, and the
+    // high-water mark must read exactly N (total across FIFOs), not a
+    // sampled average.
+    auto cfg = testChip();
+    JobServerConfig jcfg;
+    jcfg.workers = 1;
+    jcfg.windows = 2;
+    jcfg.window.fifoDepth = 0;   // unbounded: all pastes accepted
+    jcfg.startPaused = true;
+    JobServer srv(cfg, jcfg);
+
+    EXPECT_EQ(srv.stats().queueDepthHighWater, 0u);
+    const int kJobs = 7;
+    for (int j = 0; j < kJobs; ++j)
+        ASSERT_TRUE(srv.submitAsync(
+                           compressSpec(workloads::makeText(
+                               512, static_cast<uint64_t>(j))),
+                           j % 2)
+                        .accepted());
+    EXPECT_EQ(srv.stats().queueDepthHighWater,
+              static_cast<uint64_t>(kJobs));
+
+    srv.resume();
+    (void)srv.drain();
+    // Draining cannot rewind the mark.
+    EXPECT_EQ(srv.stats().queueDepthHighWater,
+              static_cast<uint64_t>(kJobs));
+}
+
+TEST(JobServerStats, BusyRejectsAreAttributedToTheirWindow)
+{
+    // Fill window 1 of a gated server and bounce off it three times;
+    // the per-window counters must name the guilty FIFO and sum to
+    // the aggregate count.
+    auto cfg = testChip();
+    JobServerConfig jcfg;
+    jcfg.workers = 1;
+    jcfg.windows = 3;
+    jcfg.window.fifoDepth = 2;
+    jcfg.startPaused = true;
+    JobServer srv(cfg, jcfg);
+
+    auto spec = compressSpec(workloads::makeText(512, 9));
+    for (int j = 0; j < 2; ++j)
+        ASSERT_TRUE(srv.submitAsync(spec, 1).accepted());
+    for (int j = 0; j < 3; ++j)
+        EXPECT_EQ(srv.submitAsync(spec, 1).status,
+                  nx::PasteStatus::Busy);
+    // Other windows have room: accepted, and their counters stay 0.
+    ASSERT_TRUE(srv.submitAsync(spec, 0).accepted());
+    ASSERT_TRUE(srv.submitAsync(spec, 2).accepted());
+
+    auto st = srv.stats();
+    ASSERT_EQ(st.windowBusyRejects.size(), 3u);
+    EXPECT_EQ(st.windowBusyRejects[0], 0u);
+    EXPECT_EQ(st.windowBusyRejects[1], 3u);
+    EXPECT_EQ(st.windowBusyRejects[2], 0u);
+    EXPECT_EQ(st.busyRejects, 3u);
+
+    srv.resume();
+    srv.drainAndStop();
+}
+
 } // namespace

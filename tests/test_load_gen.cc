@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Deterministic small-scale tests of the serving load generator
+ * (load/load_gen.h) and its workload mix (ctest label: load —
+ * ci.sh's TSan stage picks it up via `-L 'concurrency|load'`).
+ *
+ * The planning layer (who sends what, when) is a pure function of the
+ * config, so those tests assert exact equality. The execution layer
+ * runs real client threads against a real JobServer; there the tests
+ * assert conservation laws (submitted = completed + failed, stats
+ * balance, fairness bounds), never timings.
+ *
+ * gtest assertions run on the main thread only; LoadGen aggregates
+ * worker outcomes internally and the main thread checks the report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "load/load_gen.h"
+#include "load/scenarios.h"
+#include "workloads/corpus.h"
+
+namespace {
+
+using load::ArrivalKind;
+using load::LoadGen;
+using load::LoadGenConfig;
+using load::LoadReport;
+using load::WorkloadMix;
+using load::WorkloadMixConfig;
+
+nx::NxConfig
+testChip()
+{
+    return nx::NxConfig::power9();
+}
+
+/** A small, fast config: 4 clients x 10 requests, tiny think times. */
+LoadGenConfig
+smallConfig(ArrivalKind kind)
+{
+    LoadGenConfig cfg;
+    cfg.clients = 4;
+    cfg.requestsPerClient = 10;
+    cfg.arrival.kind = kind;
+    cfg.arrival.ratePerSec = 5000.0;
+    cfg.arrival.thinkSeconds = 0.0002;
+    cfg.mix.variantsPerClass = 2;
+    cfg.seed = 77;
+    cfg.workers = 2;
+    cfg.windows = 2;
+    cfg.fifoDepth = 4;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadMix
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadMix, SamplingIsDeterministicPerRngSeed)
+{
+    WorkloadMix mix(load::defaultServingMix());
+    util::Xoshiro256 a(9), b(9);
+    for (int i = 0; i < 200; ++i) {
+        auto ra = mix.sample(a);
+        auto rb = mix.sample(b);
+        ASSERT_EQ(ra.classIndex, rb.classIndex);
+        ASSERT_EQ(ra.variantIndex, rb.variantIndex);
+        ASSERT_EQ(ra.kind, rb.kind);
+        ASSERT_EQ(ra.payload, rb.payload);   // same pooled pointer
+    }
+}
+
+TEST(WorkloadMix, SampleRespectsClassWeights)
+{
+    // Two classes at 9:1 — over 10k draws the heavy class must
+    // dominate roughly in proportion.
+    WorkloadMixConfig cfg;
+    cfg.classes = {
+        {"heavy", 9.0, nx::SessionFormat::Gzip, load::Content::Text,
+         256, 512, 0.0},
+        {"light", 1.0, nx::SessionFormat::Gzip, load::Content::Text,
+         256, 512, 0.0},
+    };
+    WorkloadMix mix(cfg);
+    util::Xoshiro256 rng(4);
+    int heavy = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (mix.sample(rng).classIndex == 0)
+            ++heavy;
+    EXPECT_NEAR(heavy, 9000, 300);
+}
+
+TEST(WorkloadMix, PayloadSizesStayInClassRange)
+{
+    WorkloadMixConfig cfg;
+    cfg.classes = {{"ranged", 1.0, nx::SessionFormat::Gzip,
+                    load::Content::Log, 1000, 2000, 0.0}};
+    cfg.variantsPerClass = 8;
+    WorkloadMix mix(cfg);
+    for (size_t v = 0; v < 8; ++v) {
+        size_t n = mix.variant(0, v).size();
+        EXPECT_GE(n, 1000u);
+        EXPECT_LE(n, 2000u);
+    }
+}
+
+TEST(WorkloadMix, DecompressRequestsCarryTheOracle)
+{
+    WorkloadMixConfig cfg;
+    cfg.classes = {{"dec", 1.0, nx::SessionFormat::Zlib,
+                    load::Content::Json, 1024, 4096, 1.0}};
+    WorkloadMix mix(cfg);
+    util::Xoshiro256 rng(1);
+    for (int i = 0; i < 20; ++i) {
+        auto r = mix.sample(rng);
+        ASSERT_EQ(r.kind, core::JobKind::Decompress);
+        ASSERT_NE(r.original, nullptr);
+        // The payload is the compressed stream, not the source.
+        ASSERT_NE(r.payload, r.original);
+        EXPECT_EQ(*r.original, mix.variant(r.classIndex, r.variantIndex));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan + schedule digest
+// ---------------------------------------------------------------------------
+
+TEST(LoadGenPlan, DigestIsDeterministic)
+{
+    auto cfg = smallConfig(ArrivalKind::OpenPoisson);
+    EXPECT_EQ(load::planScheduleDigest(cfg),
+              load::planScheduleDigest(cfg));
+    EXPECT_NE(load::planScheduleDigest(cfg), 0u);
+}
+
+TEST(LoadGenPlan, DigestCoversEveryPlanInput)
+{
+    auto base = smallConfig(ArrivalKind::OpenPoisson);
+    uint64_t d0 = load::planScheduleDigest(base);
+
+    auto seed = base;
+    seed.seed += 1;
+    EXPECT_NE(load::planScheduleDigest(seed), d0);
+
+    auto clients = base;
+    clients.clients += 1;
+    EXPECT_NE(load::planScheduleDigest(clients), d0);
+
+    auto reqs = base;
+    reqs.requestsPerClient += 1;
+    EXPECT_NE(load::planScheduleDigest(reqs), d0);
+
+    auto kind = base;
+    kind.arrival.kind = ArrivalKind::Bursty;
+    EXPECT_NE(load::planScheduleDigest(kind), d0);
+
+    auto rate = base;
+    rate.arrival.ratePerSec *= 2.0;
+    EXPECT_NE(load::planScheduleDigest(rate), d0);
+}
+
+TEST(LoadGenPlan, GeometryDoesNotChangeTheSchedule)
+{
+    // Workers/windows/fifo shape the *system under test*, not the
+    // offered traffic: the plan digest must not move.
+    auto base = smallConfig(ArrivalKind::OpenPoisson);
+    auto geo = base;
+    geo.workers = 1;
+    geo.windows = 1;
+    geo.fifoDepth = 64;
+    EXPECT_EQ(load::planScheduleDigest(geo),
+              load::planScheduleDigest(base));
+}
+
+TEST(LoadGenPlan, SmokeScenarioDigestsAreDistinct)
+{
+    auto scenarios = load::l1SmokeScenarios();
+    ASSERT_GE(scenarios.size(), 11u);
+    std::vector<uint64_t> digests;
+    for (const auto &sc : scenarios) {
+        // Poisson grid points share traffic shape but not seeds, so
+        // every scenario's digest is unique.
+        digests.push_back(load::planScheduleDigest(sc.cfg));
+    }
+    std::sort(digests.begin(), digests.end());
+    EXPECT_EQ(std::adjacent_find(digests.begin(), digests.end()),
+              digests.end());
+}
+
+TEST(LoadGenPlan, FullSweepCoversTheGrid)
+{
+    auto scenarios = load::l1FullScenarios(8);
+    // >= 3x3 workers x fifoDepth grid plus windows/bursty/closed
+    // points (the ISSUE acceptance floor).
+    ASSERT_GE(scenarios.size(), 14u);
+    std::set<std::pair<int, int>> grid;
+    std::set<int> windows;
+    bool sawBursty = false, sawClosed = false;
+    for (const auto &sc : scenarios) {
+        grid.insert({sc.cfg.workers, sc.cfg.fifoDepth});
+        windows.insert(sc.cfg.windows);
+        sawBursty |= sc.cfg.arrival.kind == ArrivalKind::Bursty;
+        sawClosed |= sc.cfg.arrival.kind == ArrivalKind::ClosedLoop;
+    }
+    EXPECT_GE(grid.size(), 9u);
+    EXPECT_GE(windows.size(), 3u);
+    EXPECT_TRUE(sawBursty);
+    EXPECT_TRUE(sawClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+void
+checkBalance(const LoadReport &rep, const LoadGenConfig &cfg)
+{
+    const uint64_t planned =
+        static_cast<uint64_t>(cfg.clients) *
+        static_cast<uint64_t>(cfg.requestsPerClient);
+    EXPECT_EQ(rep.submitted, planned);
+    EXPECT_EQ(rep.completed + rep.failed, rep.submitted);
+    EXPECT_EQ(rep.failed, 0u);
+    EXPECT_EQ(rep.accelRouted + rep.softwareRouted, rep.submitted);
+    EXPECT_LE(rep.fallbacks, rep.accelRouted);
+
+    // Warmup split: the leading fraction is excluded from the SLO
+    // window but still counted in the totals.
+    const uint64_t warmupPerClient = static_cast<uint64_t>(
+        cfg.warmupFraction * cfg.requestsPerClient);
+    EXPECT_EQ(rep.measured,
+              planned - static_cast<uint64_t>(cfg.clients) *
+                            warmupPerClient);
+    EXPECT_EQ(rep.latency.count, rep.measured);
+
+    // Per-client fairness: equal budgets, no failures => every client
+    // completed the same count.
+    ASSERT_EQ(rep.perClientCompleted.size(),
+              static_cast<size_t>(cfg.clients));
+    EXPECT_DOUBLE_EQ(rep.fairnessMinOverMax, 1.0);
+    EXPECT_EQ(std::accumulate(rep.perClientCompleted.begin(),
+                              rep.perClientCompleted.end(), uint64_t{0}),
+              rep.completed);
+
+    // Window counters came through from the dispatch layer.
+    EXPECT_EQ(rep.windowBusyRejects.size(),
+              static_cast<size_t>(rep.windows));
+    EXPECT_EQ(std::accumulate(rep.windowBusyRejects.begin(),
+                              rep.windowBusyRejects.end(), uint64_t{0}),
+              rep.busyRejects);
+
+    EXPECT_GT(rep.elapsedSeconds, 0.0);
+    EXPECT_GT(rep.throughputRps, 0.0);
+    EXPECT_GT(rep.bytesIn, 0u);
+    EXPECT_LE(rep.latency.p50, rep.latency.p99);
+    EXPECT_LE(rep.latency.p99, rep.latency.p999);
+    EXPECT_LE(rep.latency.p999, rep.latency.max);
+}
+
+TEST(LoadGenRun, OpenPoissonCompletesEverything)
+{
+    auto cfg = smallConfig(ArrivalKind::OpenPoisson);
+    LoadGen gen(cfg);
+    auto rep = gen.run(testChip());
+    checkBalance(rep, cfg);
+    EXPECT_EQ(rep.arrival, ArrivalKind::OpenPoisson);
+    EXPECT_EQ(rep.scheduleDigest, gen.scheduleDigest());
+}
+
+TEST(LoadGenRun, BurstyCompletesEverything)
+{
+    auto cfg = smallConfig(ArrivalKind::Bursty);
+    LoadGen gen(cfg);
+    auto rep = gen.run(testChip());
+    checkBalance(rep, cfg);
+    EXPECT_EQ(rep.arrival, ArrivalKind::Bursty);
+}
+
+TEST(LoadGenRun, ClosedLoopCompletesEverything)
+{
+    auto cfg = smallConfig(ArrivalKind::ClosedLoop);
+    LoadGen gen(cfg);
+    auto rep = gen.run(testChip());
+    checkBalance(rep, cfg);
+    EXPECT_EQ(rep.arrival, ArrivalKind::ClosedLoop);
+}
+
+TEST(LoadGenRun, ReportEchoesTheConfig)
+{
+    auto cfg = smallConfig(ArrivalKind::OpenPoisson);
+    auto rep = LoadGen(cfg).run(testChip());
+    EXPECT_EQ(rep.clients, cfg.clients);
+    EXPECT_EQ(rep.requestsPerClient, cfg.requestsPerClient);
+    EXPECT_EQ(rep.seed, cfg.seed);
+    EXPECT_EQ(rep.workers, cfg.workers);
+    EXPECT_EQ(rep.windows, cfg.windows);
+    EXPECT_EQ(rep.fifoDepth, cfg.fifoDepth);
+    EXPECT_EQ(rep.scheduleDigest, load::planScheduleDigest(cfg));
+}
+
+TEST(LoadGenRun, StartPausedServerIsReleasedAndLeftRunning)
+{
+    // A startPaused server cannot complete anything until resume();
+    // LoadGen must release it after the client gate or every wait()
+    // would deadlock. Afterwards the external server keeps serving.
+    auto cfg = smallConfig(ArrivalKind::OpenPoisson);
+    core::JobServerConfig jcfg;
+    jcfg.workers = cfg.workers;
+    jcfg.windows = cfg.windows;
+    jcfg.window.fifoDepth = cfg.fifoDepth;
+    jcfg.startPaused = true;
+    core::JobServer server(testChip(), jcfg);
+
+    LoadGen gen(cfg);
+    auto rep = gen.run(server);
+    checkBalance(rep, cfg);
+
+    // Still accepting after the run: the server was not drained.
+    core::JobSpec spec;
+    spec.payload = workloads::makeText(1024, 5);
+    auto sub = server.submitWithRetry(spec);
+    ASSERT_TRUE(sub.accepted());
+    EXPECT_TRUE(server.wait(sub.ticket).result.ok());
+    server.drainAndStop();
+    auto ss = server.stats();
+    EXPECT_EQ(ss.completed, ss.submitted);
+}
+
+TEST(LoadGenRun, TinyFifoSurfacesBackpressureCounters)
+{
+    // Everything accelerator-routed into one window of depth 1: the
+    // queue high-water mark must register, and any busy rejects must
+    // be attributed to the window that bounced them.
+    LoadGenConfig cfg;
+    cfg.clients = 4;
+    cfg.requestsPerClient = 8;
+    cfg.arrival.ratePerSec = 50000.0;   // effectively simultaneous
+    cfg.mix.classes = {{"bulk", 1.0, nx::SessionFormat::Gzip,
+                        load::Content::Log, 32768, 65536, 0.0}};
+    cfg.mix.variantsPerClass = 2;
+    cfg.seed = 3;
+    cfg.workers = 1;
+    cfg.windows = 1;
+    cfg.fifoDepth = 1;
+    cfg.policy.accelThresholdBytes = 0;
+    cfg.policy.backoff.maxAttempts = 1 << 20;   // never exhaust
+
+    auto rep = LoadGen(cfg).run(testChip());
+    EXPECT_EQ(rep.completed, rep.submitted);
+    EXPECT_EQ(rep.softwareRouted, 0u);
+    EXPECT_EQ(rep.fallbacks, 0u);
+    EXPECT_GE(rep.queueDepthHighWater, 1u);
+    ASSERT_EQ(rep.windowBusyRejects.size(), 1u);
+    EXPECT_EQ(rep.windowBusyRejects[0], rep.busyRejects);
+    EXPECT_EQ(rep.pasteAttempts, rep.busyRejects + rep.submitted);
+}
+
+TEST(LoadGenRun, CapturedResultsMatchTheOracles)
+{
+    auto cfg = smallConfig(ArrivalKind::OpenPoisson);
+    cfg.captureResults = true;
+    LoadGen gen(cfg);
+    auto rep = gen.run(testChip());
+    ASSERT_EQ(rep.captured.size(), rep.submitted);
+
+    // Replay the oracle pool: same mix config => identical payloads.
+    WorkloadMix oracle(cfg.mix);
+    for (const auto &cr : rep.captured) {
+        ASSERT_TRUE(cr.ok);
+        if (cr.kind == core::JobKind::Decompress) {
+            // Decompressing the prepared stream must reproduce the
+            // prepared source, whatever backend served it.
+            EXPECT_EQ(cr.data,
+                      oracle.variant(cr.classIndex, cr.variantIndex))
+                << "client " << cr.client << " req " << cr.requestIndex;
+        } else {
+            EXPECT_FALSE(cr.data.empty());
+        }
+    }
+}
+
+TEST(LoadGenRun, PerClientOutcomeSlotsCoverAllClients)
+{
+    auto cfg = smallConfig(ArrivalKind::ClosedLoop);
+    cfg.clients = 7;
+    auto rep = LoadGen(cfg).run(testChip());
+    ASSERT_EQ(rep.perClientCompleted.size(), 7u);
+    for (uint64_t c : rep.perClientCompleted)
+        EXPECT_EQ(c, static_cast<uint64_t>(cfg.requestsPerClient));
+}
+
+} // namespace

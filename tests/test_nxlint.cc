@@ -357,6 +357,25 @@ TEST(NxlintRawThread, JobServerAndUtilAreWhitelisted)
     EXPECT_FALSE(fired(lintFile("src/util/pool.cc", body), "raw-thread"));
 }
 
+TEST(NxlintRawThread, LoadGenClientThreadsAreWhitelisted)
+{
+    // The load generator's client threads are the requesters the
+    // JobServer serves, so they cannot be routed through it.
+    const char *body = "void f() { std::thread t([] {}); t.join(); }\n";
+    EXPECT_FALSE(fired(lintFile("src/load/load_gen.cc", body),
+                       "raw-thread"));
+    // Only the .cc is whitelisted, and only that one file in load/.
+    EXPECT_TRUE(fired(lintFile("src/load/load_gen.h", body),
+                      "raw-thread"));
+    EXPECT_TRUE(fired(lintFile("src/load/arrival.cc", body),
+                      "raw-thread"));
+    // detach() stays banned even inside the whitelisted file.
+    EXPECT_TRUE(fired(lintFile("src/load/load_gen.cc",
+                               "void f() { std::thread t([] {}); "
+                               "t.detach(); }\n"),
+                      "raw-thread"));
+}
+
 TEST(NxlintRawThread, TestsToolsAndFreeDetachAreClean)
 {
     // Outside src/ the rule does not apply: tests and benches spawn

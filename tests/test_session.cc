@@ -248,8 +248,8 @@ TEST_P(SessionDifferential, FallbackOutputBitIdenticalToSoftware)
 
 INSTANTIATE_TEST_SUITE_P(AllFormats, SessionDifferential,
                          ::testing::ValuesIn(kFormats),
-                         [](const auto &info) {
-                             switch (info.param) {
+                         [](const auto &pinfo) {
+                             switch (pinfo.param) {
                                case SessionFormat::Gzip: return "Gzip";
                                case SessionFormat::Zlib: return "Zlib";
                                case SessionFormat::RawDeflate:

@@ -1,7 +1,7 @@
 /**
  * @file
- * Multi-session concurrency suite for nx::Session (ctest labels:
- * concurrency;session — ci.sh runs it under ThreadSanitizer).
+ * Multi-session concurrency suite for nx::Session (ctest label:
+ * concurrency — ci.sh runs it under ThreadSanitizer).
  *
  * The session layer's concurrency claims: many sessions can share one
  * JobServer engine pool, one session can be driven from many threads,
@@ -22,6 +22,7 @@
 
 #include "core/fault_injector.h"
 #include "core/session.h"
+#include "load/load_gen.h"
 #include "workloads/corpus.h"
 
 namespace {
@@ -165,19 +166,19 @@ TEST(SessionStress, OneSessionManyThreads)
                 auto payload = payloadFor(seed);
                 auto c = sess.compress(payload);
                 if (!c.ok) {
-                    ++bad[t];
+                    ++bad[static_cast<size_t>(t)];
                     continue;
                 }
                 auto d = sess.decompress(c.data);
                 if (!d.ok || d.data != payload)
-                    ++bad[t];
+                    ++bad[static_cast<size_t>(t)];
             }
         });
     }
     for (auto &t : threads)
         t.join();
     for (int t = 0; t < kThreads; ++t)
-        EXPECT_EQ(bad[t], 0) << "thread " << t;
+        EXPECT_EQ(bad[static_cast<size_t>(t)], 0) << "thread " << t;
 
     auto st = sess.stats();
     EXPECT_EQ(st.requests,
@@ -233,6 +234,99 @@ TEST(SessionStress, SessionsComeAndGoWhileTheServerKeepsRunning)
     auto st = srv.stats();
     EXPECT_EQ(st.completed, st.submitted);
     EXPECT_EQ(st.jobFaults, 0u);
+}
+
+TEST(SessionStress, LoadGenMixedArrivalsSurviveFaultInjection)
+{
+    // The full load harness — every arrival kind over the serving mix —
+    // against one shared server whose device path faults every 4th
+    // job. The clients must never see a failure (software fallback is
+    // load-bearing), the server must lose no tickets, and every
+    // fallback's output must be bit-identical to the pure-software
+    // path for the same payload.
+    nx::FaultInjector faults;
+    faults.failEveryNth(4);
+    JobServerConfig jcfg;
+    jcfg.workers = 3;
+    jcfg.windows = 2;
+    jcfg.window.fifoDepth = 4;
+    jcfg.faultInjector = &faults;
+    JobServer srv(testChip(), jcfg);
+
+    load::LoadGenConfig base;
+    base.clients = 5;
+    base.requestsPerClient = 16;
+    base.arrival.ratePerSec = 4000.0;
+    base.arrival.thinkSeconds = 0.0002;
+    base.mix.variantsPerClass = 2;
+    base.workers = jcfg.workers;
+    base.windows = jcfg.windows;
+    base.fifoDepth = jcfg.window.fifoDepth;
+    base.policy.accelThresholdBytes = kThreshold;
+    base.policy.backoff.maxAttempts = 1000;
+    base.policy.faultRetries = 0;   // every injected fault falls back
+    base.captureResults = true;
+
+    // Pure-software oracle sessions, one per format in the mix.
+    std::vector<std::unique_ptr<Session>> oracles;
+    auto oracleFor = [&](SessionFormat f) -> Session & {
+        for (auto &s : oracles)
+            if (s->policy().format == f)
+                return *s;
+        SessionPolicy pol = base.policy;
+        pol.format = f;
+        pol.forceSoftware = true;
+        oracles.push_back(std::make_unique<Session>(srv, pol));
+        return *oracles.back();
+    };
+
+    uint64_t fallbacks = 0, submitted = 0;
+    uint64_t seed = 0xFA117;
+    for (auto kind : {load::ArrivalKind::OpenPoisson,
+                      load::ArrivalKind::Bursty,
+                      load::ArrivalKind::ClosedLoop}) {
+        auto cfg = base;
+        cfg.arrival.kind = kind;
+        cfg.seed = seed++;
+        load::LoadGen gen(cfg);
+        auto rep = gen.run(srv);
+
+        EXPECT_EQ(rep.failed, 0u) << toString(kind);
+        EXPECT_EQ(rep.completed, rep.submitted) << toString(kind);
+        submitted += rep.submitted;
+        fallbacks += rep.fallbacks;
+
+        load::WorkloadMix oracleMix(cfg.mix);
+        for (const auto &cr : rep.captured) {
+            ASSERT_TRUE(cr.ok);
+            if (!cr.fellBack || cr.kind != core::JobKind::Compress)
+                continue;
+            // A fallback compress must have produced exactly what the
+            // software leg produces for the same bytes.
+            const auto &src = oracleMix.variant(cr.classIndex,
+                                                cr.variantIndex);
+            auto fmt = cfg.mix.classes[cr.classIndex].format;
+            auto sw = oracleFor(fmt).compress(src);
+            ASSERT_TRUE(sw.ok);
+            EXPECT_EQ(cr.data, sw.data)
+                << toString(kind) << " client " << cr.client << " req "
+                << cr.requestIndex;
+        }
+    }
+    // Three runs of 80 requests each at a 1-in-4 fault rate: fallbacks
+    // must actually have happened, or the oracle loop proved nothing.
+    EXPECT_EQ(submitted, 3u * 5u * 16u);
+    EXPECT_GT(fallbacks, 0u);
+
+    for (auto &s : oracles)
+        s->close();
+    srv.drainAndStop();
+    auto st = srv.stats();
+    // No lost tickets: everything accepted was completed and claimed.
+    EXPECT_EQ(st.completed, st.submitted);
+    EXPECT_GT(st.faultsInjected, 0u);
+    EXPECT_EQ(st.jobFaults, st.faultsInjected);
+    EXPECT_EQ(st.faultsInjected, faults.injected());
 }
 
 } // namespace

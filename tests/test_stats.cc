@@ -1,10 +1,13 @@
 /**
  * @file
- * Unit tests for RunningStat, Percentiles and StatSet.
+ * Unit tests for RunningStat, Percentiles, StatSet and the
+ * LatencyRecorder snapshot (including the p999 tail percentile the
+ * serving SLO report keys on).
  */
 
 #include <gtest/gtest.h>
 
+#include "util/latency_recorder.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -97,4 +100,32 @@ TEST(Table, FormatHelpers)
     EXPECT_EQ(util::Table::fmt(3.14159, 2), "3.14");
     EXPECT_EQ(util::Table::fmtBytes(2048), "2.00 KiB");
     EXPECT_EQ(util::Table::fmtRate(2.5e9), "2.50 GB/s");
+}
+
+TEST(LatencyRecorder, SnapshotExposesTailPercentiles)
+{
+    // 1..10000 in scrambled order: the exact quantiles are known, and
+    // p999 must sit strictly between p99 and max — the tail the p50/p99
+    // pair alone cannot see.
+    util::LatencyRecorder rec;
+    for (int i = 0; i < 10000; ++i)
+        rec.record(static_cast<double>((i * 7919) % 10000 + 1));
+    auto s = rec.snapshot();
+    EXPECT_EQ(s.count, 10000u);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 10000.0);
+    EXPECT_NEAR(s.p50, 5000.0, 2.0);
+    EXPECT_NEAR(s.p99, 9900.0, 2.0);
+    EXPECT_NEAR(s.p999, 9990.0, 2.0);
+    EXPECT_LT(s.p99, s.p999);
+    EXPECT_LE(s.p999, s.max);
+}
+
+TEST(LatencyRecorder, EmptySnapshotIsAllZero)
+{
+    util::LatencyRecorder rec;
+    auto s = rec.snapshot();
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.p50, 0.0);
+    EXPECT_DOUBLE_EQ(s.p999, 0.0);
 }

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Regenerate a repo-root BENCH_*.json from a serving bench's --json
+# mode, with a schema sanity gate between the run and the move so a
+# broken emitter can never clobber the checked-in trajectory file.
+#
+# Currently wired for bench_l1_serving; the shape generalises: every
+# serving-class bench emits one schema-versioned JSON at the repo root
+# (see DESIGN.md, "BENCH_*.json trajectory convention").
+#
+# Usage: tools/bench_to_json.sh [--smoke] [build-dir]
+#   --smoke     run the scaled-down CI sweep (default: full sweep)
+#   build-dir   build tree holding bench_l1_serving (default: first of
+#               build, build-ci that has it)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode=""
+build=""
+for a in "$@"; do
+    case "$a" in
+      --smoke) mode="--smoke" ;;
+      *) build="$a" ;;
+    esac
+done
+if [ -z "$build" ]; then
+    for d in build build-ci; do
+        if [ -x "$d/bench/bench_l1_serving" ]; then
+            build=$d
+            break
+        fi
+    done
+fi
+bin="$build/bench/bench_l1_serving"
+if [ ! -x "$bin" ]; then
+    echo "bench_to_json: $bin not built" >&2
+    exit 2
+fi
+
+out=BENCH_l1_serving.json
+tmp=$(mktemp "${TMPDIR:-/tmp}/bench_l1.XXXXXX")
+trap 'rm -f "$tmp"' EXIT
+
+# shellcheck disable=SC2086  # $mode is intentionally word-split
+"$bin" $mode --json > "$tmp"
+
+# Schema gate: the keys the golden test and downstream diffs key on
+# must be present before the file is allowed to land at the root.
+for key in '"schema_version": 1' '"bench": "bench_l1_serving"' \
+           '"scenarios"' '"schedule_digest"' '"p999"' \
+           '"fairness_min_over_max"'; do
+    if ! grep -q "$key" "$tmp"; then
+        echo "bench_to_json: emitted JSON is missing $key — refusing" \
+             "to update $out" >&2
+        exit 1
+    fi
+done
+
+mv "$tmp" "$out"
+trap - EXIT
+echo "bench_to_json: wrote $out ($(wc -c < "$out") bytes," \
+     "$(grep -c '"name"' "$out") scenarios)"

@@ -34,9 +34,10 @@ const std::vector<LayerInfo> kLayers = {
     {"nx", 3},                       // modelled engines
     {"core", 4},                     // device + dispatch layer
     {"workloads", 5},                // corpus/workload generators
-    {"tools", 6}, {"fuzz", 6},       // harnesses — peers
-    {"bench", 6}, {"examples", 6},
-    {"tests", 7},                    // may see everything below
+    {"load", 6},                     // serving load harness
+    {"tools", 7}, {"fuzz", 7},       // harnesses — peers
+    {"bench", 7}, {"examples", 7},
+    {"tests", 8},                    // may see everything below
 };
 
 const std::vector<RuleInfo> kRules = {
